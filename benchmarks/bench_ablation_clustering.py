@@ -1,0 +1,79 @@
+"""Ablation: what does each clustering level buy?
+
+Four configurations of the same family-detection task:
+
+* ``none``       — no clustering at all (exhaustive pairwise comparison);
+* ``blocking``   — second-level feature blocking only (paper's
+                   #GenerateBlocks);
+* ``embedding``  — first-level node2vec clustering only
+                   (#GraphEmbedClust);
+* ``two-level``  — the full Vada-Link configuration.
+
+Reported per configuration: comparisons, elapsed time, and recall against
+the exhaustive run's links (the DESIGN.md ablation of the paper's central
+design choice: blocking bounds the quadratic blow-up, embeddings keep
+related nodes together).
+"""
+
+from repro.bench import Experiment, no_cluster_ground_truth, predicted_links, realworld_like, timed
+from repro.core import (
+    BlockingScheme,
+    FamilyLinkCandidate,
+    VadaLink,
+    VadaLinkConfig,
+)
+from repro.linkage import persons_of, train_classifiers
+
+PERSONS = 250
+
+
+def test_ablation_clustering_levels(run_once, benchmark):
+    graph, truth = realworld_like(PERSONS, seed=29)
+    classifiers = train_classifiers(persons_of(graph), truth.links, seed=1)
+
+    def rules():
+        return [FamilyLinkCandidate(c) for c in classifiers]
+
+    configurations = {
+        "none": VadaLinkConfig(
+            first_level_clusters=1, use_embeddings=False,
+            blocking=BlockingScheme.exhaustive(), max_rounds=1,
+        ),
+        "blocking": VadaLinkConfig(
+            first_level_clusters=1, use_embeddings=False, max_rounds=1,
+        ),
+        "embedding": VadaLinkConfig(
+            first_level_clusters=8, use_embeddings=True,
+            blocking=BlockingScheme.exhaustive(), max_rounds=2,
+        ),
+        "two-level": VadaLinkConfig(
+            first_level_clusters=8, use_embeddings=True, max_rounds=2,
+        ),
+    }
+
+    exhaustive_links = no_cluster_ground_truth(graph, rules())
+    experiment = Experiment("Ablation — clustering levels", "configuration")
+    results = {}
+    for name, config in configurations.items():
+        result, elapsed = timed(lambda: VadaLink(rules(), config).augment(graph))
+        found = predicted_links(result.new_edges)
+        recall = len(found & exhaustive_links) / max(len(exhaustive_links), 1)
+        results[name] = (result.comparisons, elapsed, recall)
+        experiment.record(name, comparisons=result.comparisons,
+                          seconds=elapsed, recall=recall)
+    print()
+    experiment.print()
+
+    # blocking slashes comparisons versus exhaustive
+    assert results["blocking"][0] < results["none"][0] / 5
+    # two-level keeps most of the exhaustive recall
+    assert results["two-level"][2] > 0.6
+    # blocking-only recall is at least as good as two-level (no first-level
+    # splits); two-level runs more rounds yet stays far below exhaustive
+    assert results["blocking"][2] >= results["two-level"][2] - 1e-9
+    assert results["two-level"][0] < results["none"][0] / 3
+
+    run_once(
+        benchmark,
+        lambda: VadaLink(rules(), configurations["blocking"]).augment(graph),
+    )

@@ -1,0 +1,78 @@
+"""Figure 4(a): Vada-Link elapsed time vs number of nodes (real-world-like
+data) against the naive all-pairs baseline.
+
+Paper: 20 subsets of the Italian company graph with 1k-100k person nodes;
+Vada-Link grows slightly more than linearly (<20 s at 10k nodes) and stays
+far below the quadratic naive curve.
+
+Here: surrogate graphs with the same sparse scale-free profile, scaled to
+pure-Python speed (see EXPERIMENTS.md for the scale discussion).  The
+naive baseline is executed up to the size where it is already clearly
+quadratic and reported as pair-counts beyond that.
+"""
+
+from repro.bench import (
+    Experiment,
+    check_shape,
+    naive_comparison_count,
+    naive_family_detection,
+    realworld_like,
+    timed,
+)
+from repro.core import FamilyLinkCandidate, VadaLink, VadaLinkConfig
+from repro.linkage import persons_of, train_classifiers
+
+SIZES = (100, 200, 400, 800, 1600)
+NAIVE_LIMIT = 400  # run the quadratic baseline only up to this size
+
+
+def build_rules(graph, truth):
+    classifiers = train_classifiers(persons_of(graph), truth.links, seed=1)
+    return [FamilyLinkCandidate(c) for c in classifiers]
+
+
+def vadalink_run(graph, rules):
+    config = VadaLinkConfig(first_level_clusters=8, max_rounds=2)
+    return VadaLink(rules, config).augment(graph)
+
+
+def test_fig4a_time_vs_nodes(run_once, benchmark):
+    experiment = Experiment("Figure 4(a) — time vs nodes (real-world-like)", "persons")
+    series = []
+    benchmark_graph = None
+    benchmark_rules = None
+    for persons in SIZES:
+        graph, truth = realworld_like(persons, seed=7)
+        rules = build_rules(graph, truth)
+        if persons == SIZES[2]:
+            benchmark_graph, benchmark_rules = graph, rules
+        result, elapsed = timed(lambda: vadalink_run(graph, rules))
+        metrics = {
+            "vadalink_s": elapsed,
+            "comparisons": result.comparisons,
+            "naive_pairs": naive_comparison_count(persons),
+        }
+        if persons <= NAIVE_LIMIT:
+            classifiers = [rule.classifier for rule in rules]
+            _, naive_elapsed = timed(lambda: naive_family_detection(graph, classifiers))
+            metrics["naive_s"] = naive_elapsed
+        series.append((persons, elapsed))
+        experiment.record(persons, **metrics)
+    print()
+    experiment.print()
+    print(experiment.ascii_plot("vadalink_s"))
+
+    # shape: far sub-quadratic — time ratio across a 16x size range stays
+    # well below the 256x a quadratic algorithm would show
+    first_size, first_time = series[0]
+    last_size, last_time = series[-1]
+    growth = last_time / max(first_time, 1e-9)
+    quadratic_growth = (last_size / first_size) ** 2
+    assert growth < quadratic_growth / 3, (
+        f"growth {growth:.1f}x at {last_size // first_size}x nodes looks quadratic"
+    )
+    # clustered comparisons stay far below the naive pair count
+    for measurement in experiment.measurements:
+        assert measurement.metrics["comparisons"] < measurement.metrics["naive_pairs"] / 2
+
+    run_once(benchmark, lambda: vadalink_run(benchmark_graph, benchmark_rules))

@@ -1,0 +1,80 @@
+"""Figure 4(d): elapsed time vs graph density.
+
+Paper: four synthetic scenarios — sparse, normal, dense, superdense —
+over 1-1k nodes; sparse/normal/dense track each other while superdense
+is markedly slower, with superlinear growth for the denser scenarios.
+The discussion attributes density sensitivity to (i) node2vec's walks
+and (ii) the ``Candidate`` implementations — noting that *family
+detection* scales well with density while *close links* (path
+enumeration) are the challenging case.
+
+We therefore report two series per density preset:
+
+* ``family_s``     — the feature-based family-detection loop (expected
+  nearly flat across densities, the paper's own remark);
+* ``closelink_s``  — the close-link Candidate (simple-path enumeration,
+  expected to blow up on superdense graphs — the Figure 4(d) shape).
+"""
+
+from repro.bench import DENSITY_SCENARIOS, Experiment, density_scenario, timed
+from repro.core import (
+    BlockingScheme,
+    CloseLinkCandidate,
+    FamilyLinkCandidate,
+    VadaLink,
+    VadaLinkConfig,
+)
+from repro.linkage import persons_of, train_classifiers
+
+SIZES = (100, 200, 300)
+PATH_DEPTH = 4  # bounded enumeration: superdense graphs have exponential path counts
+
+
+def family_run(graph, classifiers):
+    rules = [FamilyLinkCandidate(c) for c in classifiers]
+    config = VadaLinkConfig(first_level_clusters=6, max_rounds=1)
+    return VadaLink(rules, config).augment(graph)
+
+
+def close_link_run(graph):
+    rules = [CloseLinkCandidate(max_depth=PATH_DEPTH)]
+    config = VadaLinkConfig(
+        first_level_clusters=1, use_embeddings=False,
+        blocking=BlockingScheme.exhaustive(), max_rounds=1,
+    )
+    return VadaLink(rules, config).augment(graph)
+
+
+def test_fig4d_time_vs_density(run_once, benchmark):
+    experiment = Experiment("Figure 4(d) — time vs density", "persons")
+    family_times: dict[str, list[float]] = {}
+    close_times: dict[str, list[float]] = {}
+    for persons in SIZES:
+        row = {}
+        for density in DENSITY_SCENARIOS:
+            graph, truth = density_scenario(density, persons, seed=17)
+            classifiers = train_classifiers(persons_of(graph), truth.links, seed=1)
+            _, family_elapsed = timed(lambda: family_run(graph, classifiers))
+            _, close_elapsed = timed(lambda: close_link_run(graph))
+            row[f"{density[:5]}_fam_s"] = family_elapsed
+            row[f"{density[:5]}_cl_s"] = close_elapsed
+            family_times.setdefault(density, []).append(family_elapsed)
+            close_times.setdefault(density, []).append(close_elapsed)
+        experiment.record(persons, **row)
+    print()
+    experiment.print()
+
+    last = len(SIZES) - 1
+    # close links: superdense must dominate, and by a wide margin over sparse
+    assert close_times["superdense"][last] == max(
+        close_times[d][last] for d in DENSITY_SCENARIOS
+    ), "superdense close-link detection must be the slowest scenario"
+    assert close_times["superdense"][last] > close_times["sparse"][last] * 3
+    # close links grow superlinearly with density (edges roughly 8x sparse)
+    assert close_times["superdense"][last] > close_times["normal"][last] * 1.5
+    # family detection stays comparatively flat across densities (the
+    # paper's own observation about this Candidate)
+    assert family_times["superdense"][last] < family_times["sparse"][last] * 3
+
+    graph, _ = density_scenario("superdense", SIZES[0], seed=17)
+    run_once(benchmark, lambda: close_link_run(graph))

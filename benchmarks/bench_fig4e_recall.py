@@ -1,0 +1,59 @@
+"""Figure 4(e): recall vs number of clusters.
+
+Paper protocol (Section 6.2): run in no-cluster mode to obtain the full
+set of predictable links; remove 20% of them at random; re-run with k
+clusters; recall = recovered/removed.  Reported: recall maximal at one
+cluster, 99.4% at 20 clusters, 98.6% at 50, a slow decrease, and the
+approach collapsing under 50% past ~400 clusters.
+
+Here: same protocol via :mod:`repro.bench.recall`, averaged over removal
+repeats.  The assertions pin the published shape: near-perfect recall
+through ~20 clusters, monotone-ish slow decay, sharp loss at the extreme
+right of the sweep.
+"""
+
+from repro.bench import Experiment, realworld_like, recall_curve
+from repro.core import FamilyLinkCandidate, VadaLinkConfig
+from repro.linkage import persons_of, train_classifiers
+
+PERSONS = 400
+CLUSTERS = (1, 2, 5, 10, 20, 50, 100, 200, 400, 500)
+
+
+def test_fig4e_recall_vs_clusters(run_once, benchmark):
+    graph, truth = realworld_like(PERSONS, seed=23)
+    classifiers = train_classifiers(persons_of(graph), truth.links, seed=1)
+    rules = [FamilyLinkCandidate(c) for c in classifiers]
+    config = VadaLinkConfig(
+        first_level_clusters=1, use_embeddings=False, max_rounds=2
+    )
+
+    points = recall_curve(
+        graph, rules, CLUSTERS, config=config, removal_fraction=0.2, repeats=2, seed=5
+    )
+
+    experiment = Experiment("Figure 4(e) — recall vs number of clusters", "clusters")
+    paper = {1: 1.0, 20: 0.994, 50: 0.986, 400: "<0.5", 500: "<0.5"}
+    for point in points:
+        experiment.record(
+            point.clusters,
+            recall=point.recall,
+            comparisons=point.comparisons,
+            seconds=point.elapsed_seconds,
+        )
+    print()
+    experiment.print()
+    print(experiment.ascii_plot("recall", logx=True))
+    print(f"(paper reference points: {paper})")
+
+    by_clusters = {p.clusters: p.recall for p in points}
+    assert by_clusters[1] == 1.0, "single cluster recovers everything"
+    assert by_clusters[20] > 0.9, "recall at 20 clusters should stay near-perfect"
+    assert by_clusters[50] > 0.8, "recall at 50 clusters stays high"
+    assert by_clusters[500] < by_clusters[20], "extreme clustering loses recall"
+    assert by_clusters[500] < 0.8, "hundreds of clusters break recall"
+
+    run_once(
+        benchmark,
+        lambda: recall_curve(graph, rules, (20,), config=config, repeats=1, seed=5),
+    )

@@ -1,0 +1,23 @@
+"""Shared configuration for the benchmark drivers.
+
+Every benchmark prints the series its paper figure reports (rows of the
+same shape as the published plot) and registers one pytest-benchmark
+timing for the headline operation.  Absolute times will differ from the
+paper (authors: Vadalog/Java on a 2013 MacBook; here: pure Python) — the
+reproduction target is the *shape* of each curve, which the drivers
+assert with `check_shape` where the paper's claim is qualitative.
+"""
+
+import pytest
+
+
+def one_shot(benchmark, function):
+    """Register ``function`` with pytest-benchmark as a single-shot macro
+    benchmark (our workloads are seconds-long; statistical rounds would
+    multiply runtime without adding information)."""
+    return benchmark.pedantic(function, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def run_once():
+    return one_shot

@@ -1,0 +1,78 @@
+"""Ultimate-beneficial-owner screening — the AML extension.
+
+Central banks use ownership graphs for anti-money-laundering (the paper's
+motivating use cases).  EU AML directives ask: which *natural persons*
+ultimately own 25%+ of a company, directly or through chains — and which
+companies have no detectable owner at all (the red flags)?
+
+The example builds a deliberately tangled structure: a clean holding
+chain, a 51% control pyramid that stays under the ownership threshold,
+a circular cross-holding (where integrated ownership still converges),
+and a dispersed-ownership shell with no beneficial owner.
+
+    python examples/beneficial_owners.py
+"""
+
+from repro.graph import CompanyGraph
+from repro.ownership import (
+    all_beneficial_owners,
+    integrated_ownership,
+    opaque_companies,
+)
+
+
+def build_structures() -> CompanyGraph:
+    graph = CompanyGraph()
+    for person in ("alice", "bob", "carla", "dario", "elena", "franco"):
+        graph.add_person(person, name=person.capitalize())
+    for company in ("chain1", "chain2", "pyr1", "pyr2", "pyr3",
+                    "loop_a", "loop_b", "shell"):
+        graph.add_company(company, name=company)
+
+    # 1. clean chain: alice -> 80% -> chain1 -> 60% -> chain2
+    graph.add_shareholding("alice", "chain1", 0.8)
+    graph.add_shareholding("chain1", "chain2", 0.6)
+
+    # 2. control pyramid: bob holds 51% at each level; integrated share of
+    #    pyr3 is 0.51^3 = 13% (< 25%) but bob controls it all the way down
+    graph.add_shareholding("bob", "pyr1", 0.51)
+    graph.add_shareholding("pyr1", "pyr2", 0.51)
+    graph.add_shareholding("pyr2", "pyr3", 0.51)
+
+    # 3. circular cross-holding: carla holds 60% of loop_a; loop_a and
+    #    loop_b own 50%/40% of each other (buy-back style circularity)
+    graph.add_shareholding("carla", "loop_a", 0.6)
+    graph.add_shareholding("loop_a", "loop_b", 0.5)
+    graph.add_shareholding("loop_b", "loop_a", 0.4)
+
+    # 4. dispersed shell: four persons at 20% each — nobody crosses 25%,
+    #    nobody controls
+    for person in ("dario", "elena", "franco", "alice"):
+        graph.add_shareholding(person, "shell", 0.2)
+    return graph
+
+
+def main() -> None:
+    graph = build_structures()
+
+    print("=== Beneficial owners (threshold 25%, EU AMLD) ===")
+    for company, owners in sorted(all_beneficial_owners(graph).items()):
+        for owner in owners:
+            print(f"  {company:8s} <- {owner.person:8s} "
+                  f"integrated={owner.integrated_share:6.1%}  basis={owner.basis}")
+
+    print("\n=== Walk-sum handles the circular holding ===")
+    share = integrated_ownership(graph, "carla", "loop_b")
+    print(f"  carla's integrated share of loop_b through the cycle: {share:.1%}")
+    print("  (geometric series: 0.6 * 0.5 / (1 - 0.5*0.4) = 37.5%)")
+
+    print("\n=== Companies with NO detectable beneficial owner ===")
+    for company in opaque_companies(graph):
+        shares = ", ".join(
+            f"{owner}:{share:.0%}" for owner, share in graph.shareholders(company)
+        )
+        print(f"  {company}  ({shares})  <- AML red flag")
+
+
+if __name__ == "__main__":
+    main()

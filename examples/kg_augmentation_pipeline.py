@@ -1,0 +1,77 @@
+"""The full Vada-Link pipeline on a synthetic enterprise extract.
+
+Mirrors the Section 5 architecture end to end:
+
+1. ETL — read the three CSV extracts (companies / persons /
+   shareholdings) the Chambers-of-Commerce layout would provide;
+2. property-graph construction + relational mapping (Algorithm 2);
+3. KG reasoning — control, close links, family links (Algorithms 3-9);
+4. family materialisation + family-control reasoning;
+5. output — the augmented property graph, saved as JSON, plus the
+   Section 2 statistical profile before and after augmentation.
+
+    python examples/kg_augmentation_pipeline.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.core import PipelineConfig, ReasoningPipeline
+from repro.datagen import CompanySpec, generate_company_graph
+from repro.graph import profile, read_company_csv, save_json, write_company_csv
+from repro.linkage import persons_of, train_classifiers
+
+SPEC = CompanySpec(persons=250, companies=150, seed=7)
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="vadalink-"))
+
+    # --- 1. the "enterprise data store": three CSV extracts -------------
+    source_graph, truth = generate_company_graph(SPEC)
+    write_company_csv(source_graph, workdir)
+    print(f"ETL extract written to {workdir} "
+          f"(companies.csv / persons.csv / shareholdings.csv)")
+
+    # --- 2. graph building pipeline -------------------------------------
+    graph = read_company_csv(workdir)
+    stats = profile(graph)
+    print(f"\nextensional PG: {stats.nodes} nodes, {stats.edges} edges, "
+          f"{stats.wcc_count} weakly connected components")
+
+    # --- 3. reasoning ----------------------------------------------------
+    classifiers = train_classifiers(persons_of(graph), truth.links, seed=1)
+    pipeline = ReasoningPipeline(
+        graph,
+        PipelineConfig(first_level_clusters=6),
+        classifiers=classifiers,
+    )
+
+    family_links = pipeline.family_links()
+    control = pipeline.control_pairs()
+    close = pipeline.close_link_pairs()
+    print(f"\npredicted: {len(family_links)} personal links, "
+          f"{len(control)} control pairs, {len(close)} close links")
+
+    # --- 4. family control ------------------------------------------------
+    families = pipeline.materialise_families(family_links)
+    family_control = pipeline.family_control_pairs()
+    business_families = {family for family, _ in family_control}
+    print(f"detected {len(families)} families; "
+          f"{len(business_families)} of them control at least one company "
+          f"({len(family_control)} family-control pairs)")
+
+    # --- 5. the augmented knowledge graph --------------------------------
+    augmented = pipeline.augment()
+    out_path = workdir / "augmented_graph.json"
+    save_json(augmented, out_path)
+    after = profile(augmented)
+    print(f"\naugmented PG: {after.edges} edges "
+          f"(+{after.edges - stats.edges} predicted), "
+          f"{after.wcc_count} WCCs (was {stats.wcc_count}) — "
+          "augmentation improves connectivity, the point of KG augmentation")
+    print(f"saved to {out_path}")
+
+
+if __name__ == "__main__":
+    main()

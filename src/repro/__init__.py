@@ -1,0 +1,19 @@
+"""repro — reproduction of "Weaving Enterprise Knowledge Graphs: The Case of
+Company Ownership Graphs" (EDBT 2020).
+
+The package implements Vada-Link, a knowledge-graph augmentation framework
+over company ownership graphs, together with every substrate it depends on:
+a Datalog± (Vadalog-fragment) reasoning engine, a property-graph model,
+node2vec embeddings, ownership analytics (company control, close links,
+family control), record-linkage-style family detection, and synthetic data
+generators calibrated to the paper's Italian company database statistics.
+
+Typical entry points::
+
+    from repro.graph import CompanyGraph
+    from repro.ownership import control_closure, close_links
+    from repro.core import VadaLink, KnowledgeGraph
+    from repro.datagen import generate_company_graph
+"""
+
+__version__ = "1.0.0"

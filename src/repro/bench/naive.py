@@ -1,0 +1,40 @@
+"""The naive all-pairs baseline (the red line of Figure 4(a)).
+
+Without clustering, link prediction must compare a quadratic number of
+node pairs.  :func:`naive_family_detection` performs exactly that —
+every ordered person pair through the classifiers — and is what
+Vada-Link's clustered runtime is measured against.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..graph.company_graph import CompanyGraph
+from ..linkage.bayes import BayesianLinkClassifier
+
+
+def naive_family_detection(
+    graph: CompanyGraph,
+    classifiers: Sequence[BayesianLinkClassifier],
+    threshold: float = 0.5,
+) -> tuple[set[tuple[str, str, str]], int]:
+    """All-pairs classification; returns (links, comparisons performed)."""
+    persons = list(graph.persons())
+    links: set[tuple[str, str, str]] = set()
+    comparisons = 0
+    for i, left in enumerate(persons):
+        for j, right in enumerate(persons):
+            if i == j:
+                continue
+            for classifier in classifiers:
+                comparisons += 1
+                if classifier.probability(left.properties, right.properties) > threshold:
+                    links.add((left.id, right.id, classifier.link_class))
+    return links, comparisons
+
+
+def naive_comparison_count(n: int, link_classes: int = 3) -> int:
+    """The comparison count the naive approach would perform (for plotting
+    the quadratic reference line without actually running it at large n)."""
+    return n * (n - 1) * link_classes

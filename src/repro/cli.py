@@ -1,0 +1,250 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives the reproduction an operational surface over CSV extracts in the
+Chambers-of-Commerce layout (companies.csv / persons.csv /
+shareholdings.csv):
+
+* ``generate``    — write a synthetic extract (+ planted ground truth);
+* ``profile``     — the Section 2 statistical profile of an extract;
+* ``control``     — company-control pairs (Definition 2.3);
+* ``close-links`` — close-link pairs (Definition 2.6);
+* ``family``      — detect personal links (Algorithm 7);
+* ``ubo``         — ultimate beneficial owners per company;
+* ``augment``     — run the whole pipeline, write the augmented KG JSON;
+* ``reason``      — run a Vadalog program file against the extract;
+* ``export-dot``  — render the (optionally augmented) graph as Graphviz DOT.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .core.pipeline import PipelineConfig, ReasoningPipeline
+from .datagen.company_generator import CompanySpec, generate_company_graph
+from .datalog.engine import Engine
+from .datalog.parser import parse_program
+from .graph.io import read_company_csv, save_json, write_company_csv
+from .graph.metrics import profile
+from .graph.relational import to_facts
+from .linkage.training import persons_of, train_classifiers
+from .ownership.close_links import close_link_pairs
+from .ownership.control import control_closure, controlled_by
+from .ownership.ubo import all_beneficial_owners
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Vada-Link reproduction: reasoning over company ownership graphs",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser("generate", help="write a synthetic CSV extract")
+    generate.add_argument("directory", type=Path)
+    generate.add_argument("--persons", type=int, default=500)
+    generate.add_argument("--companies", type=int, default=400)
+    generate.add_argument("--density", default="sparse",
+                          choices=("sparse", "normal", "dense", "superdense"))
+    generate.add_argument("--seed", type=int, default=0)
+
+    profile_cmd = commands.add_parser("profile", help="Section 2 statistics of an extract")
+    profile_cmd.add_argument("directory", type=Path)
+
+    control = commands.add_parser("control", help="company control pairs")
+    control.add_argument("directory", type=Path)
+    control.add_argument("--source", help="only pairs controlled by this node id")
+    control.add_argument("--threshold", type=float, default=0.5)
+
+    close = commands.add_parser("close-links", help="close-link pairs")
+    close.add_argument("directory", type=Path)
+    close.add_argument("--threshold", type=float, default=0.2)
+
+    family = commands.add_parser("family", help="detect personal links")
+    family.add_argument("directory", type=Path)
+    family.add_argument("--truth", type=Path,
+                        help="ground-truth JSON to train the classifiers on")
+    family.add_argument("--clusters", type=int, default=1,
+                        help="first-level clusters (1 disables embeddings)")
+
+    ubo = commands.add_parser("ubo", help="ultimate beneficial owners")
+    ubo.add_argument("directory", type=Path)
+    ubo.add_argument("--threshold", type=float, default=0.25)
+
+    augment = commands.add_parser("augment", help="full pipeline -> augmented KG JSON")
+    augment.add_argument("directory", type=Path)
+    augment.add_argument("output", type=Path)
+    augment.add_argument("--clusters", type=int, default=1)
+
+    reason = commands.add_parser("reason", help="run a Vadalog program file")
+    reason.add_argument("directory", type=Path)
+    reason.add_argument("program", type=Path)
+    reason.add_argument("--query", required=True,
+                        help="predicate whose derived facts to print")
+
+    export = commands.add_parser("export-dot",
+                                 help="render the (optionally augmented) graph as Graphviz DOT")
+    export.add_argument("directory", type=Path)
+    export.add_argument("output", type=Path)
+    export.add_argument("--augment", action="store_true",
+                        help="run the pipeline first and include predicted edges")
+    return parser
+
+
+# ----------------------------------------------------------------------
+# command implementations
+# ----------------------------------------------------------------------
+
+def _generate(args: argparse.Namespace) -> int:
+    spec = CompanySpec(
+        persons=args.persons, companies=args.companies,
+        density=args.density, seed=args.seed,
+    )
+    graph, truth = generate_company_graph(spec)
+    write_company_csv(graph, args.directory)
+    truth_path = args.directory / "ground_truth.json"
+    with open(truth_path, "w") as handle:
+        json.dump(
+            {
+                "families": {k: sorted(v) for k, v in truth.families.items()},
+                "links": sorted(list(link) for link in truth.links),
+            },
+            handle,
+        )
+    print(f"wrote {graph.node_count} nodes / {graph.edge_count} edges to {args.directory}")
+    print(f"ground truth ({len(truth.links)} links) in {truth_path}")
+    return 0
+
+
+def _profile(args: argparse.Namespace) -> int:
+    graph = read_company_csv(args.directory)
+    for name, value in profile(graph).as_rows():
+        print(f"{name:<30}{value:>18}")
+    return 0
+
+
+def _control(args: argparse.Namespace) -> int:
+    graph = read_company_csv(args.directory)
+    if args.source:
+        pairs = sorted(
+            (args.source, target)
+            for target in controlled_by(graph, args.source, args.threshold)
+        )
+    else:
+        pairs = sorted(control_closure(graph, threshold=args.threshold))
+    for controller, controlled in pairs:
+        print(f"{controller},{controlled}")
+    print(f"# {len(pairs)} control pairs", file=sys.stderr)
+    return 0
+
+
+def _close_links(args: argparse.Namespace) -> int:
+    graph = read_company_csv(args.directory)
+    pairs = sorted(close_link_pairs(graph, args.threshold))
+    for x, y in pairs:
+        if x <= y:  # print the symmetric relation once
+            print(f"{x},{y}")
+    print(f"# {len(pairs)} ordered close-link pairs", file=sys.stderr)
+    return 0
+
+
+def _load_truth_links(path: Path) -> set[tuple[str, str, str]]:
+    with open(path) as handle:
+        payload = json.load(handle)
+    return {tuple(link) for link in payload.get("links", [])}
+
+
+def _family(args: argparse.Namespace) -> int:
+    graph = read_company_csv(args.directory)
+    classifiers = None
+    if args.truth:
+        links = _load_truth_links(args.truth)
+        classifiers = train_classifiers(persons_of(graph), links)
+    config = PipelineConfig(
+        first_level_clusters=args.clusters,
+        use_embeddings=args.clusters > 1,
+    )
+    pipeline = ReasoningPipeline(graph, config, classifiers=classifiers)
+    links = sorted(pipeline.family_links())
+    for x, y, link_class in links:
+        print(f"{x},{y},{link_class}")
+    print(f"# {len(links)} personal links", file=sys.stderr)
+    return 0
+
+
+def _ubo(args: argparse.Namespace) -> int:
+    graph = read_company_csv(args.directory)
+    owners_by_company = all_beneficial_owners(graph, args.threshold)
+    for company in sorted(owners_by_company, key=str):
+        for owner in owners_by_company[company]:
+            print(f"{company},{owner.person},{owner.integrated_share:.4f},{owner.basis}")
+    print(f"# {sum(len(v) for v in owners_by_company.values())} beneficial owners "
+          f"across {len(owners_by_company)} companies", file=sys.stderr)
+    return 0
+
+
+def _augment(args: argparse.Namespace) -> int:
+    graph = read_company_csv(args.directory)
+    truth_path = args.directory / "ground_truth.json"
+    classifiers = None
+    if truth_path.exists():
+        classifiers = train_classifiers(persons_of(graph), _load_truth_links(truth_path))
+    config = PipelineConfig(
+        first_level_clusters=args.clusters,
+        use_embeddings=args.clusters > 1,
+    )
+    pipeline = ReasoningPipeline(graph, config, classifiers=classifiers)
+    augmented = pipeline.augment()
+    save_json(augmented, args.output)
+    print(f"augmented graph: {augmented.edge_count - graph.edge_count} new edges "
+          f"-> {args.output}")
+    return 0
+
+
+def _export_dot(args: argparse.Namespace) -> int:
+    from .graph.dot import save_dot
+
+    graph = read_company_csv(args.directory)
+    if args.augment:
+        config = PipelineConfig(first_level_clusters=1, use_embeddings=False)
+        graph = ReasoningPipeline(graph, config).augment()
+    save_dot(graph, args.output)
+    print(f"wrote DOT ({graph.node_count} nodes, {graph.edge_count} edges) "
+          f"to {args.output}")
+    return 0
+
+
+def _reason(args: argparse.Namespace) -> int:
+    graph = read_company_csv(args.directory)
+    program = parse_program(args.program.read_text())
+    engine = Engine(program, to_facts(graph))
+    engine.run()
+    rows = engine.query(args.query)
+    for values in rows:
+        print(",".join(str(v) for v in values))
+    print(f"# {len(rows)} facts of {args.query}", file=sys.stderr)
+    return 0
+
+
+_HANDLERS = {
+    "generate": _generate,
+    "profile": _profile,
+    "control": _control,
+    "close-links": _close_links,
+    "family": _family,
+    "ubo": _ubo,
+    "augment": _augment,
+    "reason": _reason,
+    "export-dot": _export_dot,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

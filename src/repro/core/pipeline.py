@@ -1,0 +1,361 @@
+"""End-to-end reasoning pipeline — the "reasoning API" of Section 5.
+
+:class:`ReasoningPipeline` takes a :class:`CompanyGraph`, builds the KG
+(extensional component via the Section 3 relational mapping, intensional
+component from the Algorithm 2-9 programs), wires the external functions
+(`$link_probability`, `$graph_embed_clust`, `$generate_blocks`) and
+exposes the per-problem entry points applications call:
+
+* :meth:`control_pairs` — company control (Definition 2.3);
+* :meth:`close_link_pairs` — close links (Definition 2.6), with an
+  automatic procedural fallback on cyclic graphs where the declarative
+  walk-sum would diverge;
+* :meth:`family_links` — Bayesian personal-link detection within blocks;
+* :meth:`family_control_pairs` — family control (Definition 2.8);
+* :meth:`augment` — everything at once, returning the augmented graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..datalog.engine import Engine
+from ..datalog.terms import skolem
+from ..embeddings.node2vec import Node2VecConfig, embed_and_cluster
+from ..graph.company_graph import FAMILY, CompanyGraph
+from ..graph.property_graph import NodeId
+from ..linkage.bayes import BayesianLinkClassifier
+from ..linkage.training import default_classifiers
+from ..ownership.close_links import close_link_pairs as procedural_close_links
+from ..ownership.close_links import is_acyclic
+from .blocking import BlockingScheme
+from .kg import KnowledgeGraph
+from .programs import (
+    close_link_program,
+    control_program,
+    family_close_link_program,
+    family_control_program,
+    family_link_program,
+    input_mapping,
+    link_creation,
+    output_mapping,
+)
+
+FAMILY_LINK_CLASSES = ("partner_of", "sibling_of", "parent_of")
+
+
+@dataclass
+class PipelineConfig:
+    """Thresholds and clustering configuration of the pipeline."""
+
+    control_threshold: float = 0.5
+    close_link_threshold: float = 0.2
+    family_probability_threshold: float = 0.5
+    first_level_clusters: int = 10
+    use_embeddings: bool = True
+    node2vec: Node2VecConfig = field(
+        default_factory=lambda: Node2VecConfig(
+            dimensions=24, walk_length=15, num_walks=6, epochs=2, window=4
+        )
+    )
+    #: per-feature token weights: the household signal is sharper than the
+    #: (Zipf-heavy) surname signal, so address tokens weigh more
+    embedding_features: "tuple[str, ...] | dict[str, float]" = field(
+        default_factory=lambda: {"surname": 1.0, "address": 3.0}
+    )
+    blocking: BlockingScheme = field(default_factory=BlockingScheme.default)
+    close_links_via: str = "auto"  # "auto" | "datalog" | "procedural"
+    max_path_depth: int = 12       # procedural fallback bound on cyclic graphs
+
+
+class ReasoningPipeline:
+    """Builds the company KG and answers the paper's three problems."""
+
+    def __init__(
+        self,
+        graph: CompanyGraph,
+        config: PipelineConfig | None = None,
+        classifiers: Sequence[BayesianLinkClassifier] | None = None,
+    ):
+        self.graph = graph
+        self.config = config if config is not None else PipelineConfig()
+        if classifiers is None:
+            classifiers = default_classifiers()
+        self.classifiers = {c.link_class: c for c in classifiers}
+        self.kg = KnowledgeGraph(graph)
+        self._add_family_member_facts()
+        self._register_functions()
+        self._install_programs()
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+
+    def _add_family_member_facts(self) -> None:
+        """Family membership edges in the PG become family_member EDB facts."""
+        for edge in self.graph.edges(FAMILY):
+            self.kg.add_fact("family_member", (edge.source, edge.target))
+
+    def _register_functions(self) -> None:
+        person_features = {
+            skolem("sk_p", (node.id,)): node.properties
+            for node in self.graph.persons()
+        }
+
+        def link_probability(link_class: str, x: str, y: str) -> float:
+            classifier = self.classifiers.get(link_class)
+            left = person_features.get(x)
+            right = person_features.get(y)
+            if classifier is None or left is None or right is None:
+                return 0.0
+            return classifier.probability(left, right)
+
+        self.kg.register_function("link_probability", link_probability)
+
+    def _install_programs(self) -> None:
+        config = self.config
+        self.kg.add_rules("input_mapping", input_mapping(include_families=True))
+        self.kg.add_rules("control", control_program(config.control_threshold))
+        self.kg.add_rules("close_link", close_link_program(config.close_link_threshold))
+        self.kg.add_rules(
+            "family_control", family_control_program(config.control_threshold)
+        )
+        self.kg.add_rules(
+            "family_close_link",
+            family_close_link_program(config.close_link_threshold),
+        )
+        self.kg.add_rules(
+            "family_links",
+            family_link_program(
+                FAMILY_LINK_CLASSES,
+                threshold=config.family_probability_threshold,
+                blocked=True,
+            ),
+        )
+        all_classes = ("control", "close_link") + FAMILY_LINK_CLASSES
+        self.kg.add_rules("link_creation", link_creation(all_classes))
+        self.kg.add_rules("output_mapping", output_mapping(all_classes))
+
+    # ------------------------------------------------------------------
+    # blocking (Algorithm 3 rule 1, computed pipeline-side)
+    # ------------------------------------------------------------------
+
+    def compute_blocks(self) -> list[tuple[int, object, str]]:
+        """(first-level cluster, second-level block, skolem node id) triples."""
+        config = self.config
+        if config.use_embeddings and config.first_level_clusters > 1:
+            assignment = embed_and_cluster(
+                self.graph,
+                config.first_level_clusters,
+                config.node2vec,
+                feature_properties=config.embedding_features,
+            )
+        else:
+            assignment = {node: 0 for node in self.graph.node_ids()}
+        triples: list[tuple[int, object, str]] = []
+        for node in self.graph.persons():
+            sk_id = skolem("sk_p", (node.id,))
+            for block in config.blocking.blocks_of(node):
+                triples.append((assignment.get(node.id, 0), block, sk_id))
+        return triples
+
+    def _inject_block_facts(self) -> None:
+        for first, second, sk_id in self.compute_blocks():
+            self.kg.add_fact("block", (first, _hashable(second), sk_id))
+
+    def register_declarative_blocking(self) -> None:
+        """Algorithm 3 rule (1) run *inside* the engine.
+
+        Registers ``$graph_embed_clust`` and ``$generate_blocks`` as
+        external functions answering from state computed over the whole
+        graph (matching the paper's stateful-aggregation reading) and
+        installs the ``blocking_program`` rule, so ``block`` facts are
+        derived by the chase instead of injected.  Multi-pass block keys
+        are flattened into one key per node here (the declarative rule
+        produces a single ``block`` fact per node), so use
+        :meth:`reason` with ``with_blocks=True`` when multi-pass recall
+        matters; this path exists for fidelity to Algorithm 3.
+        """
+        from .programs import blocking_program
+
+        config = self.config
+        if config.use_embeddings and config.first_level_clusters > 1:
+            assignment = embed_and_cluster(
+                self.graph,
+                config.first_level_clusters,
+                config.node2vec,
+                feature_properties=config.embedding_features,
+            )
+        else:
+            assignment = {node: 0 for node in self.graph.node_ids()}
+
+        sk_to_node = {
+            skolem("sk_p", (node.id,)): node for node in self.graph.persons()
+        }
+        sk_to_node.update(
+            (skolem("sk_c", (node.id,)), node) for node in self.graph.companies()
+        )
+
+        def graph_embed_clust(sk_id: str) -> int:
+            node = sk_to_node.get(sk_id)
+            return assignment.get(node.id, 0) if node is not None else 0
+
+        def generate_blocks(sk_id: str) -> object:
+            node = sk_to_node.get(sk_id)
+            if node is None:
+                return "__unknown__"
+            return _hashable(config.blocking.block_of(node))
+
+        self.kg.register_function("graph_embed_clust", graph_embed_clust)
+        self.kg.register_function("generate_blocks", generate_blocks)
+        self.kg.add_rules("blocking", blocking_program())
+
+    # ------------------------------------------------------------------
+    # reasoning entry points
+    # ------------------------------------------------------------------
+
+    def reason(
+        self,
+        names: list[str] | None = None,
+        provenance: bool = False,
+        with_blocks: bool = False,
+    ) -> Engine:
+        """Run the selected rule sets (all, by default) and return the engine."""
+        if with_blocks:
+            self._inject_block_facts()
+        return self.kg.reason(names, provenance=provenance)
+
+    def control_pairs(self, provenance: bool = False) -> set[tuple[NodeId, NodeId]]:
+        """Control pairs (external ids) via the declarative Algorithm 5."""
+        engine = self.reason(
+            ["input_mapping", "control", "link_creation", "output_mapping"],
+            provenance=provenance,
+        )
+        self.last_engine = engine
+        return {(x, y) for x, y in engine.query("control")}
+
+    def close_link_pairs(self) -> set[tuple[NodeId, NodeId]]:
+        """Close-link pairs; declarative when safe, procedural otherwise."""
+        mode = self.config.close_links_via
+        if mode == "auto":
+            mode = "datalog" if is_acyclic(self.graph) else "procedural"
+        if mode == "procedural":
+            return procedural_close_links(
+                self.graph,
+                self.config.close_link_threshold,
+                max_depth=self.config.max_path_depth,
+            )
+        engine = self.reason(
+            ["input_mapping", "close_link", "link_creation", "output_mapping"]
+        )
+        self.last_engine = engine
+        return {(x, y) for x, y in engine.query("close_link")}
+
+    def family_links(self) -> set[tuple[NodeId, NodeId, str]]:
+        """Personal links detected by the Bayesian classifiers inside blocks."""
+        engine = self.reason(
+            ["input_mapping", "family_links", "link_creation", "output_mapping"],
+            with_blocks=True,
+        )
+        self.last_engine = engine
+        links: set[tuple[NodeId, NodeId, str]] = set()
+        for link_class in FAMILY_LINK_CLASSES:
+            for x, y in engine.query(link_class):
+                links.add((x, y, link_class))
+        return links
+
+    def family_control_pairs(self) -> set[tuple[NodeId, NodeId]]:
+        """(family, company) control pairs via Algorithm 8.
+
+        Requires family nodes/edges in the graph (e.g. added by
+        :meth:`materialise_families` after family-link detection).
+        """
+        engine = self.reason(
+            [
+                "input_mapping",
+                "control",
+                "family_control",
+                "link_creation",
+                "output_mapping",
+            ]
+        )
+        self.last_engine = engine
+        family_ids = {edge.target for edge in self.graph.edges(FAMILY)}
+        return {(x, y) for x, y in engine.query("control") if x in family_ids}
+
+    # ------------------------------------------------------------------
+    # augmentation
+    # ------------------------------------------------------------------
+
+    def materialise_families(
+        self, links: Iterable[tuple[NodeId, NodeId, str]]
+    ) -> dict[str, set[NodeId]]:
+        """Group linked persons into family nodes on the pipeline's graph.
+
+        Connected components of the detected personal-link relation
+        become families: a family node is added with ``family`` edges
+        from each member.  Returns family id -> members.
+        """
+        parent: dict[NodeId, NodeId] = {}
+
+        def find(x: NodeId) -> NodeId:
+            parent.setdefault(x, x)
+            root = x
+            while parent[root] != root:
+                root = parent[root]
+            while parent[x] != root:
+                parent[x], x = root, parent[x]
+            return root
+
+        for x, y, _ in links:
+            parent.setdefault(x, x)
+            parent.setdefault(y, y)
+            parent[find(x)] = find(y)
+
+        groups: dict[NodeId, set[NodeId]] = {}
+        for member in parent:
+            groups.setdefault(find(member), set()).add(member)
+
+        families: dict[str, set[NodeId]] = {}
+        for index, members in enumerate(
+            sorted(groups.values(), key=lambda g: sorted(map(str, g)))
+        ):
+            if len(members) < 2:
+                continue
+            family_id = f"FAM{index:05d}"
+            families[family_id] = members
+            if not self.graph.has_node(family_id):
+                self.graph.add_node(family_id, "F")
+            for member in sorted(members, key=str):
+                self.graph.add_edge(member, family_id, FAMILY)
+        # refresh the KG facts to include the new membership edges
+        self.kg = KnowledgeGraph(self.graph)
+        self._add_family_member_facts()
+        self._register_functions()
+        self._install_programs()
+        return families
+
+    def augment(self) -> CompanyGraph:
+        """Run all three problems and return a copy of the graph with the
+        predicted typed edges added (control / close_link / family links)."""
+        augmented = self.graph.copy()
+
+        def add(x: NodeId, y: NodeId, label: str, **properties) -> None:
+            if augmented.has_node(x) and augmented.has_node(y):
+                augmented.add_edge(x, y, label, **properties)
+
+        for x, y, link_class in self.family_links():
+            add(x, y, link_class)
+        for x, y in self.control_pairs():
+            add(x, y, "control")
+        for x, y in self.close_link_pairs():
+            add(x, y, "close_link")
+        return augmented
+
+
+def _hashable(value: object) -> object:
+    """Block keys may be tuples of tuples; flatten to a stable string."""
+    if isinstance(value, (str, int, float, bool)):
+        return value
+    return repr(value)

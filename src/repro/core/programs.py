@@ -1,0 +1,298 @@
+"""The paper's Vadalog programs (Algorithms 2-9), runnable on our engine.
+
+Vocabulary.  The extensional relations follow the relational PG mapping
+of Section 3 (see :data:`repro.graph.relational.COMPANY_SCHEMA`)::
+
+    company(Id, Name, Address, IncorporationDate, LegalForm)
+    person(Id, Name, Surname, BirthDate, BirthPlace, Sex, Address)
+    own(Owner, Company, W, Right)
+    family_member(PersonId, FamilyId)        (optional, for Algorithms 8/9)
+
+The input mapping (Algorithm 2) promotes them to generic constructs::
+
+    node(Z), node_type(Z, Type), feature(Z, Name, Value), id_of(Z, ExternalId)
+    link(E, X, Y, W)  + edge_type(E, Type)     -- weighted (shareholding) links
+    link(E, X, Y)     + edge_type(E, Type)     -- unweighted (family, predicted)
+
+Node identifiers ``Z`` are invented with Skolem functions (``#sk_c``,
+``#sk_p``, ``#sk_f``) exactly as the paper prescribes — deterministic,
+injective, disjoint ranges.  The arity distinction between weighted and
+unweighted ``link`` facts mirrors the paper's variadic atoms.
+
+Engine-vs-paper notes (also in DESIGN.md):
+
+* Algorithm 5's ``msum(w, <z>)`` is written ``msum(W, <Z, E>)`` so that
+  *parallel* shareholding edges sum instead of collapsing to their max.
+* Algorithm 6 computes accumulated ownership by last-hop decomposition
+  where the base case (the direct edge) lives in a separate fact from the
+  recursive sums, so the two are never added together.  We provide that
+  verbatim program (:func:`paper_close_link_program`) plus a corrected
+  first-hop decomposition (:func:`close_link_program`) whose single
+  aggregate equals Definition 2.5 exactly on acyclic graphs
+  (``Phi(x,y) = sum_z w(x,z) * Phi(z,y)``, ``Phi(y,y) = 1``).
+* Algorithm 8's two aggregates "contributing to the same total" are
+  expressed with one aggregate over a ``fholder`` (family holder)
+  relation that unions members and controlled companies.
+"""
+
+from __future__ import annotations
+
+from ..datalog.parser import parse_program
+from ..datalog.rules import Program
+
+#: The link classes of the paper's industrial case.
+DEFAULT_LINK_CLASSES = (
+    "control",
+    "close_link",
+    "partner_of",
+    "sibling_of",
+    "parent_of",
+)
+
+
+def influence_program() -> str:
+    """The paper's Example 3.2: influence through ownership and marriage.
+
+    A person influences the companies she owns (rule 1); her spouse
+    influences them too (rule 2).  Spouse edges carry a validity interval
+    and are generated from Married facts (rule 3) and symmetric (rule 4)
+    — the temporal interval is invented existentially, matching the
+    example's open validity.
+    """
+    return """
+@influence_owner person_e(X), own_e(X, C, V) -> influence(X, C).
+@influence_spouse own_e(X, C, V), spouse(X, Y, T1, T2) -> influence(Y, C).
+@marriage_to_spouse married(X, Y) -> spouse(X, Y, T1, T2).
+@spouse_symmetric spouse(X, Y, T1, T2) -> spouse(Y, X, T1, T2).
+"""
+
+
+def input_mapping(include_families: bool = True) -> str:
+    """Algorithm 2: relational EDB -> generic nodes/links/types/features."""
+    text = """
+@map_company company(Id, N, A, D, L), Z = #sk_c(Id) ->
+  node(Z), node_type(Z, "company"), id_of(Z, Id),
+  feature(Z, "name", N), feature(Z, "address", A),
+  feature(Z, "incorporation_date", D), feature(Z, "legal_form", L).
+
+@map_person person(Id, N, S, B, Bp, Sx, A, Fn), Z = #sk_p(Id) ->
+  node(Z), node_type(Z, "person"), id_of(Z, Id),
+  feature(Z, "name", N), feature(Z, "surname", S),
+  feature(Z, "birth_date", B), feature(Z, "birth_place", Bp),
+  feature(Z, "sex", Sx), feature(Z, "address", A),
+  feature(Z, "father_name", Fn).
+
+@map_own_person own(X, Y, W, R), person(X, N, S, B, Bp, Sx, A, Fn),
+  company(Y, N2, A2, D2, L2), E = #sk_own(X, Y, W, R) ->
+  link(E, #sk_p(X), #sk_c(Y), W),
+  edge_type(E, "pers_share"), edge_type(E, "shareholding"),
+  feature(E, "right", R).
+
+@map_own_company own(X, Y, W, R), company(X, N1, A1, D1, L1),
+  company(Y, N2, A2, D2, L2), E = #sk_own(X, Y, W, R) ->
+  link(E, #sk_c(X), #sk_c(Y), W),
+  edge_type(E, "comp_share"), edge_type(E, "shareholding"),
+  feature(E, "right", R).
+"""
+    if include_families:
+        text += """
+@map_family family_member(X, F), Zf = #sk_f(F), Zp = #sk_p(X), E = #sk_fam(X, F) ->
+  node(Zf), node_type(Zf, "family"), id_of(Zf, F),
+  link(E, Zp, Zf), edge_type(E, "family").
+"""
+    return text
+
+
+def control_program(threshold: float = 0.5) -> str:
+    """Algorithm 5: company control (Definition 2.3).
+
+    Rule 1 seeds reflexive control (the paper's ``Candidate(x, x,
+    Control)``); we seed persons too since Definition 2.3 lets persons
+    control.  Rule 2 accumulates the shares of everything x controls into
+    a per-(x, y) monotonic sum.
+    """
+    return f"""
+@ctrl_self_company node_type(X, "company") -> control_cand(X, X).
+@ctrl_self_person node_type(X, "person") -> control_cand(X, X).
+@ctrl_step control_cand(X, Z), link(E, Z, Y, W), edge_type(E, "shareholding"),
+  T = msum(W, <Z, E>), T > {threshold} -> control_cand(X, Y).
+@ctrl_out control_cand(X, Y), X != Y -> candidate(X, Y, "control").
+"""
+
+
+def accumulated_ownership_program() -> str:
+    """Corrected accumulated ownership: first-hop decomposition.
+
+    ``acc(X, Y, T)`` converges to ``Phi(X, Y)`` of Definition 2.5 on
+    acyclic graphs: every simple path x -> y is counted exactly once,
+    split by its first hop z (the direct edge being the case z = y via
+    the ``acc_seed`` unit).  On cyclic graphs this is the walk-sum and
+    may diverge — run with an iteration budget or check acyclicity first.
+    """
+    return """
+@acc_seed node(Y) -> acc(Y, Y, 1.0).
+@acc_step link(E, X, Z, W1), edge_type(E, "shareholding"), acc(Z, Y, W2),
+  X != Y, T = msum(W1 * W2, <Z, E>) -> acc(X, Y, T).
+"""
+
+
+def close_link_program(threshold: float = 0.2) -> str:
+    """Algorithm 6 (corrected): close links over exact accumulated ownership."""
+    return accumulated_ownership_program() + f"""
+@cl_direct acc(X, Y, W), X != Y, W >= {threshold},
+  node_type(X, "company"), node_type(Y, "company") ->
+  candidate(X, Y, "close_link").
+@cl_symmetric candidate(X, Y, "close_link") -> candidate(Y, X, "close_link").
+@cl_common acc(Z, X, W1), acc(Z, Y, W2), W1 >= {threshold}, W2 >= {threshold},
+  X != Y, Z != X, Z != Y,
+  node_type(X, "company"), node_type(Y, "company") ->
+  candidate(X, Y, "close_link").
+"""
+
+
+def paper_close_link_program(threshold: float = 0.2) -> str:
+    """Algorithm 6 verbatim (last-hop decomposition).
+
+    Kept for fidelity and for the ablation comparing it against
+    :func:`close_link_program`: because the direct-edge base case (rule
+    1) and the recursive sums (rule 2) live in distinct ``acc_own``
+    facts, a pair whose ownership only crosses the threshold when the two
+    are added together is missed.
+    """
+    return f"""
+@p6_base link(Z, X, Y, W), edge_type(Z, "shareholding") -> acc_own(X, Y, W).
+@p6_step link(U, X, Z, W1), edge_type(U, "shareholding"), acc_own(Z, Y, W2),
+  X != Y, T = msum(W1 * W2, <Z>) -> acc_own(X, Y, T).
+@p6_direct acc_own(X, Y, W), W >= {threshold}, X != Y,
+  node_type(X, "company"), node_type(Y, "company") ->
+  candidate(X, Y, "close_link").
+@p6_symmetric candidate(X, Y, "close_link") -> candidate(Y, X, "close_link").
+@p6_common acc_own(Z, X, W1), acc_own(Z, Y, W2), W1 >= {threshold}, W2 >= {threshold},
+  X != Y, Z != X, Z != Y,
+  node_type(X, "company"), node_type(Y, "company") ->
+  candidate(X, Y, "close_link").
+"""
+
+
+def family_link_program(
+    link_classes: tuple[str, ...] = ("partner_of", "sibling_of", "parent_of"),
+    threshold: float = 0.5,
+    blocked: bool = True,
+) -> str:
+    """Algorithm 7 generalised: Bayesian personal links via ``$link_probability``.
+
+    With ``blocked=True`` pairs are only compared inside a shared
+    ``block(B1, B2, X)`` assignment (Algorithm 3's two-level clustering,
+    with the ``block`` facts produced by the ``$graph_embed_clust`` /
+    ``$generate_blocks`` externals or injected by the pipeline).
+    """
+    rules = []
+    for link_class in link_classes:
+        if blocked:
+            rules.append(f"""
+@fl_{link_class} block(B1, B2, X), block(B1, B2, Y), X != Y,
+  node_type(X, "person"), node_type(Y, "person"),
+  P = $link_probability("{link_class}", X, Y), P > {threshold} ->
+  candidate(X, Y, "{link_class}").
+""")
+        else:
+            rules.append(f"""
+@fl_{link_class} node_type(X, "person"), node_type(Y, "person"), X != Y,
+  P = $link_probability("{link_class}", X, Y), P > {threshold} ->
+  candidate(X, Y, "{link_class}").
+""")
+    return "".join(rules)
+
+
+def blocking_program() -> str:
+    """Algorithm 3 rule (1): two-level clustering via external functions.
+
+    ``$graph_embed_clust`` wraps node2vec+k-means (first level) and
+    ``$generate_blocks`` the feature blocking (second level); both take
+    the node identifier and answer from state computed over the whole
+    graph, matching the paper's stateful aggregation reading.
+    """
+    return """
+@block node(X), B1 = $graph_embed_clust(X), B2 = $generate_blocks(X) ->
+  block(B1, B2, X).
+"""
+
+
+def family_control_program(threshold: float = 0.5) -> str:
+    """Algorithm 8: family control (Definition 2.8).
+
+    ``fholder(F, Z)`` unions the members of family F with every company
+    F controls; one monotonic sum pools all their shares — the paper's
+    "two monotonic summations contribute to the same total".
+    """
+    return f"""
+@fam_member link(E, X, F), edge_type(E, "family") -> fholder(F, X).
+@fam_controlled node_type(F, "family"), candidate(F, X, "control") -> fholder(F, X).
+@fam_step fholder(F, Z), link(E, Z, Y, W), edge_type(E, "shareholding"),
+  T = msum(W, <Z, E>), T > {threshold} -> candidate(F, Y, "control").
+"""
+
+
+def family_close_link_program(threshold: float = 0.2) -> str:
+    """Algorithm 9: family close links (Definition 2.9 part ii).
+
+    Requires the ``acc`` relation of :func:`accumulated_ownership_program`
+    (include :func:`close_link_program` or that program alongside).
+    """
+    return f"""
+@fam_close link(E1, I, F), edge_type(E1, "family"),
+  link(E2, J, F), edge_type(E2, "family"), I != J,
+  acc(I, X, V), V >= {threshold}, acc(J, Y, W), W >= {threshold}, X != Y,
+  node_type(X, "company"), node_type(Y, "company") ->
+  candidate(X, Y, "close_link").
+"""
+
+
+def link_creation(link_classes: tuple[str, ...] = DEFAULT_LINK_CLASSES) -> str:
+    """Algorithm 3 rule (2) tail: candidates become typed generic links.
+
+    The head invents the edge identifier existentially — our chase
+    assigns a labelled null, deterministic per (X, Y, T).
+    """
+    facts = "\n".join(f'link_class("{c}").' for c in link_classes)
+    return facts + """
+@mk_link candidate(X, Y, T), link_class(T) -> link(E, X, Y), edge_type(E, T).
+"""
+
+
+def output_mapping(link_classes: tuple[str, ...] = DEFAULT_LINK_CLASSES) -> str:
+    """Algorithm 4: predicted generic links -> PG-level relations.
+
+    Maps internal Skolem node ids back to external ids via ``id_of``.
+    """
+    rules = []
+    for link_class in link_classes:
+        rules.append(f"""
+@out_{link_class} link(E, X, Y), edge_type(E, "{link_class}"),
+  id_of(X, Ix), id_of(Y, Iy) -> {link_class}(Ix, Iy).
+""")
+    return "".join(rules)
+
+
+def full_ownership_program(
+    control_threshold: float = 0.5,
+    close_link_threshold: float = 0.2,
+    include_families: bool = True,
+) -> Program:
+    """Input mapping + control + close links (+ family reasoning) + output.
+
+    The parsed, ready-to-run deterministic reasoning stack — everything
+    except the probabilistic family-link detection (which needs external
+    functions; see :class:`repro.core.pipeline.ReasoningPipeline`).
+    """
+    text = (
+        input_mapping(include_families)
+        + control_program(control_threshold)
+        + close_link_program(close_link_threshold)
+    )
+    classes: tuple[str, ...] = ("control", "close_link")
+    if include_families:
+        text += family_control_program(control_threshold)
+        text += family_close_link_program(close_link_threshold)
+    text += link_creation(classes) + output_mapping(classes)
+    return parse_program(text)

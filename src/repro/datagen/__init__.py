@@ -1,0 +1,30 @@
+"""Synthetic data: scale-free generators and the Italian-company surrogate."""
+
+from .barabasi import barabasi_albert_edges, barabasi_company_graph
+from .company_generator import (
+    DENSITY_PRESETS,
+    CompanySpec,
+    GroundTruth,
+    generate_company_graph,
+)
+from .distributions import (
+    clipped_normal,
+    power_law_int,
+    random_shares,
+    zipf_choice,
+    zipf_sampler,
+)
+
+__all__ = [
+    "CompanySpec",
+    "DENSITY_PRESETS",
+    "GroundTruth",
+    "barabasi_albert_edges",
+    "barabasi_company_graph",
+    "clipped_normal",
+    "generate_company_graph",
+    "power_law_int",
+    "random_shares",
+    "zipf_choice",
+    "zipf_sampler",
+]

@@ -1,0 +1,89 @@
+"""Barabási–Albert scale-free graph generation (from scratch).
+
+The paper's synthetic experiments use the Barabási algorithm [8] to grow
+scale-free ownership networks of varying size and density.  We implement
+preferential attachment directly: each new node attaches ``m`` edges to
+existing nodes picked with probability proportional to their current
+degree (realised with the classic "repeated nodes" list, which makes the
+sampling O(1) per draw).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..graph.company_graph import CompanyGraph
+from .distributions import random_shares
+from .names import COMPANY_STEMS, CITIES, LEGAL_FORMS
+
+
+def barabasi_albert_edges(
+    n: int, m: int, rng: random.Random
+) -> list[tuple[int, int]]:
+    """Undirected BA attachment edges over nodes 0..n-1 (as ordered pairs
+    new_node -> attached_node)."""
+    if n <= 0:
+        return []
+    m = max(1, min(m, max(1, n - 1)))
+    edges: list[tuple[int, int]] = []
+    # start from a small clique-ish seed of m+1 nodes
+    repeated: list[int] = []
+    seed_size = min(n, m + 1)
+    for node in range(seed_size):
+        for other in range(node):
+            edges.append((node, other))
+            repeated.append(node)
+            repeated.append(other)
+    if not repeated and n > 1:
+        repeated = [0, 1]
+    for node in range(seed_size, n):
+        targets: set[int] = set()
+        while len(targets) < m:
+            targets.add(rng.choice(repeated))
+        for target in targets:
+            edges.append((node, target))
+            repeated.append(node)
+            repeated.append(target)
+    return edges
+
+
+def barabasi_company_graph(
+    n: int,
+    m: int = 2,
+    seed: int = 0,
+    direction_down: bool = True,
+) -> CompanyGraph:
+    """A scale-free company graph with ``n`` companies and ~``n*m`` edges.
+
+    Attachment edges become shareholdings; with ``direction_down`` the
+    *older* (hub) node owns the newer one — matching real ownership
+    pyramids where early incumbents become holding hubs.  Each company's
+    incoming shares are normalised to sum to at most 1.
+    """
+    rng = random.Random(seed)
+    graph = CompanyGraph()
+    for node in range(n):
+        stem = COMPANY_STEMS[node % len(COMPANY_STEMS)]
+        graph.add_company(
+            f"C{node}",
+            name=f"{stem} {node} {LEGAL_FORMS[node % len(LEGAL_FORMS)]}",
+            address=f"{CITIES[node % len(CITIES)]}",
+            legal_form=LEGAL_FORMS[node % len(LEGAL_FORMS)],
+        )
+    raw_edges = barabasi_albert_edges(n, m, rng)
+    # group by owned company to allocate share fractions
+    owners_of: dict[int, list[int]] = {}
+    for new_node, old_node in raw_edges:
+        if direction_down:
+            owner, owned = old_node, new_node
+        else:
+            owner, owned = new_node, old_node
+        owners_of.setdefault(owned, []).append(owner)
+    for owned, owners in owners_of.items():
+        # keep some float so no company is fully held (total in (0.4, 1.0))
+        total = 0.4 + 0.6 * rng.random()
+        shares = random_shares(rng, len(owners), total)
+        for owner, share in zip(owners, shares):
+            if share > 0:
+                graph.add_shareholding(f"C{owner}", f"C{owned}", min(share, 1.0))
+    return graph

@@ -1,0 +1,73 @@
+"""Seedable sampling helpers: Zipf-like picks, power laws, clipped normals.
+
+Real-world company graphs are scale-free (Section 2 of the paper) and so
+are many of their feature distributions (surname frequencies, city
+sizes).  These helpers keep all sampling deterministic per seed.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def zipf_choice(rng: random.Random, items: Sequence[T], exponent: float = 1.0) -> T:
+    """Pick an item with probability proportional to 1 / rank^exponent."""
+    weights = [1.0 / (rank ** exponent) for rank in range(1, len(items) + 1)]
+    return rng.choices(items, weights=weights, k=1)[0]
+
+
+def zipf_sampler(rng: random.Random, items: Sequence[T], exponent: float = 1.0):
+    """A closure sampling repeatedly from the same Zipf weights (precomputed)."""
+    weights = [1.0 / (rank ** exponent) for rank in range(1, len(items) + 1)]
+    cumulative: list[float] = []
+    total = 0.0
+    for weight in weights:
+        total += weight
+        cumulative.append(total)
+
+    def sample() -> T:
+        threshold = rng.random() * total
+        lo, hi = 0, len(cumulative) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cumulative[mid] < threshold:
+                lo = mid + 1
+            else:
+                hi = mid
+        return items[lo]
+
+    return sample
+
+
+def power_law_int(rng: random.Random, minimum: int, maximum: int, alpha: float = 2.5) -> int:
+    """Integer from a bounded power law P(k) ~ k^-alpha via inverse transform."""
+    if minimum >= maximum:
+        return minimum
+    u = rng.random()
+    one_minus = 1.0 - alpha
+    lo = minimum ** one_minus
+    hi = (maximum + 1) ** one_minus
+    value = (lo + u * (hi - lo)) ** (1.0 / one_minus)
+    return max(minimum, min(maximum, int(value)))
+
+
+def clipped_normal(rng: random.Random, mean: float, std: float, lo: float, hi: float) -> float:
+    """Normal sample clipped to [lo, hi]."""
+    return max(lo, min(hi, rng.gauss(mean, std)))
+
+
+def random_shares(rng: random.Random, owners: int, total: float = 1.0) -> list[float]:
+    """Split ``total`` into ``owners`` positive fractions (Dirichlet-like).
+
+    Uses exponential spacings; each share is strictly positive and the
+    sum equals ``total`` up to floating error.
+    """
+    if owners <= 0:
+        return []
+    cuts = [-math.log(max(rng.random(), 1e-12)) for _ in range(owners)]
+    scale = total / sum(cuts)
+    return [cut * scale for cut in cuts]

@@ -1,0 +1,81 @@
+"""Italian name/place pools for the synthetic company-database surrogate.
+
+The real dataset (Italian Chambers of Commerce) is confidential; these
+pools let the generator emit realistic-looking person and company
+features with the right statistical character (a few very common
+surnames, many rare ones — surname frequency is itself roughly Zipfian,
+which matters for blocking experiments).
+"""
+
+from __future__ import annotations
+
+MALE_FIRST_NAMES = (
+    "Alessandro", "Andrea", "Antonio", "Bruno", "Carlo", "Claudio", "Dario",
+    "Davide", "Diego", "Domenico", "Emanuele", "Enrico", "Fabio", "Federico",
+    "Filippo", "Francesco", "Gabriele", "Giacomo", "Giancarlo", "Gianluca",
+    "Giorgio", "Giovanni", "Giulio", "Giuseppe", "Guido", "Jacopo", "Leonardo",
+    "Lorenzo", "Luca", "Luciano", "Luigi", "Marco", "Mario", "Massimo",
+    "Matteo", "Maurizio", "Michele", "Nicola", "Paolo", "Pietro", "Riccardo",
+    "Roberto", "Salvatore", "Sergio", "Simone", "Stefano", "Tommaso",
+    "Umberto", "Valerio", "Vincenzo",
+)
+
+FEMALE_FIRST_NAMES = (
+    "Alessandra", "Alice", "Anna", "Arianna", "Barbara", "Beatrice", "Bianca",
+    "Camilla", "Carla", "Caterina", "Chiara", "Claudia", "Cristina", "Daniela",
+    "Elena", "Eleonora", "Elisa", "Emma", "Federica", "Francesca", "Gaia",
+    "Giada", "Giulia", "Giovanna", "Ilaria", "Irene", "Laura", "Lucia",
+    "Ludovica", "Maria", "Marta", "Martina", "Michela", "Monica", "Paola",
+    "Roberta", "Rosa", "Sara", "Serena", "Silvia", "Simona", "Sofia",
+    "Stefania", "Teresa", "Valentina", "Valeria", "Vera", "Viola", "Vittoria",
+    "Angela",
+)
+
+SURNAMES = (
+    "Rossi", "Russo", "Ferrari", "Esposito", "Bianchi", "Romano", "Colombo",
+    "Ricci", "Marino", "Greco", "Bruno", "Gallo", "Conti", "De Luca",
+    "Mancini", "Costa", "Giordano", "Rizzo", "Lombardi", "Moretti",
+    "Barbieri", "Fontana", "Santoro", "Mariani", "Rinaldi", "Caruso",
+    "Ferrara", "Galli", "Martini", "Leone", "Longo", "Gentile", "Martinelli",
+    "Vitale", "Lombardo", "Serra", "Coppola", "De Santis", "D'Angelo",
+    "Marchetti", "Parisi", "Villa", "Conte", "Ferraro", "Ferri", "Fabbri",
+    "Bianco", "Marini", "Grasso", "Valentini", "Messina", "Sala", "De Angelis",
+    "Gatti", "Pellegrini", "Palumbo", "Sanna", "Farina", "Rizzi", "Monti",
+    "Cattaneo", "Morelli", "Amato", "Silvestri", "Mazza", "Testa",
+    "Grassi", "Pellegrino", "Carbone", "Giuliani", "Benedetti", "Barone",
+    "Rossetti", "Caputo", "Montanari", "Guerra", "Palmieri", "Bernardi",
+    "Martino", "Fiore", "De Rosa", "Ferretti", "Bellini", "Basile",
+    "Riva", "Donati", "Piras", "Vitali", "Battaglia", "Sartori", "Neri",
+    "Costantini", "Milani", "Pagano", "Ruggiero", "Sorrentino", "D'Amico",
+    "Orlando", "Damico", "Negri",
+)
+
+CITIES = (
+    "Roma", "Milano", "Napoli", "Torino", "Palermo", "Genova", "Bologna",
+    "Firenze", "Bari", "Catania", "Venezia", "Verona", "Messina", "Padova",
+    "Trieste", "Brescia", "Taranto", "Prato", "Parma", "Modena", "Reggio Calabria",
+    "Reggio Emilia", "Perugia", "Ravenna", "Livorno", "Cagliari", "Foggia",
+    "Rimini", "Salerno", "Ferrara", "Sassari", "Latina", "Giugliano", "Monza",
+    "Siracusa", "Pescara", "Bergamo", "Forlì", "Trento", "Vicenza",
+)
+
+STREETS = (
+    "Via Roma", "Via Garibaldi", "Corso Italia", "Via Dante", "Via Mazzini",
+    "Via Verdi", "Piazza San Marco", "Via Cavour", "Viale Europa",
+    "Via Marconi", "Via Leopardi", "Corso Vittorio Emanuele", "Via Manzoni",
+    "Via XX Settembre", "Via della Repubblica", "Via Galilei", "Via Volta",
+    "Via Colombo", "Via Petrarca", "Via Carducci",
+)
+
+LEGAL_FORMS = ("SRL", "SPA", "SNC", "SAS", "SRLS", "SCARL")
+
+COMPANY_STEMS = (
+    "Acciai", "Agri", "Alimenta", "Arredo", "Auto", "Banca", "Calzature",
+    "Cantieri", "Caffè", "Chimica", "Costruzioni", "Dolciaria", "Edile",
+    "Elettro", "Energia", "Enoteca", "Farma", "Finanziaria", "Fonderie",
+    "Gelati", "Gomma", "Idraulica", "Immobiliare", "Industrie", "Lavorazioni",
+    "Logistica", "Macchine", "Manifattura", "Marmi", "Meccanica", "Mobili",
+    "Moda", "Navale", "Officine", "Olearia", "Ottica", "Pelletteria",
+    "Pasta", "Ristorazione", "Sartoria", "Servizi", "Software", "Tessile",
+    "Trasporti", "Turismo", "Vetreria", "Vini", "Zootecnica",
+)

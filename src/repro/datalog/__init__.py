@@ -1,0 +1,95 @@
+"""A Datalog± engine covering the Vadalog fragment used by the paper.
+
+Public surface:
+
+* :func:`parse_program` / :func:`parse_rule` — Vadalog-like syntax.
+* :class:`Engine` / :func:`solve` — stratified semi-naive chase with
+  existentials, Skolem functions, monotonic aggregation, negation and
+  external Python functions.
+* :class:`Database` — indexed fact store.
+* Term/rule constructors for programmatic rule building.
+"""
+
+from .atoms import (
+    AGGREGATE_FUNCS,
+    Aggregate,
+    Assignment,
+    Atom,
+    Comparison,
+    Negation,
+    make_atom,
+)
+from .builtins import FunctionRegistry, compare, evaluate
+from .database import Database
+from .engine import Derivation, Engine, EngineStats, solve
+from .errors import (
+    DatalogError,
+    EvaluationError,
+    ParseError,
+    StratificationError,
+    UnknownFunctionError,
+    UnsafeRuleError,
+)
+from .parser import parse_program, parse_rule
+from .rules import Program, Rule
+from .stratify import Stratum, stratify
+from .warded import (
+    WardednessReport,
+    affected_positions,
+    check_wardedness,
+    dangerous_variables,
+    harmful_variables,
+)
+from .terms import (
+    Constant,
+    Expr,
+    FunctionTerm,
+    Null,
+    SkolemTerm,
+    Variable,
+    is_null,
+    skolem,
+)
+
+__all__ = [
+    "AGGREGATE_FUNCS",
+    "Aggregate",
+    "Assignment",
+    "Atom",
+    "Comparison",
+    "Constant",
+    "Database",
+    "DatalogError",
+    "Derivation",
+    "Engine",
+    "EngineStats",
+    "EvaluationError",
+    "Expr",
+    "FunctionRegistry",
+    "FunctionTerm",
+    "Negation",
+    "Null",
+    "ParseError",
+    "Program",
+    "Rule",
+    "SkolemTerm",
+    "StratificationError",
+    "Stratum",
+    "UnknownFunctionError",
+    "UnsafeRuleError",
+    "Variable",
+    "WardednessReport",
+    "affected_positions",
+    "check_wardedness",
+    "dangerous_variables",
+    "harmful_variables",
+    "compare",
+    "evaluate",
+    "is_null",
+    "make_atom",
+    "parse_program",
+    "parse_rule",
+    "skolem",
+    "solve",
+    "stratify",
+]

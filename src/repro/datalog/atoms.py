@@ -1,0 +1,121 @@
+"""Atoms and body literals of Datalog± rules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from .terms import Term, Variable, variables_of
+
+#: Comparison operators allowed in rule bodies.
+COMPARISON_OPS = ("==", "!=", "<=", ">=", "<", ">")
+
+#: Monotonic aggregation functions supported by the engine.
+AGGREGATE_FUNCS = ("msum", "mprod", "mmin", "mmax", "mcount")
+
+
+@dataclass(frozen=True, slots=True)
+class Atom:
+    """A predicate applied to terms, e.g. ``own(X, Y, W)``."""
+
+    predicate: str
+    terms: tuple[Term, ...]
+
+    @property
+    def arity(self) -> int:
+        return len(self.terms)
+
+    def variables(self) -> Iterator[Variable]:
+        for term in self.terms:
+            yield from variables_of(term)
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(t) for t in self.terms)
+        return f"{self.predicate}({inner})"
+
+
+@dataclass(frozen=True, slots=True)
+class Negation:
+    """A negated body atom, ``not p(X, Y)``. Requires stratification."""
+
+    atom: Atom
+
+    def variables(self) -> Iterator[Variable]:
+        yield from self.atom.variables()
+
+    def __str__(self) -> str:
+        return f"not {self.atom}"
+
+
+@dataclass(frozen=True, slots=True)
+class Comparison:
+    """A comparison between two expressions, e.g. ``W >= 0.5``."""
+
+    op: str
+    lhs: Term
+    rhs: Term
+
+    def variables(self) -> Iterator[Variable]:
+        yield from variables_of(self.lhs)
+        yield from variables_of(self.rhs)
+
+    def __str__(self) -> str:
+        return f"{self.lhs} {self.op} {self.rhs}"
+
+
+@dataclass(frozen=True, slots=True)
+class Assignment:
+    """Binds a fresh variable to the value of an expression.
+
+    Written ``Z = #sk(Name)`` or ``H = $hash(F1, F2)`` or ``T = W1 * W2``.
+    The right-hand side may reference Skolem functions, external functions
+    and arithmetic over already-bound variables.
+    """
+
+    variable: Variable
+    expression: Term
+
+    def variables(self) -> Iterator[Variable]:
+        """Variables *used* by the assignment (not the one it binds)."""
+        yield from variables_of(self.expression)
+
+    def __str__(self) -> str:
+        return f"{self.variable} = {self.expression}"
+
+
+@dataclass(frozen=True, slots=True)
+class Aggregate:
+    """A monotonic aggregation, e.g. ``T = msum(W, <Z>)``.
+
+    ``func`` is one of :data:`AGGREGATE_FUNCS`.  ``expression`` is the
+    per-contribution value; ``contributors`` are the variables that
+    identify a contribution (each distinct contributor tuple contributes
+    exactly once per group).  The *group* is implicitly the binding of all
+    head variables other than ``variable`` — matching Vadalog's monotonic
+    aggregation, where subsequent activations of the function yield
+    monotonically updated values and set semantics keeps every
+    intermediate fact (the final aggregate is the max/min of them).
+    """
+
+    variable: Variable
+    func: str
+    expression: Term
+    contributors: tuple[Variable, ...] = field(default_factory=tuple)
+
+    def variables(self) -> Iterator[Variable]:
+        """Variables used by the aggregate (not the result variable)."""
+        yield from variables_of(self.expression)
+        yield from self.contributors
+
+    def __str__(self) -> str:
+        contributor_list = ", ".join(v.name for v in self.contributors)
+        return f"{self.variable} = {self.func}({self.expression}, <{contributor_list}>)"
+
+
+#: Anything that may appear in a rule body.
+BodyLiteral = Atom | Negation | Comparison | Assignment | Aggregate
+
+
+def make_atom(predicate: str, *terms: Term) -> Atom:
+    """Convenience constructor used by tests and programmatic rule building."""
+    return Atom(predicate, tuple(terms))

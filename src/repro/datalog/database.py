@@ -1,0 +1,146 @@
+"""In-memory fact store with on-demand positional hash indexes.
+
+Facts are stored per predicate as plain tuples of Python values.  Joins in
+the engine probe :meth:`Database.match` with a partially bound pattern; the
+store builds (and caches) a hash index over the bound positions the first
+time a given binding shape is used for a predicate, so repeated joins run
+at dictionary-lookup speed.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Iterator
+
+FactValues = tuple
+Fact = tuple[str, FactValues]
+
+
+class Database:
+    """A mutable set of facts grouped by predicate name."""
+
+    def __init__(self, facts: Iterable[Fact] = ()):
+        # predicate -> insertion-ordered list of value tuples
+        self._facts: dict[str, list[FactValues]] = defaultdict(list)
+        # predicate -> set of value tuples (dedup)
+        self._sets: dict[str, set[FactValues]] = defaultdict(set)
+        # (predicate, bound-positions) -> {key values -> [value tuples]}
+        self._indexes: dict[tuple[str, tuple[int, ...]], dict[tuple, list[FactValues]]] = {}
+        for predicate, values in facts:
+            self.add(predicate, values)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+
+    def add(self, predicate: str, values: FactValues) -> bool:
+        """Insert a fact; returns True when it was new."""
+        existing = self._sets[predicate]
+        if values in existing:
+            return False
+        existing.add(values)
+        self._facts[predicate].append(values)
+        for (indexed_predicate, positions), index in self._indexes.items():
+            if indexed_predicate == predicate:
+                key = tuple(values[p] for p in positions)
+                index.setdefault(key, []).append(values)
+        return True
+
+    def add_all(self, facts: Iterable[Fact]) -> int:
+        """Insert many facts; returns how many were new."""
+        added = 0
+        for predicate, values in facts:
+            if self.add(predicate, values):
+                added += 1
+        return added
+
+    def remove(self, predicate: str, values: FactValues) -> bool:
+        """Remove one fact; returns True when it was present.
+
+        Removal invalidates cached indexes for the predicate (removal is
+        rare — the engine never removes during fixpoint evaluation).
+        """
+        existing = self._sets.get(predicate)
+        if existing is None or values not in existing:
+            return False
+        existing.remove(values)
+        self._facts[predicate].remove(values)
+        for key in [k for k in self._indexes if k[0] == predicate]:
+            del self._indexes[key]
+        return True
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def contains(self, predicate: str, values: FactValues) -> bool:
+        existing = self._sets.get(predicate)
+        return existing is not None and values in existing
+
+    def facts(self, predicate: str) -> list[FactValues]:
+        """All value tuples of ``predicate`` (insertion order, do not mutate)."""
+        return self._facts.get(predicate, [])
+
+    def predicates(self) -> list[str]:
+        return [predicate for predicate, rows in self._facts.items() if rows]
+
+    def match(self, predicate: str, pattern: dict[int, object]) -> Iterator[FactValues]:
+        """Yield facts of ``predicate`` whose positions match ``pattern``.
+
+        ``pattern`` maps position -> required value.  An empty pattern
+        scans the predicate.
+        """
+        rows = self._facts.get(predicate)
+        if not rows:
+            return iter(())
+        if not pattern:
+            return iter(rows)
+        positions = tuple(sorted(pattern))
+        index = self._index_for(predicate, positions)
+        key = tuple(pattern[p] for p in positions)
+        return iter(index.get(key, ()))
+
+    def _index_for(
+        self, predicate: str, positions: tuple[int, ...]
+    ) -> dict[tuple, list[FactValues]]:
+        cache_key = (predicate, positions)
+        index = self._indexes.get(cache_key)
+        if index is None:
+            index = {}
+            for values in self._facts.get(predicate, ()):
+                key = tuple(values[p] for p in positions)
+                index.setdefault(key, []).append(values)
+            self._indexes[cache_key] = index
+        return index
+
+    # ------------------------------------------------------------------
+    # bulk access / misc
+    # ------------------------------------------------------------------
+
+    def all_facts(self) -> Iterator[Fact]:
+        for predicate, rows in self._facts.items():
+            for values in rows:
+                yield (predicate, values)
+
+    def count(self, predicate: str | None = None) -> int:
+        if predicate is not None:
+            return len(self._facts.get(predicate, ()))
+        return sum(len(rows) for rows in self._facts.values())
+
+    def copy(self) -> "Database":
+        clone = Database()
+        for predicate, rows in self._facts.items():
+            clone._facts[predicate] = list(rows)
+            clone._sets[predicate] = set(self._sets[predicate])
+        return clone
+
+    def __contains__(self, fact: Fact) -> bool:
+        predicate, values = fact
+        return self.contains(predicate, values)
+
+    def __len__(self) -> int:
+        return self.count()
+
+    def __repr__(self) -> str:
+        sizes = {predicate: len(rows) for predicate, rows in self._facts.items() if rows}
+        return f"Database({sizes})"

@@ -1,0 +1,602 @@
+"""Fixpoint evaluation: stratified, semi-naive chase with monotonic aggregation.
+
+The engine implements the Vadalog fragment the paper's programs use:
+
+* plain Datalog with recursion, evaluated semi-naively;
+* existential rules — head variables not bound by the body become labelled
+  nulls, invented deterministically per frontier binding (skolemized
+  chase), so re-derivations are deduplicated and the chase terminates on
+  the warded programs the paper writes;
+* Skolem functions ``#sk(...)`` (deterministic, injective, disjoint ranges);
+* stratified negation;
+* monotonic aggregation (``msum``, ``mprod``, ``mmin``, ``mmax``,
+  ``mcount``) usable inside recursion: each contributor is counted once
+  per group at its best value, so updates are monotone and idempotent;
+* external Python functions ``$name(...)`` via a :class:`FunctionRegistry`.
+
+Aggregate grouping follows Vadalog: the group of ``T = msum(W, <Z>)`` is
+the binding of the head variables that are bound before the aggregate is
+reached (the result variable excluded); each distinct contributor tuple
+``Z`` contributes once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from .atoms import Aggregate, Assignment, Atom, Comparison, Negation
+from .builtins import Binding, FunctionRegistry, compare, evaluate
+from .database import Database, Fact, FactValues
+from .errors import EvaluationError
+from .rules import Program, Rule
+from .stratify import Stratum, stratify
+from .terms import Constant, Null, Variable, skolem
+
+
+@dataclass
+class Derivation:
+    """Provenance record: how a fact was first derived."""
+
+    rule: Rule
+    body_facts: tuple[Fact, ...]
+
+
+@dataclass
+class EngineStats:
+    """Counters exposed after a run, useful in benchmarks and tests."""
+
+    iterations: int = 0
+    facts_derived: int = 0
+    rule_firings: int = 0
+    strata: int = 0
+
+
+class _AggregateState:
+    """Monotone per-(rule, aggregate, group) accumulator.
+
+    Stores the best contribution seen per contributor key and the current
+    aggregate total.  ``update`` returns the current total (idempotent on
+    repeated identical contributions).
+    """
+
+    __slots__ = ("func", "contributions", "total")
+
+    def __init__(self, func: str):
+        self.func = func
+        self.contributions: dict[tuple, float] = {}
+        self.total: float | int | None = None
+
+    def update(self, contributor_key: tuple, value: Any) -> tuple[Any, bool]:
+        """Fold one contribution in; returns (current total, improved?)."""
+        previous = self.contributions.get(contributor_key)
+        if self.func in ("msum", "mmax", "mcount", "mprod"):
+            improved = previous is None or value > previous
+        else:  # mmin decreases monotonically
+            improved = previous is None or value < previous
+        if improved:
+            self.contributions[contributor_key] = value
+            self._recompute(contributor_key, previous, value)
+        return self.total, improved
+
+    def _recompute(self, key: tuple, previous: Any, value: Any) -> None:
+        if self.func == "msum":
+            if self.total is None:
+                self.total = value
+            elif previous is None:
+                self.total += value
+            else:
+                self.total += value - previous
+        elif self.func == "mcount":
+            self.total = len(self.contributions)
+        elif self.func == "mmax":
+            self.total = value if self.total is None else max(self.total, value)
+        elif self.func == "mmin":
+            self.total = value if self.total is None else min(self.total, value)
+        elif self.func == "mprod":
+            product = 1
+            for contribution in self.contributions.values():
+                product *= contribution
+            self.total = product
+
+
+class Engine:
+    """Evaluates a :class:`Program` over a :class:`Database` to a fixpoint."""
+
+    def __init__(
+        self,
+        program: Program,
+        database: Database | None = None,
+        functions: FunctionRegistry | None = None,
+        provenance: bool = False,
+        max_iterations: int = 1_000_000,
+        seminaive: bool = True,
+    ):
+        self.program = program
+        self.database = database if database is not None else Database()
+        self.functions = functions if functions is not None else FunctionRegistry()
+        self.provenance_enabled = provenance
+        self.provenance: dict[Fact, Derivation] = {}
+        self.max_iterations = max_iterations
+        self.seminaive = seminaive
+        self.stats = EngineStats()
+        self._aggregate_states: dict[tuple, _AggregateState] = {}
+        self._group_vars_cache: dict[tuple, tuple[str, ...]] = {}
+        self._head_plan_cache: dict[int, tuple] = {}
+        # per-atom term plans: position -> ("var", name) | ("const", value)
+        # | ("complex", term); avoids isinstance dispatch in the join loops
+        self._atom_plan_cache: dict[int, tuple] = {}
+        for predicate, values in program.facts:
+            self.database.add(predicate, values)
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def run(self) -> Database:
+        """Evaluate the program to a fixpoint and return the database."""
+        strata = stratify(self.program)
+        self.stats.strata = len(strata)
+        for stratum in strata:
+            if stratum.rules:
+                self._evaluate_stratum(stratum)
+        return self.database
+
+    def query(self, predicate: str, pattern: dict[int, Any] | None = None) -> list[FactValues]:
+        """Facts of ``predicate`` matching an optional positional pattern."""
+        return list(self.database.match(predicate, pattern or {}))
+
+    def holds(self, predicate: str, values: FactValues) -> bool:
+        return self.database.contains(predicate, values)
+
+    def ask(self, query: str) -> list[Binding]:
+        """Answer an atom query written in rule syntax, e.g.
+        ``controls("p1", X)`` — returns one variable binding per match.
+
+        Constants filter positionally; repeated variables must unify.
+        A ground query returns ``[{}]`` when the fact holds, else ``[]``.
+        """
+        from .parser import parse_rule
+
+        rule = parse_rule(f"{query} -> askresult(0).")
+        atom = rule.body[0]
+        if not isinstance(atom, Atom) or len(rule.body) != 1:
+            raise EvaluationError("ask() accepts a single atom query")
+        results: list[Binding] = []
+        pattern = self._atom_pattern(atom, {})
+        for values in self.database.match(atom.predicate, pattern):
+            binding = self._bind_atom(atom, values, {})
+            if binding is not None:
+                results.append(binding)
+        return results
+
+    def explain(self, predicate: str, values: FactValues, _depth: int = 0) -> list[str]:
+        """Human-readable derivation tree for a fact (requires provenance)."""
+        indent = "  " * _depth
+        fact = (predicate, values)
+        rendered = f"{indent}{predicate}{values}"
+        derivation = self.provenance.get(fact)
+        if derivation is None:
+            return [f"{rendered}  [extensional]"]
+        label = derivation.rule.label or str(derivation.rule)
+        lines = [f"{rendered}  [by rule: {label}]"]
+        if _depth >= 20:
+            lines.append(f"{indent}  ... (depth limit)")
+            return lines
+        for body_predicate, body_values in derivation.body_facts:
+            lines.extend(self.explain(body_predicate, body_values, _depth + 1))
+        return lines
+
+    # ------------------------------------------------------------------
+    # stratum evaluation
+    # ------------------------------------------------------------------
+
+    def _evaluate_stratum(self, stratum: Stratum) -> None:
+        # Round 0: full evaluation of every rule.
+        delta: list[Fact] = []
+        for rule in stratum.rules:
+            delta.extend(self._apply_rule(rule, seed_predicate=None, seed_facts=None))
+        self.stats.iterations += 1
+
+        if not self.seminaive:
+            # Naive mode (for the ablation benchmark): re-run all rules on
+            # the full database until nothing new appears.
+            changed = bool(delta)
+            while changed:
+                self._check_iteration_budget()
+                changed = False
+                for rule in stratum.rules:
+                    if self._apply_rule(rule, None, None):
+                        changed = True
+                self.stats.iterations += 1
+            return
+
+        # Semi-naive rounds: seed each rule occurrence with the last delta.
+        while delta:
+            self._check_iteration_budget()
+            delta_by_predicate: dict[str, list[FactValues]] = {}
+            for predicate, values in delta:
+                delta_by_predicate.setdefault(predicate, []).append(values)
+            delta = []
+            for rule in stratum.rules:
+                body_predicates = [atom.predicate for atom in rule.positive_atoms()]
+                seen_positions: set[int] = set()
+                for occurrence, predicate in enumerate(body_predicates):
+                    if predicate not in delta_by_predicate or occurrence in seen_positions:
+                        continue
+                    seen_positions.add(occurrence)
+                    delta.extend(
+                        self._apply_rule(
+                            rule,
+                            seed_predicate=occurrence,
+                            seed_facts=delta_by_predicate[predicate],
+                        )
+                    )
+            self.stats.iterations += 1
+
+    def _check_iteration_budget(self) -> None:
+        if self.stats.iterations >= self.max_iterations:
+            raise EvaluationError(
+                f"fixpoint did not converge within {self.max_iterations} iterations"
+            )
+
+    # ------------------------------------------------------------------
+    # single-rule application
+    # ------------------------------------------------------------------
+
+    def _apply_rule(
+        self,
+        rule: Rule,
+        seed_predicate: int | None,
+        seed_facts: list[FactValues] | None,
+    ) -> list[Fact]:
+        """Fire ``rule`` and return the newly derived facts.
+
+        ``seed_predicate`` selects a positive-atom occurrence forced to
+        range over ``seed_facts`` (the semi-naive delta) instead of the
+        whole relation.
+        """
+        new_facts: list[Fact] = []
+        literals = list(rule.body)
+
+        positive_positions = [
+            index for index, literal in enumerate(literals) if isinstance(literal, Atom)
+        ]
+        seed_literal_index: int | None = None
+        if seed_predicate is not None:
+            seed_literal_index = positive_positions[seed_predicate]
+
+        # Buffer derivations and flush after the join: the rule must see the
+        # database as of the start of this application, not facts it is
+        # itself deriving (otherwise a rule like p(X), Y = X+1 -> p(Y)
+        # extends the scan it is iterating and round 0 never ends).
+        pending: list[tuple[Fact, tuple[Fact, ...]]] = []
+        trace: list[Fact] = []
+        for binding in self._join(
+            rule, literals, seed_literal_index, seed_facts, trace=trace
+        ):
+            self.stats.rule_firings += 1
+            derived = self._instantiate_head(rule, binding)
+            trace_snapshot = tuple(trace) if self.provenance_enabled else ()
+            for fact in derived:
+                pending.append((fact, trace_snapshot))
+
+        for fact, trace_snapshot in pending:
+            predicate, values = fact
+            if self.database.add(predicate, values):
+                new_facts.append(fact)
+                self.stats.facts_derived += 1
+                if self.provenance_enabled and fact not in self.provenance:
+                    self.provenance[fact] = Derivation(rule, trace_snapshot)
+        return new_facts
+
+    def _join(
+        self,
+        rule: Rule,
+        literals: list,
+        seed_literal_index: int | None,
+        seed_facts: list[FactValues] | None,
+        trace: list[Fact],
+    ) -> Iterator[Binding]:
+        """Enumerate bindings satisfying the rule body.
+
+        When a seed is given, the seed atom is matched first (over the
+        delta), then the remaining literals in their original order — safe
+        because moving an atom earlier can only increase boundness.
+        """
+        if seed_literal_index is None:
+            order = list(range(len(literals)))
+        else:
+            order = [seed_literal_index] + [
+                index for index in range(len(literals)) if index != seed_literal_index
+            ]
+        yield from self._match_from(rule, literals, order, 0, {}, seed_literal_index, seed_facts, trace)
+
+    def _match_from(
+        self,
+        rule: Rule,
+        literals: list,
+        order: list[int],
+        depth: int,
+        binding: Binding,
+        seed_literal_index: int | None,
+        seed_facts: list[FactValues] | None,
+        trace: list[Fact],
+    ) -> Iterator[Binding]:
+        if depth == len(order):
+            yield binding
+            return
+        literal_index = order[depth]
+        literal = literals[literal_index]
+
+        if isinstance(literal, Atom):
+            if literal_index == seed_literal_index and seed_facts is not None:
+                candidates: Iterator[FactValues] = iter(seed_facts)
+                pattern = None
+            else:
+                pattern = self._atom_pattern(literal, binding)
+                candidates = self.database.match(literal.predicate, pattern)
+            for values in candidates:
+                extension = self._bind_atom(literal, values, binding)
+                if extension is None:
+                    continue
+                if self.provenance_enabled:
+                    trace.append((literal.predicate, values))
+                yield from self._match_from(
+                    rule, literals, order, depth + 1, extension,
+                    seed_literal_index, seed_facts, trace,
+                )
+                if self.provenance_enabled:
+                    trace.pop()
+            return
+
+        if isinstance(literal, Negation):
+            pattern = self._atom_pattern(literal.atom, binding)
+            if next(iter(self.database.match(literal.atom.predicate, pattern)), None) is None:
+                yield from self._match_from(
+                    rule, literals, order, depth + 1, binding,
+                    seed_literal_index, seed_facts, trace,
+                )
+            return
+
+        if isinstance(literal, Comparison):
+            lhs = evaluate(literal.lhs, binding, self.functions)
+            rhs = evaluate(literal.rhs, binding, self.functions)
+            if compare(literal.op, lhs, rhs):
+                yield from self._match_from(
+                    rule, literals, order, depth + 1, binding,
+                    seed_literal_index, seed_facts, trace,
+                )
+            return
+
+        if isinstance(literal, Assignment):
+            value = evaluate(literal.expression, binding, self.functions)
+            name = literal.variable.name
+            if name in binding:
+                if binding[name] == value:
+                    yield from self._match_from(
+                        rule, literals, order, depth + 1, binding,
+                        seed_literal_index, seed_facts, trace,
+                    )
+                return
+            extension = dict(binding)
+            extension[name] = value
+            yield from self._match_from(
+                rule, literals, order, depth + 1, extension,
+                seed_literal_index, seed_facts, trace,
+            )
+            return
+
+        if isinstance(literal, Aggregate):
+            total, improved = self._update_aggregate(rule, literal, binding)
+            if not improved and self._aggregate_skippable(rule, literal):
+                # the aggregate did not move and every head variable is
+                # determined by (group, total): continuing would re-derive
+                # facts set semantics discards anyway
+                return
+            extension = dict(binding)
+            extension[literal.variable.name] = total
+            yield from self._match_from(
+                rule, literals, order, depth + 1, extension,
+                seed_literal_index, seed_facts, trace,
+            )
+            return
+
+        raise EvaluationError(f"unsupported body literal {literal!r}")
+
+    # ------------------------------------------------------------------
+    # literal helpers
+    # ------------------------------------------------------------------
+
+    def _atom_plan(self, atom: Atom) -> tuple:
+        """Cached classification of an atom's terms for the join loops."""
+        plan = self._atom_plan_cache.get(id(atom))
+        if plan is None:
+            entries = []
+            for position, term in enumerate(atom.terms):
+                if isinstance(term, Variable):
+                    entries.append((position, "var", term.name))
+                elif isinstance(term, Constant):
+                    entries.append((position, "const", term.value))
+                else:
+                    entries.append((position, "complex", term))
+            plan = tuple(entries)
+            self._atom_plan_cache[id(atom)] = plan
+        return plan
+
+    def _atom_pattern(self, atom: Atom, binding: Binding) -> dict[int, Any]:
+        """Positions of ``atom`` already determined by constants/bound vars."""
+        pattern: dict[int, Any] = {}
+        for position, kind, payload in self._atom_plan(atom):
+            if kind == "const":
+                pattern[position] = payload
+            elif kind == "var":
+                if payload in binding:
+                    pattern[position] = binding[payload]
+            else:
+                # complex term in a body atom: evaluable only if fully bound
+                try:
+                    pattern[position] = evaluate(payload, binding, self.functions)
+                except EvaluationError:
+                    raise EvaluationError(
+                        f"body atom {atom} has a complex term {payload} "
+                        "with unbound variables"
+                    ) from None
+        return pattern
+
+    def _bind_atom(self, atom: Atom, values: FactValues, binding: Binding) -> Binding | None:
+        """Extend ``binding`` by unifying ``atom`` with a fact, or None on clash."""
+        if len(values) != atom.arity:
+            return None
+        extension: Binding | None = None
+        for position, kind, payload in self._atom_plan(atom):
+            value = values[position]
+            if kind == "var":
+                if extension is not None and payload in extension:
+                    if extension[payload] != value:
+                        return None
+                elif payload in binding:
+                    if binding[payload] != value:
+                        return None
+                else:
+                    if extension is None:
+                        extension = dict(binding)
+                    extension[payload] = value
+            elif kind == "const":
+                if payload != value:
+                    return None
+            # complex terms were folded into the pattern already
+        return extension if extension is not None else dict(binding)
+
+    def _aggregate_skippable(self, rule: Rule, aggregate: Aggregate) -> bool:
+        """Can an unimproved aggregate prune the rest of the rule?
+
+        Safe when every head variable is either the aggregate's result or
+        part of its group key — then an unchanged total implies every
+        derivable head fact is a duplicate.  Comparisons/assignments after
+        the aggregate are pure, so pruning cannot lose facts.
+        """
+        cache_key = (id(rule), id(aggregate), "skippable")
+        cached = self._group_vars_cache.get(cache_key)
+        if cached is not None:
+            return bool(cached[0])
+        # the whole tail after the aggregate must be *determined* by
+        # (group, total): any atom, negation, or literal reading other
+        # variables could behave differently across firings that share an
+        # unchanged total, so pruning would be unsound
+        group = set(self._aggregate_group_vars(rule, aggregate))
+        determined = group | {aggregate.variable.name}
+        seen_aggregate = False
+        tail_safe = True
+        for literal in rule.body:
+            if literal is aggregate:
+                seen_aggregate = True
+                continue
+            if not seen_aggregate:
+                continue
+            if isinstance(literal, (Atom, Negation, Aggregate)):
+                tail_safe = False
+                break
+            if isinstance(literal, Comparison):
+                if not {v.name for v in literal.variables()} <= determined:
+                    tail_safe = False
+                    break
+            elif isinstance(literal, Assignment):
+                if not {v.name for v in literal.variables()} <= determined:
+                    tail_safe = False
+                    break
+                determined.add(literal.variable.name)
+        head_names = {v.name for v in rule.head_variables()}
+        skippable = tail_safe and head_names <= determined
+        self._group_vars_cache[cache_key] = ("1" if skippable else "",)
+        return skippable
+
+    def _update_aggregate(
+        self, rule: Rule, aggregate: Aggregate, binding: Binding
+    ) -> tuple[Any, bool]:
+        group_vars = self._aggregate_group_vars(rule, aggregate)
+        group_key = tuple(binding.get(name) for name in group_vars)
+        state_key = (id(rule), id(aggregate), group_key)
+        state = self._aggregate_states.get(state_key)
+        if state is None:
+            state = _AggregateState(aggregate.func)
+            self._aggregate_states[state_key] = state
+        if aggregate.contributors:
+            contributor_key = tuple(binding[v.name] for v in aggregate.contributors)
+        else:
+            contributor_key = tuple(sorted(binding.items(), key=lambda item: item[0]))
+        value = evaluate(aggregate.expression, binding, self.functions)
+        return state.update(contributor_key, value)
+
+    def _aggregate_group_vars(self, rule: Rule, aggregate: Aggregate) -> tuple[str, ...]:
+        cache_key = (id(rule), id(aggregate))
+        cached = self._group_vars_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        aggregate_result_names = {a.variable.name for a in rule.aggregates()}
+        head_names = {v.name for v in rule.head_variables()}
+        bound_before: set[str] = set()
+        for literal in rule.body:
+            if literal is aggregate:
+                break
+            if isinstance(literal, Atom):
+                bound_before.update(v.name for v in literal.variables())
+            elif isinstance(literal, (Assignment, Aggregate)):
+                bound_before.add(literal.variable.name)
+        group = tuple(sorted((head_names - aggregate_result_names) & bound_before))
+        self._group_vars_cache[cache_key] = group
+        return group
+
+    # ------------------------------------------------------------------
+    # head instantiation
+    # ------------------------------------------------------------------
+
+    def _head_plan(self, rule: Rule) -> tuple:
+        """Cached per-rule head analysis: (existential names, frontier names,
+        rule id) — recomputing these per firing dominates hot loops."""
+        cached = self._head_plan_cache.get(id(rule))
+        if cached is None:
+            existential = tuple(
+                sorted(v.name for v in rule.existential_variables())
+            )
+            frontier = tuple(sorted(v.name for v in rule.frontier_variables()))
+            rule_id = rule.label or f"rule@{id(rule)}"
+            cached = (existential, frontier, rule_id)
+            self._head_plan_cache[id(rule)] = cached
+        return cached
+
+    def _instantiate_head(self, rule: Rule, binding: Binding) -> list[Fact]:
+        existential, frontier, rule_id = self._head_plan(rule)
+        if existential:
+            binding = dict(binding)
+            frontier_values = tuple(binding.get(name) for name in frontier)
+            for name in existential:
+                label = skolem(f"null:{rule_id}:{name}", frontier_values)
+                binding[name] = Null(label)
+        facts: list[Fact] = []
+        for atom in rule.head:
+            values = tuple(
+                evaluate(term, binding, self.functions) for term in atom.terms
+            )
+            facts.append((atom.predicate, values))
+        return facts
+
+
+def solve(
+    program: Program | str,
+    facts: list[Fact] | Database | None = None,
+    functions: FunctionRegistry | None = None,
+    provenance: bool = False,
+) -> Engine:
+    """One-shot convenience: parse (if needed), load facts, run, return engine."""
+    from .parser import parse_program
+
+    if isinstance(program, str):
+        program = parse_program(program)
+    if isinstance(facts, Database):
+        database = facts
+    else:
+        database = Database(facts or [])
+    engine = Engine(program, database, functions=functions, provenance=provenance)
+    engine.run()
+    return engine

@@ -1,0 +1,53 @@
+"""Exception hierarchy for the Datalog± engine.
+
+Every error raised by :mod:`repro.datalog` derives from :class:`DatalogError`,
+so callers can catch engine failures without catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class DatalogError(Exception):
+    """Base class for all errors raised by the Datalog engine."""
+
+
+class ParseError(DatalogError):
+    """Raised when program text cannot be parsed.
+
+    Carries the offending line/column so error messages point at the source.
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class StratificationError(DatalogError):
+    """Raised when a program cannot be stratified.
+
+    Happens when negation occurs inside a recursive cycle: the program has
+    no unambiguous stratified semantics and the engine refuses to guess.
+    """
+
+
+class UnsafeRuleError(DatalogError):
+    """Raised when a rule is not range-restricted.
+
+    A rule is *safe* when every variable used in a comparison, in a negated
+    atom or in an arithmetic expression is bound by a positive body atom or
+    by a preceding assignment.
+    """
+
+
+class UnknownFunctionError(DatalogError):
+    """Raised when a rule references an external function that was never registered."""
+
+
+class EvaluationError(DatalogError):
+    """Raised for runtime failures during fixpoint evaluation."""

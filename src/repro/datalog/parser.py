@@ -1,0 +1,391 @@
+"""Parser for the Vadalog-like surface syntax used throughout the paper.
+
+The grammar covers the fragment the paper's programs (Algorithms 2-9) need::
+
+    % a comment
+    company(X), own(X, Y, W), W > 0.5 -> control(X, Y).
+    control(X, Z), own(Z, Y, W), T = msum(W, <Z>), T > 0.5 -> control(X, Y).
+    person(N, B), Z = #sk_p(N) -> node(Z, N, B), node_type(Z, "person").
+    own(X, Y, W) -> link(E, X, Y, W).        % E is existential
+    pair(X, Y), P = $link_probability(X, Y), P > 0.5 -> partner_of(X, Y).
+    person("anna", 1980).                     % a ground fact
+
+Conventions:
+
+* predicates and function names start lowercase; variables start with an
+  uppercase letter or underscore;
+* ``#name(...)`` applies a Skolem function, ``$name(...)`` an external
+  registered function;
+* ``T = msum(Expr, <C1, C2>)`` is a monotonic aggregate with contributor
+  variables ``C1, C2``;
+* ``not atom(...)`` is stratified negation;
+* an optional ``@label`` before a rule names it (shown in explanations).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from .atoms import (
+    AGGREGATE_FUNCS,
+    Aggregate,
+    Assignment,
+    Atom,
+    BodyLiteral,
+    Comparison,
+    Negation,
+)
+from .errors import ParseError
+from .rules import Program, Rule
+from .terms import Constant, Expr, FunctionTerm, SkolemTerm, Term, Variable
+
+_TOKEN_SPEC = [
+    ("COMMENT", r"%[^\n]*|//[^\n]*"),
+    ("ARROW", r"->"),
+    ("NUMBER", r"\d+\.\d+(?:[eE][+-]?\d+)?|\d+(?:[eE][+-]?\d+)?|\.\d+"),
+    ("STRING", r'"(?:\\.|[^"\\])*"'),
+    ("OP", r"==|!=|<=|>=|<|>"),
+    ("SKOLEM", r"#[A-Za-z_][A-Za-z0-9_]*"),
+    ("EXTERN", r"\$[A-Za-z_][A-Za-z0-9_]*"),
+    ("LABEL", r"@[A-Za-z_][A-Za-z0-9_]*"),
+    ("IDENT", r"[a-z][A-Za-z0-9_]*"),
+    ("VAR", r"[A-Z_][A-Za-z0-9_]*"),
+    ("ASSIGN", r"="),
+    ("LPAREN", r"\("),
+    ("RPAREN", r"\)"),
+    ("COMMA", r","),
+    ("DOT", r"\."),
+    ("PLUS", r"\+"),
+    ("MINUS", r"-"),
+    ("STAR", r"\*"),
+    ("SLASH", r"/"),
+    ("NEWLINE", r"\n"),
+    ("SKIP", r"[ \t\r]+"),
+    ("MISMATCH", r"."),
+]
+
+_TOKEN_RE = re.compile("|".join(f"(?P<{name}>{pattern})" for name, pattern in _TOKEN_SPEC))
+
+
+@dataclass(frozen=True, slots=True)
+class _Token:
+    kind: str
+    text: str
+    line: int
+    column: int
+
+
+def _tokenize(source: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    line = 1
+    line_start = 0
+    for match in _TOKEN_RE.finditer(source):
+        kind = match.lastgroup or "MISMATCH"
+        text = match.group()
+        column = match.start() - line_start + 1
+        if kind == "NEWLINE":
+            line += 1
+            line_start = match.end()
+            continue
+        if kind in ("SKIP", "COMMENT"):
+            continue
+        if kind == "MISMATCH":
+            raise ParseError(f"unexpected character {text!r}", line, column)
+        tokens.append(_Token(kind, text, line, column))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, tokens: list[_Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token-stream helpers ------------------------------------------
+
+    def _peek(self, offset: int = 0) -> _Token | None:
+        index = self._pos + offset
+        if index < len(self._tokens):
+            return self._tokens[index]
+        return None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of input")
+        self._pos += 1
+        return token
+
+    def _expect(self, kind: str) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError(f"expected {kind}, got end of input")
+        if token.kind != kind:
+            raise ParseError(
+                f"expected {kind}, got {token.kind} ({token.text!r})",
+                token.line,
+                token.column,
+            )
+        return self._next()
+
+    def _at(self, kind: str, offset: int = 0) -> bool:
+        token = self._peek(offset)
+        return token is not None and token.kind == kind
+
+    # -- grammar --------------------------------------------------------
+
+    def parse_program(self) -> Program:
+        program = Program()
+        while self._peek() is not None:
+            label = ""
+            if self._at("LABEL"):
+                label = self._next().text[1:]
+            statement_start = self._pos
+            if self._is_fact():
+                predicate, values = self._parse_fact()
+                program.add_fact(predicate, values)
+            else:
+                self._pos = statement_start
+                program.add_rule(self._parse_rule(label))
+        return program
+
+    def _is_fact(self) -> bool:
+        """Lookahead: a statement is a fact when it is ``ident(constants).``"""
+        save = self._pos
+        try:
+            if not self._at("IDENT"):
+                return False
+            self._next()
+            if not self._at("LPAREN"):
+                return False
+            self._next()
+            depth = 1
+            saw_variable = False
+            while depth > 0:
+                token = self._peek()
+                if token is None:
+                    return False
+                if token.kind == "LPAREN":
+                    depth += 1
+                elif token.kind == "RPAREN":
+                    depth -= 1
+                elif token.kind in ("VAR", "SKOLEM", "EXTERN"):
+                    saw_variable = True
+                self._next()
+            return self._at("DOT") and not saw_variable
+        finally:
+            self._pos = save
+
+    def _parse_fact(self) -> tuple[str, tuple]:
+        predicate = self._expect("IDENT").text
+        self._expect("LPAREN")
+        values: list = []
+        if not self._at("RPAREN"):
+            values.append(self._parse_constant_value())
+            while self._at("COMMA"):
+                self._next()
+                values.append(self._parse_constant_value())
+        self._expect("RPAREN")
+        self._expect("DOT")
+        return predicate, tuple(values)
+
+    def _parse_constant_value(self):
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of input in fact")
+        if token.kind == "MINUS":
+            self._next()
+            value = self._parse_constant_value()
+            return -value
+        if token.kind == "NUMBER":
+            self._next()
+            return _number(token.text)
+        if token.kind == "STRING":
+            self._next()
+            return _unquote(token.text)
+        if token.kind == "IDENT" and token.text in ("true", "false"):
+            self._next()
+            return token.text == "true"
+        if token.kind == "IDENT":
+            # bare lowercase identifiers in facts are treated as string constants
+            self._next()
+            return token.text
+        raise ParseError(
+            f"expected a constant in fact, got {token.text!r}", token.line, token.column
+        )
+
+    def _parse_rule(self, label: str) -> Rule:
+        body: list[BodyLiteral] = [self._parse_literal()]
+        while self._at("COMMA"):
+            self._next()
+            body.append(self._parse_literal())
+        self._expect("ARROW")
+        head: list[Atom] = [self._parse_atom()]
+        while self._at("COMMA"):
+            self._next()
+            head.append(self._parse_atom())
+        self._expect("DOT")
+        return Rule(tuple(body), tuple(head), label=label)
+
+    def _parse_literal(self) -> BodyLiteral:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of input in rule body")
+        if token.kind == "IDENT" and token.text == "not":
+            self._next()
+            return Negation(self._parse_atom())
+        if token.kind == "IDENT" and self._at("LPAREN", 1):
+            return self._parse_atom()
+        if token.kind == "VAR" and self._at("ASSIGN", 1):
+            return self._parse_assignment()
+        # otherwise: comparison between two expressions
+        lhs = self._parse_expression()
+        op_token = self._expect("OP")
+        rhs = self._parse_expression()
+        return Comparison(op_token.text, lhs, rhs)
+
+    def _parse_assignment(self) -> Assignment | Aggregate:
+        variable = Variable(self._expect("VAR").text)
+        self._expect("ASSIGN")
+        token = self._peek()
+        if (
+            token is not None
+            and token.kind == "IDENT"
+            and token.text in AGGREGATE_FUNCS
+            and self._at("LPAREN", 1)
+        ):
+            return self._parse_aggregate(variable)
+        expression = self._parse_expression()
+        return Assignment(variable, expression)
+
+    def _parse_aggregate(self, variable: Variable) -> Aggregate:
+        func = self._expect("IDENT").text
+        self._expect("LPAREN")
+        contributors: list[Variable] = []
+        if func == "mcount" and self._at("OP") and self._peek().text == "<":
+            expression: Term = Constant(1)
+        else:
+            expression = self._parse_expression()
+            if self._at("COMMA"):
+                self._next()
+        if self._at("OP") and self._peek().text == "<":
+            self._next()
+            contributors.append(Variable(self._expect("VAR").text))
+            while self._at("COMMA"):
+                self._next()
+                contributors.append(Variable(self._expect("VAR").text))
+            closing = self._expect("OP")
+            if closing.text != ">":
+                raise ParseError(
+                    "expected '>' closing the contributor list",
+                    closing.line,
+                    closing.column,
+                )
+        self._expect("RPAREN")
+        return Aggregate(variable, func, expression, tuple(contributors))
+
+    def _parse_atom(self) -> Atom:
+        predicate = self._expect("IDENT").text
+        self._expect("LPAREN")
+        terms: list[Term] = []
+        if not self._at("RPAREN"):
+            terms.append(self._parse_expression())
+            while self._at("COMMA"):
+                self._next()
+                terms.append(self._parse_expression())
+        self._expect("RPAREN")
+        return Atom(predicate, tuple(terms))
+
+    # -- expressions ------------------------------------------------------
+
+    def _parse_expression(self) -> Term:
+        node = self._parse_term()
+        while self._at("PLUS") or self._at("MINUS"):
+            op = "+" if self._next().kind == "PLUS" else "-"
+            rhs = self._parse_term()
+            node = Expr(op, (node, rhs))
+        return node
+
+    def _parse_term(self) -> Term:
+        node = self._parse_primary()
+        while self._at("STAR") or self._at("SLASH"):
+            kind = self._next().kind
+            op = "*" if kind == "STAR" else "/"
+            rhs = self._parse_primary()
+            node = Expr(op, (node, rhs))
+        return node
+
+    def _parse_primary(self) -> Term:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of input in expression")
+        if token.kind == "MINUS":
+            self._next()
+            return Expr("neg", (self._parse_primary(),))
+        if token.kind == "NUMBER":
+            self._next()
+            return Constant(_number(token.text))
+        if token.kind == "STRING":
+            self._next()
+            return Constant(_unquote(token.text))
+        if token.kind == "VAR":
+            self._next()
+            return Variable(token.text)
+        if token.kind == "IDENT" and token.text in ("true", "false"):
+            self._next()
+            return Constant(token.text == "true")
+        if token.kind == "SKOLEM":
+            self._next()
+            name = token.text[1:]
+            args = self._parse_arguments()
+            return SkolemTerm(name, args)
+        if token.kind == "EXTERN":
+            self._next()
+            name = token.text[1:]
+            args = self._parse_arguments()
+            return FunctionTerm(name, args)
+        if token.kind == "LPAREN":
+            self._next()
+            node = self._parse_expression()
+            self._expect("RPAREN")
+            return node
+        raise ParseError(
+            f"unexpected token {token.text!r} in expression", token.line, token.column
+        )
+
+    def _parse_arguments(self) -> tuple[Term, ...]:
+        self._expect("LPAREN")
+        args: list[Term] = []
+        if not self._at("RPAREN"):
+            args.append(self._parse_expression())
+            while self._at("COMMA"):
+                self._next()
+                args.append(self._parse_expression())
+        self._expect("RPAREN")
+        return tuple(args)
+
+
+def _number(text: str) -> int | float:
+    if "." in text or "e" in text or "E" in text:
+        return float(text)
+    return int(text)
+
+
+def _unquote(text: str) -> str:
+    body = text[1:-1]
+    return body.replace('\\"', '"').replace("\\\\", "\\").replace("\\n", "\n")
+
+
+def parse_program(source: str) -> Program:
+    """Parse Vadalog-like ``source`` text into a :class:`Program`."""
+    return _Parser(_tokenize(source)).parse_program()
+
+
+def parse_rule(source: str) -> Rule:
+    """Parse a single rule; raises :class:`ParseError` if there is not exactly one."""
+    program = parse_program(source)
+    if len(program.rules) != 1 or program.facts:
+        raise ParseError("expected exactly one rule")
+    return program.rules[0]

@@ -1,0 +1,163 @@
+"""Predicate dependency analysis and stratification.
+
+Negation must not occur inside a recursive cycle (the classic stratified
+semantics); monotonic aggregates *are* allowed in recursion — that is the
+point of Vadalog's monotonic aggregation — so aggregate edges do not
+constrain the stratification.
+
+The module builds the predicate dependency graph, finds its strongly
+connected components, checks that no negative edge stays inside a
+component, and returns rule groups in bottom-up topological order.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from .errors import StratificationError
+from .rules import Program, Rule
+
+
+@dataclass
+class Stratum:
+    """One evaluation layer: rules whose heads live in this layer."""
+
+    index: int
+    predicates: set[str]
+    rules: list[Rule]
+    recursive: bool
+
+
+def _dependency_edges(program: Program) -> tuple[set[tuple[str, str]], set[tuple[str, str]]]:
+    """Return (positive, negative) head<-body predicate dependency edges."""
+    positive: set[tuple[str, str]] = set()
+    negative: set[tuple[str, str]] = set()
+    for rule in program.rules:
+        heads = rule.head_predicates()
+        for head in heads:
+            for atom in rule.positive_atoms():
+                positive.add((head, atom.predicate))
+            for negation in rule.negated_atoms():
+                negative.add((head, negation.atom.predicate))
+            # the heads of one rule are derived together: tie them into a
+            # single SCC so the rule's stratum contains all of them and no
+            # consumer can be scheduled in between
+            for other in heads:
+                if other != head:
+                    positive.add((head, other))
+    return positive, negative
+
+
+def _tarjan_scc(nodes: set[str], successors: dict[str, set[str]]) -> list[set[str]]:
+    """Tarjan's strongly-connected components, iterative to avoid recursion limits.
+
+    Returns components in reverse topological order (callees before callers).
+    """
+    index_counter = 0
+    indexes: dict[str, int] = {}
+    lowlinks: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    components: list[set[str]] = []
+
+    for root in nodes:
+        if root in indexes:
+            continue
+        work: list[tuple[str, iter]] = [(root, iter(successors.get(root, ())))]
+        indexes[root] = lowlinks[root] = index_counter
+        index_counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, children = work[-1]
+            advanced = False
+            for child in children:
+                if child not in indexes:
+                    indexes[child] = lowlinks[child] = index_counter
+                    index_counter += 1
+                    stack.append(child)
+                    on_stack.add(child)
+                    work.append((child, iter(successors.get(child, ()))))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    lowlinks[node] = min(lowlinks[node], indexes[child])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlinks[parent] = min(lowlinks[parent], lowlinks[node])
+            if lowlinks[node] == indexes[node]:
+                component: set[str] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == node:
+                        break
+                components.append(component)
+    return components
+
+
+def stratify(program: Program) -> list[Stratum]:
+    """Split ``program`` into bottom-up strata; raise on unstratifiable negation."""
+    positive, negative = _dependency_edges(program)
+    nodes: set[str] = set()
+    for rule in program.rules:
+        nodes.update(rule.head_predicates())
+        nodes.update(rule.body_predicates())
+    for predicate, _ in program.facts:
+        nodes.add(predicate)
+
+    successors: dict[str, set[str]] = defaultdict(set)
+    for head, body in positive | negative:
+        successors[head].add(body)
+
+    components = _tarjan_scc(nodes, successors)
+
+    component_of: dict[str, int] = {}
+    for component_index, component in enumerate(components):
+        for predicate in component:
+            component_of[predicate] = component_index
+
+    for head, body in negative:
+        if component_of.get(head) == component_of.get(body):
+            raise StratificationError(
+                f"negation on {body!r} occurs in a recursive cycle with {head!r}; "
+                "the program is not stratifiable"
+            )
+
+    # Tarjan emits components in reverse topological order, which is exactly
+    # bottom-up evaluation order (dependencies first).
+    strata: list[Stratum] = []
+    assigned_rules: set[int] = set()
+    for component_index, component in enumerate(components):
+        stratum_rules: list[Rule] = []
+        for rule_index, rule in enumerate(program.rules):
+            if rule_index in assigned_rules:
+                continue
+            heads = rule.head_predicates()
+            if heads & component:
+                # a rule whose heads span components goes in the highest one;
+                # since we walk bottom-up, defer until all heads are covered.
+                head_components = {component_of[h] for h in heads}
+                if max(head_components) == component_index:
+                    stratum_rules.append(rule)
+                    assigned_rules.add(rule_index)
+        recursive = any(
+            body in component
+            for rule in stratum_rules
+            for body in rule.body_predicates()
+        ) or len(component) > 1
+        if stratum_rules or component:
+            strata.append(
+                Stratum(
+                    index=len(strata),
+                    predicates=set(component),
+                    rules=stratum_rules,
+                    recursive=recursive,
+                )
+            )
+    return strata

@@ -1,0 +1,161 @@
+"""Wardedness analysis (the fragment behind Vadalog's PTIME guarantee).
+
+The paper leans on Warded Datalog± [12, 14]: "if the task is described in
+Warded Datalog, the fragment at the core of the Vadalog language, there
+is the formal guarantee of polynomial complexity".  This module implements
+the static analysis that decides whether a program is warded:
+
+* **affected positions** — predicate positions that may carry labelled
+  nulls: positions where an existential variable appears in some head,
+  propagated through rules (a body variable occurring *only* in affected
+  positions propagates its head occurrences);
+* **harmful variables** (of a rule) — body variables appearing only in
+  affected positions (they may bind nulls);
+* **dangerous variables** — harmful variables that also occur in the
+  rule's head (they may propagate nulls);
+* a rule is **warded** when all its dangerous variables occur together
+  in a single body atom (the *ward*) and the ward shares only harmless
+  variables with the rest of the body.
+
+A program where every rule is warded is in Warded Datalog±, and
+reasoning over it is PTIME in data complexity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .rules import Program, Rule
+from .terms import Variable
+
+Position = tuple[str, int]  # (predicate, argument index)
+
+
+@dataclass
+class WardednessReport:
+    """Outcome of the analysis, with per-rule diagnostics."""
+
+    warded: bool
+    affected_positions: set[Position]
+    violations: list[str] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.warded
+
+
+def affected_positions(program: Program) -> set[Position]:
+    """The fixpoint of null-carrying positions.
+
+    Base: positions of existential variables in rule heads.  Step: if a
+    body variable of a rule occurs only in affected positions, every head
+    position it reaches becomes affected.
+    """
+    affected: set[Position] = set()
+    for rule in program.rules:
+        existential = rule.existential_variables()
+        for atom in rule.head:
+            for index, term in enumerate(atom.terms):
+                if isinstance(term, Variable) and term in existential:
+                    affected.add((atom.predicate, index))
+
+    changed = True
+    while changed:
+        changed = False
+        for rule in program.rules:
+            for variable in _propagating_variables(rule, affected):
+                for atom in rule.head:
+                    for index, term in enumerate(atom.terms):
+                        if term == variable:
+                            position = (atom.predicate, index)
+                            if position not in affected:
+                                affected.add(position)
+                                changed = True
+    return affected
+
+
+def _variable_positions(rule: Rule, variable: Variable) -> list[Position]:
+    """Body positions (positive atoms) where ``variable`` occurs."""
+    positions: list[Position] = []
+    for atom in rule.positive_atoms():
+        for index, term in enumerate(atom.terms):
+            if term == variable:
+                positions.append((atom.predicate, index))
+    return positions
+
+
+def _propagating_variables(rule: Rule, affected: set[Position]) -> list[Variable]:
+    """Body variables that occur in body atoms and only at affected positions."""
+    result = []
+    seen: set[Variable] = set()
+    for atom in rule.positive_atoms():
+        for term in atom.terms:
+            if isinstance(term, Variable) and term not in seen:
+                seen.add(term)
+                positions = _variable_positions(rule, term)
+                if positions and all(p in affected for p in positions):
+                    result.append(term)
+    return result
+
+
+def harmful_variables(rule: Rule, affected: set[Position]) -> set[Variable]:
+    """Body variables that occur only at affected positions (may bind nulls)."""
+    harmful: set[Variable] = set()
+    for atom in rule.positive_atoms():
+        for term in atom.terms:
+            if isinstance(term, Variable):
+                positions = _variable_positions(rule, term)
+                if positions and all(p in affected for p in positions):
+                    harmful.add(term)
+    return harmful
+
+
+def dangerous_variables(rule: Rule, affected: set[Position]) -> set[Variable]:
+    """Harmful variables that also appear in the head (may propagate nulls)."""
+    return harmful_variables(rule, affected) & rule.head_variables()
+
+
+def is_rule_warded(rule: Rule, affected: set[Position]) -> tuple[bool, str]:
+    """Check one rule; returns (warded?, human-readable reason)."""
+    dangerous = dangerous_variables(rule, affected)
+    if not dangerous:
+        return True, ""
+    harmless = {
+        v
+        for atom in rule.positive_atoms()
+        for v in atom.variables()
+    } - harmful_variables(rule, affected)
+    for ward in rule.positive_atoms():
+        ward_vars = set(ward.variables())
+        if not dangerous <= ward_vars:
+            continue
+        # the ward shares only harmless variables with the other atoms
+        shared_ok = True
+        for other in rule.positive_atoms():
+            if other is ward:
+                continue
+            shared = ward_vars & set(other.variables())
+            if not shared <= harmless:
+                shared_ok = False
+                break
+        if shared_ok:
+            return True, ""
+    names = ", ".join(sorted(v.name for v in dangerous))
+    return False, (
+        f"rule '{rule.label or rule}' has dangerous variable(s) {names} "
+        "not confined to a single ward atom"
+    )
+
+
+def check_wardedness(program: Program) -> WardednessReport:
+    """Full analysis: is ``program`` in Warded Datalog±?"""
+    affected = affected_positions(program)
+    violations: list[str] = []
+    for rule in program.rules:
+        warded, reason = is_rule_warded(rule, affected)
+        if not warded:
+            violations.append(reason)
+    return WardednessReport(
+        warded=not violations,
+        affected_positions=affected,
+        violations=violations,
+    )

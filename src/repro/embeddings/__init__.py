@@ -1,0 +1,21 @@
+"""node2vec embeddings and clustering — the paper's first-level grouping."""
+
+from .kmeans import cluster_inertia, kmeans
+from .node2vec import (Node2Vec, Node2VecConfig, embed_and_cluster,
+                       feature_token_adjacency)
+from .skipgram import SkipGramModel, train_skipgram
+from .walks import RandomWalker, build_adjacency, generate_walks
+
+__all__ = [
+    "Node2Vec",
+    "Node2VecConfig",
+    "RandomWalker",
+    "SkipGramModel",
+    "build_adjacency",
+    "cluster_inertia",
+    "embed_and_cluster",
+    "feature_token_adjacency",
+    "generate_walks",
+    "kmeans",
+    "train_skipgram",
+]

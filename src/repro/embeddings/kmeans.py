@@ -1,0 +1,83 @@
+"""k-means clustering (k-means++ init) in numpy.
+
+Used to turn node embeddings into the paper's first-level clusters: the
+``#GraphEmbedClust`` function maps each node to the identifier of the
+embedding cluster it falls in.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def kmeans(
+    points: np.ndarray,
+    k: int,
+    max_iterations: int = 100,
+    seed: int = 0,
+    tolerance: float = 1e-6,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Cluster ``points`` (n x d) into ``k`` groups.
+
+    Returns (labels, centroids).  Deterministic for a fixed seed.
+    ``k`` is clamped to the number of points.
+    """
+    n = len(points)
+    if n == 0:
+        return np.array([], dtype=int), np.empty((0, points.shape[1] if points.ndim == 2 else 0))
+    k = max(1, min(k, n))
+    rng = np.random.default_rng(seed)
+    centroids = _kmeanspp_init(points, k, rng)
+
+    labels = np.zeros(n, dtype=int)
+    for _ in range(max_iterations):
+        distances = _pairwise_sq_distances(points, centroids)
+        new_labels = np.argmin(distances, axis=1)
+        new_centroids = centroids.copy()
+        for cluster in range(k):
+            members = points[new_labels == cluster]
+            if len(members):
+                new_centroids[cluster] = members.mean(axis=0)
+        shift = float(np.max(np.linalg.norm(new_centroids - centroids, axis=1)))
+        centroids = new_centroids
+        labels = new_labels
+        if shift < tolerance:
+            break
+    return labels, centroids
+
+
+def _kmeanspp_init(points: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
+    """k-means++ seeding: spread initial centroids proportionally to distance²."""
+    n = len(points)
+    first = rng.integers(n)
+    centroids = [points[first]]
+    closest_sq = np.sum((points - points[first]) ** 2, axis=1)
+    for _ in range(1, k):
+        total = closest_sq.sum()
+        if total <= 0:
+            # all remaining points identical to a centroid: pick at random
+            choice = rng.integers(n)
+        else:
+            choice = rng.choice(n, p=closest_sq / total)
+        centroids.append(points[choice])
+        new_sq = np.sum((points - points[choice]) ** 2, axis=1)
+        closest_sq = np.minimum(closest_sq, new_sq)
+    return np.array(centroids)
+
+
+def _pairwise_sq_distances(points: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distances, n x k, without forming n*k*d temporaries."""
+    point_norms = np.sum(points ** 2, axis=1)[:, None]
+    centroid_norms = np.sum(centroids ** 2, axis=1)[None, :]
+    cross = points @ centroids.T
+    return np.maximum(point_norms + centroid_norms - 2.0 * cross, 0.0)
+
+
+def cluster_inertia(points: np.ndarray, labels: np.ndarray, centroids: np.ndarray) -> float:
+    """Total within-cluster squared distance (the k-means objective)."""
+    total = 0.0
+    for cluster in range(len(centroids)):
+        members = points[labels == cluster]
+        if len(members):
+            total += float(np.sum((members - centroids[cluster]) ** 2))
+    return total

@@ -1,0 +1,170 @@
+"""Skip-gram with negative sampling (SGNS) in pure numpy.
+
+This is the word2vec half of node2vec: random walks are the "sentences",
+nodes the "words".  We train input and output embedding matrices with the
+standard SGNS objective
+
+    log sigmoid(u_o . v_c) + sum_neg log sigmoid(-u_n . v_c)
+
+using per-pair SGD updates with vectorised negative batches.  gensim is
+not available offline; at the graph sizes of the experiments this numpy
+implementation is entirely adequate.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+import numpy as np
+
+NodeId = Hashable
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -30.0, 30.0)))
+
+
+class SkipGramModel:
+    """Trained SGNS model mapping nodes to dense vectors."""
+
+    def __init__(self, vocabulary: list[NodeId], dimensions: int, seed: int = 0):
+        self.vocabulary = list(vocabulary)
+        self.index = {node: i for i, node in enumerate(self.vocabulary)}
+        rng = np.random.default_rng(seed)
+        scale = 0.5 / dimensions
+        self.input_vectors = rng.uniform(
+            -scale, scale, (len(vocabulary), dimensions)
+        ).astype(np.float32)
+        self.output_vectors = np.zeros((len(vocabulary), dimensions), dtype=np.float32)
+
+    def vector(self, node: NodeId) -> np.ndarray:
+        return self.input_vectors[self.index[node]]
+
+    def vectors(self) -> dict[NodeId, np.ndarray]:
+        return {node: self.input_vectors[i] for node, i in self.index.items()}
+
+    def similarity(self, a: NodeId, b: NodeId) -> float:
+        """Cosine similarity between two node vectors."""
+        va, vb = self.vector(a), self.vector(b)
+        denominator = float(np.linalg.norm(va) * np.linalg.norm(vb))
+        if denominator == 0.0:
+            return 0.0
+        return float(va @ vb) / denominator
+
+    def most_similar(self, node: NodeId, top: int = 5) -> list[tuple[NodeId, float]]:
+        """The ``top`` nearest nodes by cosine similarity (self excluded)."""
+        target = self.vector(node)
+        norms = np.linalg.norm(self.input_vectors, axis=1)
+        target_norm = np.linalg.norm(target)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            scores = (self.input_vectors @ target) / (norms * target_norm)
+        scores = np.nan_to_num(scores, nan=-1.0)
+        scores[self.index[node]] = -np.inf
+        best = np.argsort(scores)[::-1][:top]
+        return [(self.vocabulary[i], float(scores[i])) for i in best]
+
+
+def train_skipgram(
+    walks: Sequence[Sequence[NodeId]],
+    dimensions: int = 32,
+    window: int = 5,
+    negative: int = 5,
+    epochs: int = 2,
+    learning_rate: float = 0.025,
+    min_learning_rate: float = 0.0001,
+    seed: int = 0,
+    max_pairs: int | None = 2_000_000,
+) -> SkipGramModel:
+    """Train SGNS over ``walks`` and return the model.
+
+    Negative samples are drawn from the unigram distribution raised to
+    3/4, as in the original word2vec.  Deterministic for a fixed seed.
+    ``max_pairs`` bounds the training-pair corpus (uniform subsample) so
+    dense graphs cannot blow the training budget.
+    """
+    counts: dict[NodeId, int] = {}
+    for walk in walks:
+        for node in walk:
+            counts[node] = counts.get(node, 0) + 1
+    vocabulary = sorted(counts, key=str)
+    if not vocabulary:
+        return SkipGramModel([], dimensions, seed)
+    model = SkipGramModel(vocabulary, dimensions, seed)
+    index = model.index
+
+    frequencies = np.array([counts[node] for node in vocabulary], dtype=float)
+    noise = frequencies ** 0.75
+    noise /= noise.sum()
+
+    rng = np.random.default_rng(seed + 1)
+
+    # materialise training pairs once (walk corpora here are modest)
+    pairs: list[tuple[int, int]] = []
+    for walk in walks:
+        ids = [index[node] for node in walk]
+        for position, center in enumerate(ids):
+            lo = max(0, position - window)
+            hi = min(len(ids), position + window + 1)
+            for context_position in range(lo, hi):
+                if context_position != position:
+                    pairs.append((center, ids[context_position]))
+    if not pairs:
+        return model
+
+    pair_array = np.array(pairs, dtype=np.int64)
+    if max_pairs is not None and len(pair_array) > max_pairs:
+        keep = rng.choice(len(pair_array), size=max_pairs, replace=False)
+        pair_array = pair_array[keep]
+    n_pairs = len(pair_array)
+    # batch roughly one occurrence per vocabulary entry: bigger batches pile
+    # duplicate stale-gradient updates on the same vector and diverge on
+    # small graphs, smaller ones waste vectorisation on large graphs
+    batch_size = int(min(4096, max(64, len(vocabulary))))
+    dimensions_ = model.input_vectors.shape[1]
+    total_batches = epochs * ((n_pairs + batch_size - 1) // batch_size)
+    batch_index = 0
+    input_vectors = model.input_vectors
+    output_vectors = model.output_vectors
+    # inverse-CDF negative sampling (much faster than rng.choice with p)
+    noise_cdf = np.cumsum(noise)
+    noise_cdf[-1] = 1.0
+    for _ in range(epochs):
+        order = rng.permutation(n_pairs)
+        for start in range(0, n_pairs, batch_size):
+            alpha = max(
+                min_learning_rate,
+                learning_rate * (1.0 - batch_index / max(1, total_batches)),
+            )
+            batch_index += 1
+            batch = pair_array[order[start:start + batch_size]]
+            centers = batch[:, 0]
+            contexts = batch[:, 1]
+            negatives_batch = np.searchsorted(
+                noise_cdf, rng.random((len(batch), negative))
+            )
+
+            v = input_vectors[centers]                      # (B, d)
+            u_pos = output_vectors[contexts]                # (B, d)
+            pos_scores = _sigmoid(np.sum(u_pos * v, axis=1))  # (B,)
+            pos_coeff = (pos_scores - 1.0)[:, None]
+
+            u_neg = output_vectors[negatives_batch]         # (B, k, d)
+            neg_scores = _sigmoid(np.einsum("bkd,bd->bk", u_neg, v))
+
+            grad_v = pos_coeff * u_pos + np.einsum("bk,bkd->bd", neg_scores, u_neg)
+            grad_u_pos = pos_coeff * v
+            grad_u_neg = neg_scores[:, :, None] * v[:, None, :]
+            # elementwise clipping keeps repeated in-batch updates stable
+            np.clip(grad_v, -1.0, 1.0, out=grad_v)
+            np.clip(grad_u_pos, -1.0, 1.0, out=grad_u_pos)
+            np.clip(grad_u_neg, -1.0, 1.0, out=grad_u_neg)
+
+            # scatter-add: duplicate indices within a batch must accumulate
+            np.add.at(input_vectors, centers, -alpha * grad_v)
+            np.add.at(output_vectors, contexts, -alpha * grad_u_pos)
+            np.add.at(
+                output_vectors,
+                negatives_batch.reshape(-1),
+                -alpha * grad_u_neg.reshape(-1, dimensions_),
+            )
+    return model

@@ -1,0 +1,148 @@
+"""Second-order biased random walks — the sampling strategy of node2vec.
+
+Grover & Leskovec's node2vec (the primitive wrapped by the paper's
+``#GraphEmbedClust`` function) samples walks whose next-step distribution
+depends on the previous step: with the walk at ``v`` coming from ``t``,
+the unnormalised probability of moving to neighbour ``x`` is
+
+* ``w(v,x) / p``   when ``x == t``      (return parameter),
+* ``w(v,x)``       when ``x`` is also a neighbour of ``t``,
+* ``w(v,x) / q``   otherwise            (in-out parameter).
+
+Low ``q`` favours exploration (structural equivalence), low ``p`` keeps
+the walk local (homophily).  Walks treat the graph as undirected — the
+standard choice for ownership networks, where influence flows both ways
+along a shareholding for similarity purposes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable, Sequence
+
+from ..graph.property_graph import PropertyGraph
+
+NodeId = Hashable
+
+
+def build_adjacency(
+    graph: PropertyGraph, weight_property: str = "w"
+) -> dict[NodeId, list[tuple[NodeId, float]]]:
+    """Undirected weighted adjacency; parallel/reciprocal edges merge by sum."""
+    adjacency: dict[NodeId, dict[NodeId, float]] = {n: {} for n in graph.node_ids()}
+    for edge in graph.edges():
+        weight = float(edge.get(weight_property, 1.0) or 1.0)
+        if edge.source == edge.target:
+            continue
+        adjacency[edge.source][edge.target] = (
+            adjacency[edge.source].get(edge.target, 0.0) + weight
+        )
+        adjacency[edge.target][edge.source] = (
+            adjacency[edge.target].get(edge.source, 0.0) + weight
+        )
+    return {node: sorted(neighbors.items(), key=lambda kv: str(kv[0]))
+            for node, neighbors in adjacency.items()}
+
+
+class RandomWalker:
+    """Generates node2vec walks over a prebuilt adjacency."""
+
+    def __init__(
+        self,
+        adjacency: dict[NodeId, list[tuple[NodeId, float]]],
+        p: float = 1.0,
+        q: float = 1.0,
+        seed: int = 0,
+    ):
+        if p <= 0 or q <= 0:
+            raise ValueError("node2vec parameters p and q must be positive")
+        self.adjacency = adjacency
+        self.p = p
+        self.q = q
+        self._rng = random.Random(seed)
+        self._neighbor_sets: dict[NodeId, set[NodeId]] = {
+            node: {neighbor for neighbor, _ in neighbors}
+            for node, neighbors in adjacency.items()
+        }
+
+    def walk(self, start: NodeId, length: int) -> list[NodeId]:
+        """One biased walk of at most ``length`` nodes starting at ``start``."""
+        walk = [start]
+        if length <= 1:
+            return walk
+        neighbors = self.adjacency.get(start, ())
+        if not neighbors:
+            return walk
+        current = self._weighted_choice(neighbors)
+        walk.append(current)
+        while len(walk) < length:
+            neighbors = self.adjacency.get(current, ())
+            if not neighbors:
+                break
+            previous = walk[-2]
+            current = self._biased_choice(previous, current, neighbors)
+            walk.append(current)
+        return walk
+
+    def walks(
+        self, nodes: Sequence[NodeId], num_walks: int, length: int
+    ) -> list[list[NodeId]]:
+        """``num_walks`` walks from every node, in shuffled start order."""
+        all_walks: list[list[NodeId]] = []
+        starts = list(nodes)
+        for _ in range(num_walks):
+            self._rng.shuffle(starts)
+            for start in starts:
+                all_walks.append(self.walk(start, length))
+        return all_walks
+
+    # ------------------------------------------------------------------
+
+    def _weighted_choice(self, neighbors: Sequence[tuple[NodeId, float]]) -> NodeId:
+        total = sum(weight for _, weight in neighbors)
+        threshold = self._rng.random() * total
+        cumulative = 0.0
+        for node, weight in neighbors:
+            cumulative += weight
+            if cumulative >= threshold:
+                return node
+        return neighbors[-1][0]
+
+    def _biased_choice(
+        self,
+        previous: NodeId,
+        current: NodeId,
+        neighbors: Sequence[tuple[NodeId, float]],
+    ) -> NodeId:
+        previous_neighbors = self._neighbor_sets.get(previous, set())
+        weights: list[float] = []
+        for node, weight in neighbors:
+            if node == previous:
+                weights.append(weight / self.p)
+            elif node in previous_neighbors:
+                weights.append(weight)
+            else:
+                weights.append(weight / self.q)
+        total = sum(weights)
+        threshold = self._rng.random() * total
+        cumulative = 0.0
+        for (node, _), biased in zip(neighbors, weights):
+            cumulative += biased
+            if cumulative >= threshold:
+                return node
+        return neighbors[-1][0]
+
+
+def generate_walks(
+    graph: PropertyGraph,
+    num_walks: int = 10,
+    walk_length: int = 20,
+    p: float = 1.0,
+    q: float = 1.0,
+    seed: int = 0,
+    weight_property: str = "w",
+) -> list[list[NodeId]]:
+    """Convenience wrapper: build adjacency and sample node2vec walks."""
+    adjacency = build_adjacency(graph, weight_property)
+    walker = RandomWalker(adjacency, p=p, q=q, seed=seed)
+    return walker.walks(list(adjacency), num_walks, walk_length)

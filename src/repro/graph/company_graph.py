@@ -1,0 +1,178 @@
+"""Company graphs (Definition 2.2 of the paper).
+
+A company graph is a property graph whose nodes are companies (label
+``C``) and persons (label ``P``) and whose edges are shareholdings (label
+``S``) carrying the owned fraction ``w`` in ``(0, 1]``.  Shareholding
+edges run company->company or person->company; the paper's dataset also
+contains self-loops (companies owning their own shares — buy-backs),
+which we permit.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from .property_graph import Edge, GraphError, Node, NodeId, PropertyGraph
+
+#: Node label for companies (paper's ``C``).
+COMPANY = "C"
+#: Node label for persons (paper's ``P``).
+PERSON = "P"
+#: Edge label for shareholdings (paper's ``S``).
+SHAREHOLDING = "S"
+#: Edge label for personal/family connections (detected, not extensional).
+FAMILY = "family"
+
+
+class CompanyGraph(PropertyGraph):
+    """A property graph restricted to the company-graph schema."""
+
+    def add_company(self, company_id: NodeId, **properties: Any) -> Node:
+        """Add a company node (features: name, address, legal_form, ...)."""
+        return self.add_node(company_id, COMPANY, **properties)
+
+    def add_person(self, person_id: NodeId, **properties: Any) -> Node:
+        """Add a person node (features: name, surname, birth_date, ...)."""
+        return self.add_node(person_id, PERSON, **properties)
+
+    def add_shareholding(
+        self,
+        owner: NodeId,
+        company: NodeId,
+        share: float,
+        edge_id: Any = None,
+        **properties: Any,
+    ) -> Edge:
+        """Add a shareholding edge ``owner -> company`` with fraction ``share``.
+
+        ``share`` must lie in ``(0, 1]`` per Definition 2.2; the target
+        must be a company; the owner may be a company or a person.
+        """
+        if not 0 < share <= 1:
+            raise GraphError(f"share amount must be in (0, 1], got {share}")
+        target = self.node(company)
+        if target.label != COMPANY:
+            raise GraphError(f"shareholding target {company!r} is not a company")
+        source = self.node(owner)
+        if source.label not in (COMPANY, PERSON):
+            raise GraphError(f"shareholding owner {owner!r} is not a company or person")
+        return self.add_edge(
+            owner, company, SHAREHOLDING, edge_id=edge_id, w=share, **properties
+        )
+
+    # ------------------------------------------------------------------
+    # typed accessors
+    # ------------------------------------------------------------------
+
+    def companies(self) -> Iterator[Node]:
+        return self.nodes(COMPANY)
+
+    def persons(self) -> Iterator[Node]:
+        return self.nodes(PERSON)
+
+    def shareholdings(self) -> Iterator[Edge]:
+        return self.edges(SHAREHOLDING)
+
+    def is_company(self, node_id: NodeId) -> bool:
+        return self.has_node(node_id) and self.node(node_id).label == COMPANY
+
+    def is_person(self, node_id: NodeId) -> bool:
+        return self.has_node(node_id) and self.node(node_id).label == PERSON
+
+    def share(self, owner: NodeId, company: NodeId) -> float:
+        """Total fraction of ``company`` directly owned by ``owner``.
+
+        Sums parallel shareholding edges (a shareholder may hold several
+        share packages with different legal rights).
+        """
+        total = 0.0
+        for edge in self.out_edges(owner, SHAREHOLDING):
+            if edge.target == company:
+                total += edge.get("w", 0.0)
+        return total
+
+    def shareholders(self, company: NodeId) -> Iterator[tuple[NodeId, float]]:
+        """(owner, share) pairs over the in-edges of ``company``."""
+        for edge in self.in_edges(company, SHAREHOLDING):
+            yield (edge.source, edge.get("w", 0.0))
+
+    def holdings(self, owner: NodeId) -> Iterator[tuple[NodeId, float]]:
+        """(company, share) pairs over the out-edges of ``owner``."""
+        for edge in self.out_edges(owner, SHAREHOLDING):
+            yield (edge.target, edge.get("w", 0.0))
+
+    def total_issued(self, company: NodeId) -> float:
+        """Sum of all shareholding fractions into ``company`` (sanity <= 1 + eps)."""
+        return sum(share for _, share in self.shareholders(company))
+
+
+def figure1_graph() -> CompanyGraph:
+    """The worked example of Figure 1 in the paper.
+
+    Persons P1, P2; companies C..L.  P1 controls C, D, E (via D plus a
+    direct 20%), and F (via E and D); P2 controls G, H, I; nobody
+    controls L on ownership alone.
+    """
+    graph = CompanyGraph()
+    graph.add_person("P1", name="P1")
+    graph.add_person("P2", name="P2")
+    for company in ("C", "D", "E", "F", "G", "H", "I", "L"):
+        graph.add_company(company, name=company)
+    graph.add_shareholding("P1", "C", 0.8)
+    graph.add_shareholding("P1", "D", 0.75)
+    graph.add_shareholding("P1", "E", 0.2)
+    graph.add_shareholding("D", "E", 0.4)
+    graph.add_shareholding("D", "F", 0.2)
+    graph.add_shareholding("E", "F", 0.4)
+    graph.add_shareholding("P2", "G", 0.6)
+    graph.add_shareholding("G", "H", 0.6)
+    graph.add_shareholding("G", "I", 0.4)
+    graph.add_shareholding("H", "I", 0.1)
+    graph.add_shareholding("P2", "I", 0.5)
+    graph.add_shareholding("F", "L", 0.2)
+    graph.add_shareholding("I", "L", 0.4)
+    return graph
+
+
+def figure2_graph() -> CompanyGraph:
+    """The worked example of Figure 2 in the paper.
+
+    Persons P1, P2, P3; companies C1..C7.  The figure is not
+    machine-readable in our source, so the graph is reconstructed to
+    satisfy every statement the text makes about it:
+
+    * P1 controls C4 by means of a direct 80% edge (Example 2.4);
+    * P2 controls C7 via C5 and C6 (Example 2.4 / use case 1);
+    * P3 owns 40% of C4 and 50% of C6, so C4 and C6 are closely linked
+      by Definition 2.6-(iii) with t = 0.2 (Example 2.7);
+    * the accumulated ownership of C4 over C7 is exactly 0.2, so C4 and
+      C7 are closely linked by Definition 2.6-(i) (Example 2.7).
+
+    Note: the stated shares over-issue C4 (0.8 + 0.4) and C6 (0.6 + 0.5);
+    we keep the paper's numbers verbatim — the real dataset contains such
+    data-quality artefacts too and the model does not forbid them.
+    """
+    graph = CompanyGraph()
+    for person in ("P1", "P2", "P3"):
+        graph.add_person(person, name=person)
+    for company in ("C1", "C2", "C3", "C4", "C5", "C6", "C7"):
+        graph.add_company(company, name=company)
+    # P1 controls C4 by means of a direct 80% edge.
+    graph.add_shareholding("P1", "C4", 0.8)
+    # P2 controls C5 directly; C5 gives P2 control of C6; C5 and C6
+    # jointly own 60% > 50% of C7.
+    graph.add_shareholding("P2", "C5", 0.6)
+    graph.add_shareholding("C5", "C6", 0.6)
+    graph.add_shareholding("C5", "C7", 0.3)
+    graph.add_shareholding("C6", "C7", 0.3)
+    # Phi(C4, C7) = 0.5 * 0.4 = 0.2 via C3.
+    graph.add_shareholding("C4", "C3", 0.5)
+    graph.add_shareholding("C3", "C7", 0.4)
+    # P3 owns 40% of C4 and 50% of C6 (close link by common owner).
+    graph.add_shareholding("P3", "C4", 0.4)
+    graph.add_shareholding("P3", "C6", 0.5)
+    # Context edges: P1's and P3's other holdings.
+    graph.add_shareholding("P1", "C1", 0.55)
+    graph.add_shareholding("C1", "C2", 0.5)
+    graph.add_shareholding("P3", "C2", 0.5)
+    return graph

@@ -1,0 +1,89 @@
+"""Graphviz DOT export, styled like the paper's figures.
+
+Figure 1/2 of the paper draw companies and persons as black/blue nodes,
+shareholdings as solid labelled edges, and the *derived* relationships
+dashed and coloured: green for control, magenta for close links, red for
+personal connections.  :func:`to_dot` renders any (augmented) company
+graph in that visual language, so ``dot -Tsvg`` reproduces the paper's
+pictures from live data.
+"""
+
+from __future__ import annotations
+
+from .company_graph import COMPANY, FAMILY, PERSON, SHAREHOLDING
+from .property_graph import PropertyGraph
+
+#: Edge styling per label: (color, style).
+EDGE_STYLES: dict[str | None, tuple[str, str]] = {
+    SHAREHOLDING: ("black", "solid"),
+    "control": ("forestgreen", "dashed"),
+    "close_link": ("magenta", "dashed"),
+    "partner_of": ("red", "dashed"),
+    "sibling_of": ("red", "dotted"),
+    "parent_of": ("red", "dashed"),
+    FAMILY: ("red", "dotted"),
+}
+
+NODE_STYLES: dict[str | None, str] = {
+    COMPANY: 'shape=box, color=black',
+    PERSON: 'shape=ellipse, color=blue, fontcolor=blue',
+    "F": 'shape=hexagon, color=red, fontcolor=red',
+}
+
+
+def _quote(value: object) -> str:
+    text = str(value).replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{text}"'
+
+
+def to_dot(
+    graph: PropertyGraph,
+    name: str = "company_graph",
+    show_share_labels: bool = True,
+    symmetric_once: bool = True,
+) -> str:
+    """Render ``graph`` as Graphviz DOT text.
+
+    ``symmetric_once`` draws each symmetric derived relation (close
+    links, partner/sibling) one time with both-way arrows instead of two
+    directed edges.
+    """
+    lines = [f"digraph {_quote(name)} {{", "  rankdir=TB;", "  node [fontsize=11];"]
+
+    for node in graph.nodes():
+        style = NODE_STYLES.get(node.label, "shape=ellipse, color=gray40")
+        label = node.properties.get("name", node.id)
+        lines.append(f"  {_quote(node.id)} [{style}, label={_quote(label)}];")
+
+    symmetric_labels = {"close_link", "partner_of", "sibling_of"}
+    drawn_symmetric: set[tuple] = set()
+    for edge in graph.edges():
+        color, style = EDGE_STYLES.get(edge.label, ("gray40", "dashed"))
+        attributes = [f"color={color}", f"style={style}"]
+        if edge.label == SHAREHOLDING and show_share_labels:
+            share = edge.get("w")
+            if share is not None:
+                attributes.append(f"label={_quote(f'{share:.0%}')}")
+        if symmetric_once and edge.label in symmetric_labels:
+            key = (edge.label, *sorted((str(edge.source), str(edge.target))))
+            if key in drawn_symmetric:
+                continue
+            drawn_symmetric.add(key)
+            attributes.append("dir=both")
+        if edge.label and edge.label != SHAREHOLDING:
+            attributes.append(f"fontcolor={color}")
+            if not symmetric_once or edge.label not in symmetric_labels:
+                attributes.append(f"label={_quote(edge.label)}")
+        rendered = ", ".join(attributes)
+        lines.append(
+            f"  {_quote(edge.source)} -> {_quote(edge.target)} [{rendered}];"
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def save_dot(graph: PropertyGraph, path, **kwargs) -> None:
+    """Write :func:`to_dot` output to ``path``."""
+    with open(path, "w") as handle:
+        handle.write(to_dot(graph, **kwargs))
+        handle.write("\n")

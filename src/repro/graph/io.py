@@ -1,0 +1,128 @@
+"""Import/export of company graphs (CSV and JSON).
+
+The paper's pipeline ingests relational enterprise data via ETL jobs; this
+module provides the file-level half of that: companies, persons and
+shareholdings as three CSV files (mirroring the Chambers-of-Commerce
+extract layout), plus a single-file JSON format for whole property graphs.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any
+
+from .company_graph import SHAREHOLDING, CompanyGraph
+from .property_graph import PropertyGraph
+
+COMPANY_FIELDS = ("id", "name", "address", "incorporation_date", "legal_form")
+PERSON_FIELDS = ("id", "name", "surname", "birth_date", "birth_place", "sex", "address", "father_name")
+SHAREHOLDING_FIELDS = ("owner", "company", "w", "right")
+
+
+def write_company_csv(graph: CompanyGraph, directory: str | Path) -> None:
+    """Write ``companies.csv``, ``persons.csv`` and ``shareholdings.csv``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    with open(directory / "companies.csv", "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(COMPANY_FIELDS)
+        for node in graph.companies():
+            writer.writerow([node.id] + [node.get(f, "") for f in COMPANY_FIELDS[1:]])
+
+    with open(directory / "persons.csv", "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(PERSON_FIELDS)
+        for node in graph.persons():
+            writer.writerow([node.id] + [node.get(f, "") for f in PERSON_FIELDS[1:]])
+
+    with open(directory / "shareholdings.csv", "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(SHAREHOLDING_FIELDS)
+        for edge in graph.shareholdings():
+            writer.writerow(
+                [edge.source, edge.target, edge.get("w", ""), edge.get("right", "")]
+            )
+
+
+def read_company_csv(directory: str | Path) -> CompanyGraph:
+    """Load a company graph written by :func:`write_company_csv`."""
+    directory = Path(directory)
+    graph = CompanyGraph()
+
+    with open(directory / "companies.csv", newline="") as handle:
+        for row in csv.DictReader(handle):
+            properties = {k: v for k, v in row.items() if k != "id" and v}
+            graph.add_company(row["id"], **properties)
+
+    with open(directory / "persons.csv", newline="") as handle:
+        for row in csv.DictReader(handle):
+            properties = {k: v for k, v in row.items() if k != "id" and v}
+            graph.add_person(row["id"], **properties)
+
+    with open(directory / "shareholdings.csv", newline="") as handle:
+        for row in csv.DictReader(handle):
+            extra: dict[str, Any] = {}
+            if row.get("right"):
+                extra["right"] = row["right"]
+            graph.add_shareholding(row["owner"], row["company"], float(row["w"]), **extra)
+
+    return graph
+
+
+def to_json(graph: PropertyGraph) -> dict[str, Any]:
+    """Serialise any property graph to a JSON-compatible dict."""
+    return {
+        "nodes": [
+            {"id": node.id, "label": node.label, "properties": node.properties}
+            for node in graph.nodes()
+        ],
+        "edges": [
+            {
+                "id": edge.id,
+                "source": edge.source,
+                "target": edge.target,
+                "label": edge.label,
+                "properties": edge.properties,
+            }
+            for edge in graph.edges()
+        ],
+    }
+
+
+def from_json(payload: dict[str, Any], company_graph: bool = True) -> PropertyGraph:
+    """Rebuild a graph serialised by :func:`to_json`.
+
+    With ``company_graph=True`` (the default) the result is a
+    :class:`CompanyGraph`; shareholding edges go through the validating
+    constructor so malformed share amounts are rejected on load.
+    """
+    graph: PropertyGraph = CompanyGraph() if company_graph else PropertyGraph()
+    for node in payload.get("nodes", ()):
+        graph.add_node(node["id"], node.get("label"), **node.get("properties", {}))
+    for edge in payload.get("edges", ()):
+        properties = dict(edge.get("properties", {}))
+        if company_graph and edge.get("label") == SHAREHOLDING:
+            share = properties.pop("w")
+            graph.add_shareholding(  # type: ignore[union-attr]
+                edge["source"], edge["target"], share,
+                edge_id=edge.get("id"), **properties,
+            )
+        else:
+            graph.add_edge(
+                edge["source"], edge["target"], edge.get("label"),
+                edge_id=edge.get("id"), **properties,
+            )
+    return graph
+
+
+def save_json(graph: PropertyGraph, path: str | Path) -> None:
+    with open(path, "w") as handle:
+        json.dump(to_json(graph), handle)
+
+
+def load_json(path: str | Path, company_graph: bool = True) -> PropertyGraph:
+    with open(path) as handle:
+        return from_json(json.load(handle), company_graph=company_graph)

@@ -1,0 +1,217 @@
+"""Graph statistics matching the profile published in Section 2 of the paper.
+
+The paper characterises the Italian company graph with: node and edge
+counts, number and average size of strongly/weakly connected components,
+largest SCC/WCC, average and maximum in-/out-degree, average clustering
+coefficient, number of self-loops, and a power-law degree distribution.
+:func:`profile` computes the same indicators for any property graph.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .property_graph import NodeId, PropertyGraph
+
+
+@dataclass
+class GraphProfile:
+    """The Section 2 statistical profile of a graph."""
+
+    nodes: int
+    edges: int
+    scc_count: int
+    scc_avg_size: float
+    scc_max_size: int
+    wcc_count: int
+    wcc_avg_size: float
+    wcc_max_size: int
+    avg_in_degree: float
+    avg_out_degree: float
+    max_in_degree: int
+    max_out_degree: int
+    avg_clustering: float
+    self_loops: int
+    power_law_alpha: float | None
+
+    def as_rows(self) -> list[tuple[str, str]]:
+        """Render as (indicator, value) rows, the shape the paper reports."""
+        fmt = lambda x: f"{x:,.4g}" if isinstance(x, float) else f"{x:,}"
+        rows = [
+            ("nodes", fmt(self.nodes)),
+            ("edges", fmt(self.edges)),
+            ("SCCs", fmt(self.scc_count)),
+            ("avg SCC size", fmt(self.scc_avg_size)),
+            ("largest SCC", fmt(self.scc_max_size)),
+            ("WCCs", fmt(self.wcc_count)),
+            ("avg WCC size", fmt(self.wcc_avg_size)),
+            ("largest WCC", fmt(self.wcc_max_size)),
+            ("avg in-degree", fmt(self.avg_in_degree)),
+            ("avg out-degree", fmt(self.avg_out_degree)),
+            ("max in-degree", fmt(self.max_in_degree)),
+            ("max out-degree", fmt(self.max_out_degree)),
+            ("avg clustering coefficient", fmt(self.avg_clustering)),
+            ("self-loops", fmt(self.self_loops)),
+        ]
+        if self.power_law_alpha is not None:
+            rows.append(("power-law alpha (MLE)", fmt(self.power_law_alpha)))
+        return rows
+
+
+def strongly_connected_components(graph: PropertyGraph) -> list[set[NodeId]]:
+    """Tarjan's SCCs (iterative)."""
+    index_counter = 0
+    indexes: dict[NodeId, int] = {}
+    lowlinks: dict[NodeId, int] = {}
+    on_stack: set[NodeId] = set()
+    stack: list[NodeId] = []
+    components: list[set[NodeId]] = []
+
+    for root in graph.node_ids():
+        if root in indexes:
+            continue
+        work = [(root, iter(list(graph.successors(root))))]
+        indexes[root] = lowlinks[root] = index_counter
+        index_counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, children = work[-1]
+            advanced = False
+            for child in children:
+                if child not in indexes:
+                    indexes[child] = lowlinks[child] = index_counter
+                    index_counter += 1
+                    stack.append(child)
+                    on_stack.add(child)
+                    work.append((child, iter(list(graph.successors(child)))))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    lowlinks[node] = min(lowlinks[node], indexes[child])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlinks[parent] = min(lowlinks[parent], lowlinks[node])
+            if lowlinks[node] == indexes[node]:
+                component: set[NodeId] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == node:
+                        break
+                components.append(component)
+    return components
+
+
+def weakly_connected_components(graph: PropertyGraph) -> list[set[NodeId]]:
+    """WCCs via union-find over the undirected projection."""
+    parent: dict[NodeId, NodeId] = {n: n for n in graph.node_ids()}
+
+    def find(x: NodeId) -> NodeId:
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    def union(a: NodeId, b: NodeId) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[ra] = rb
+
+    for edge in graph.edges():
+        union(edge.source, edge.target)
+
+    groups: dict[NodeId, set[NodeId]] = {}
+    for node in graph.node_ids():
+        groups.setdefault(find(node), set()).add(node)
+    return list(groups.values())
+
+
+def clustering_coefficient(graph: PropertyGraph, node_id: NodeId) -> float:
+    """Local clustering coefficient on the undirected projection."""
+    neighbors = [n for n in graph.neighbors(node_id)]
+    k = len(neighbors)
+    if k < 2:
+        return 0.0
+    neighbor_set = set(neighbors)
+    links = 0
+    for neighbor in neighbors:
+        for other in graph.neighbors(neighbor):
+            if other in neighbor_set:
+                links += 1
+    # each undirected neighbor pair counted twice (once per endpoint)
+    return links / (k * (k - 1))
+
+
+def average_clustering(graph: PropertyGraph, sample: int | None = None, seed: int = 7) -> float:
+    """Average local clustering coefficient, optionally over a random sample."""
+    node_ids = list(graph.node_ids())
+    if not node_ids:
+        return 0.0
+    if sample is not None and sample < len(node_ids):
+        import random
+
+        node_ids = random.Random(seed).sample(node_ids, sample)
+    total = sum(clustering_coefficient(graph, n) for n in node_ids)
+    return total / len(node_ids)
+
+
+def count_self_loops(graph: PropertyGraph) -> int:
+    return sum(1 for edge in graph.edges() if edge.source == edge.target)
+
+
+def power_law_alpha(graph: PropertyGraph, k_min: int = 1) -> float | None:
+    """MLE exponent of the (total) degree distribution: alpha = 1 + n / sum(ln(k / (k_min - 0.5))).
+
+    Returns None when fewer than 2 nodes reach ``k_min``.
+    """
+    degrees = [graph.degree(n) for n in graph.node_ids()]
+    tail = [k for k in degrees if k >= k_min]
+    if len(tail) < 2:
+        return None
+    denominator = sum(math.log(k / (k_min - 0.5)) for k in tail)
+    if denominator <= 0:
+        return None
+    return 1.0 + len(tail) / denominator
+
+
+def degree_histogram(graph: PropertyGraph) -> dict[int, int]:
+    """Degree -> node count, the raw data behind a log-log degree plot."""
+    histogram: dict[int, int] = {}
+    for node in graph.node_ids():
+        degree = graph.degree(node)
+        histogram[degree] = histogram.get(degree, 0) + 1
+    return dict(sorted(histogram.items()))
+
+
+def profile(graph: PropertyGraph, clustering_sample: int | None = 20_000) -> GraphProfile:
+    """Compute the full Section 2 profile of ``graph``."""
+    n = graph.node_count
+    sccs = strongly_connected_components(graph)
+    wccs = weakly_connected_components(graph)
+    in_degrees = [graph.in_degree(node) for node in graph.node_ids()]
+    out_degrees = [graph.out_degree(node) for node in graph.node_ids()]
+    return GraphProfile(
+        nodes=n,
+        edges=graph.edge_count,
+        scc_count=len(sccs),
+        scc_avg_size=(n / len(sccs)) if sccs else 0.0,
+        scc_max_size=max((len(c) for c in sccs), default=0),
+        wcc_count=len(wccs),
+        wcc_avg_size=(n / len(wccs)) if wccs else 0.0,
+        wcc_max_size=max((len(c) for c in wccs), default=0),
+        avg_in_degree=(sum(in_degrees) / n) if n else 0.0,
+        avg_out_degree=(sum(out_degrees) / n) if n else 0.0,
+        max_in_degree=max(in_degrees, default=0),
+        max_out_degree=max(out_degrees, default=0),
+        avg_clustering=average_clustering(graph, sample=clustering_sample),
+        self_loops=count_self_loops(graph),
+        power_law_alpha=power_law_alpha(graph),
+    )

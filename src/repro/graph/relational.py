@@ -1,0 +1,163 @@
+"""Relational representation of property graphs (Section 3 of the paper).
+
+Labels operate at schema level and map to predicate names; identifiers and
+properties are instance-level and become positional terms of facts.  A
+:class:`RelationalSchema` fixes, per label, the predicate name and the
+total ordering of property names (the paper's "total ordering of property
+names, so we can map them into positional atom terms").
+
+Node relation layout:  ``pred(id, prop_1, ..., prop_m)``.
+Edge relation layout:  ``pred(source_id, target_id, prop_1, ..., prop_m)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..datalog.database import Database
+from .company_graph import COMPANY, PERSON, SHAREHOLDING, CompanyGraph
+from .property_graph import PropertyGraph
+
+
+@dataclass(frozen=True)
+class NodeRelation:
+    """How one node label maps to a relation."""
+
+    label: str
+    predicate: str
+    properties: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class EdgeRelation:
+    """How one edge label maps to a relation.
+
+    ``sum_property``: relational set semantics collapses identical rows,
+    so two parallel edges with equal properties would silently become
+    one.  Naming a numeric property here makes the export *merge*
+    parallel edges between the same endpoints (equal on every other
+    property) by summing it — for shareholdings this is exactly the
+    total-fraction semantics of :meth:`CompanyGraph.share`.
+    """
+
+    label: str
+    predicate: str
+    properties: tuple[str, ...] = ()
+    sum_property: str | None = None
+
+
+@dataclass(frozen=True)
+class RelationalSchema:
+    """A full PG <-> relational mapping specification."""
+
+    node_relations: tuple[NodeRelation, ...]
+    edge_relations: tuple[EdgeRelation, ...]
+
+    def node_relation(self, label: str) -> NodeRelation | None:
+        for relation in self.node_relations:
+            if relation.label == label:
+                return relation
+        return None
+
+    def edge_relation(self, label: str) -> EdgeRelation | None:
+        for relation in self.edge_relations:
+            if relation.label == label:
+                return relation
+        return None
+
+
+#: The company-graph schema used throughout the paper: Company, Person, Own.
+COMPANY_SCHEMA = RelationalSchema(
+    node_relations=(
+        NodeRelation(COMPANY, "company", ("name", "address", "incorporation_date", "legal_form")),
+        NodeRelation(PERSON, "person", ("name", "surname", "birth_date", "birth_place", "sex", "address", "father_name")),
+    ),
+    edge_relations=(
+        EdgeRelation(SHAREHOLDING, "own", ("w", "right"), sum_property="w"),
+    ),
+)
+
+
+def to_facts(graph: PropertyGraph, schema: RelationalSchema = COMPANY_SCHEMA) -> Database:
+    """Export ``graph`` to its relational representation.
+
+    Elements whose label is not covered by the schema are skipped (they
+    are outside the mapped sub-signature). Missing properties map to None.
+    """
+    database = Database()
+    for node in graph.nodes():
+        relation = schema.node_relation(node.label) if node.label else None
+        if relation is None:
+            continue
+        values = (node.id,) + tuple(node.properties.get(p) for p in relation.properties)
+        database.add(relation.predicate, values)
+    merged: dict[tuple, float] = {}
+    merged_template: dict[tuple, tuple] = {}
+    for edge in graph.edges():
+        relation = schema.edge_relation(edge.label) if edge.label else None
+        if relation is None:
+            continue
+        values = (edge.source, edge.target) + tuple(
+            edge.properties.get(p) for p in relation.properties
+        )
+        if relation.sum_property is None:
+            database.add(relation.predicate, values)
+            continue
+        sum_index = 2 + relation.properties.index(relation.sum_property)
+        key = (relation.predicate,) + values[:sum_index] + values[sum_index + 1:]
+        merged[key] = merged.get(key, 0.0) + (values[sum_index] or 0.0)
+        merged_template[key] = (relation.predicate, values, sum_index)
+    for key, total in merged.items():
+        predicate, values, sum_index = merged_template[key]
+        row = values[:sum_index] + (total,) + values[sum_index + 1:]
+        database.add(predicate, row)
+    return database
+
+
+def company_graph_from_facts(
+    database: Database, schema: RelationalSchema = COMPANY_SCHEMA
+) -> CompanyGraph:
+    """Rebuild a :class:`CompanyGraph` from its relational representation.
+
+    Inverse of :func:`to_facts` for the company schema; property values
+    equal to None are dropped.
+    """
+    graph = CompanyGraph()
+    for relation in schema.node_relations:
+        for values in database.facts(relation.predicate):
+            node_id = values[0]
+            properties = {
+                name: value
+                for name, value in zip(relation.properties, values[1:])
+                if value is not None
+            }
+            if relation.label == COMPANY:
+                graph.add_company(node_id, **properties)
+            elif relation.label == PERSON:
+                graph.add_person(node_id, **properties)
+            else:
+                graph.add_node(node_id, relation.label, **properties)
+    for relation in schema.edge_relations:
+        for values in database.facts(relation.predicate):
+            source, target = values[0], values[1]
+            properties = {
+                name: value
+                for name, value in zip(relation.properties, values[2:])
+                if value is not None
+            }
+            if relation.label == SHAREHOLDING:
+                share = properties.pop("w", None)
+                if share is None:
+                    raise ValueError(
+                        f"own fact {values!r} is missing the share amount 'w'"
+                    )
+                graph.add_shareholding(source, target, share, **properties)
+            else:
+                graph.add_edge(source, target, relation.label, **properties)
+    return graph
+
+
+def roundtrip(graph: CompanyGraph, schema: RelationalSchema = COMPANY_SCHEMA) -> CompanyGraph:
+    """Export and re-import (used by tests to check the mapping is lossless
+    over the schema-covered signature)."""
+    return company_graph_from_facts(to_facts(graph, schema), schema)

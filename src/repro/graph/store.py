@@ -1,0 +1,159 @@
+"""An embedded property-graph store — the reproduction's stand-in for Neo4j.
+
+The paper stores the extensional property graph in a Neo4j server and
+lets enterprise applications reach it through a reasoning API (Section 5).
+Our store keeps the same role with an embedded engine: labelled nodes and
+edges, secondary property indexes created on demand, and a small pattern
+query surface (`find_nodes`, `match_edges`, `expand`) sufficient for the
+pipeline and the examples.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Iterator
+
+from .property_graph import Edge, Node, NodeId, PropertyGraph
+
+
+class GraphStore:
+    """Wraps a :class:`PropertyGraph` with label and property indexes."""
+
+    def __init__(self, graph: PropertyGraph | None = None):
+        self.graph = graph if graph is not None else PropertyGraph()
+        # label -> node ids
+        self._label_index: dict[str | None, set[NodeId]] = defaultdict(set)
+        # (label, property) -> value -> node ids
+        self._property_indexes: dict[tuple[str | None, str], dict[Any, set[NodeId]]] = {}
+        for node in self.graph.nodes():
+            self._label_index[node.label].add(node.id)
+
+    # ------------------------------------------------------------------
+    # writes (kept in sync with the indexes)
+    # ------------------------------------------------------------------
+
+    def create_node(self, node_id: NodeId, label: str | None = None, **properties: Any) -> Node:
+        node = self.graph.add_node(node_id, label, **properties)
+        self._label_index[label].add(node_id)
+        for (index_label, prop), index in self._property_indexes.items():
+            if index_label in (None, label) and prop in properties:
+                index.setdefault(properties[prop], set()).add(node_id)
+        return node
+
+    def create_edge(
+        self, source: NodeId, target: NodeId, label: str | None = None, **properties: Any
+    ) -> Edge:
+        return self.graph.add_edge(source, target, label, **properties)
+
+    def set_property(self, node_id: NodeId, name: str, value: Any) -> None:
+        node = self.graph.node(node_id)
+        old = node.properties.get(name)
+        node.properties[name] = value
+        for (index_label, prop), index in self._property_indexes.items():
+            if prop != name or index_label not in (None, node.label):
+                continue
+            if old in index:
+                index[old].discard(node_id)
+            index.setdefault(value, set()).add(node_id)
+
+    def delete_node(self, node_id: NodeId) -> None:
+        node = self.graph.remove_node(node_id)
+        self._label_index[node.label].discard(node_id)
+        for (index_label, prop), index in self._property_indexes.items():
+            if index_label in (None, node.label) and prop in node.properties:
+                index.get(node.properties[prop], set()).discard(node_id)
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+
+    def ensure_index(self, prop: str, label: str | None = None) -> None:
+        """Build (idempotently) a property index, optionally scoped to a label."""
+        key = (label, prop)
+        if key in self._property_indexes:
+            return
+        index: dict[Any, set[NodeId]] = {}
+        candidates = (
+            self._label_index.get(label, set()) if label is not None else self.graph.node_ids()
+        )
+        for node_id in candidates:
+            node = self.graph.node(node_id)
+            if prop in node.properties:
+                index.setdefault(node.properties[prop], set()).add(node_id)
+        self._property_indexes[key] = index
+
+    def find_nodes(
+        self, label: str | None = None, **criteria: Any
+    ) -> Iterator[Node]:
+        """Nodes matching a label and exact property equalities.
+
+        Uses a property index when one criterion is indexed; otherwise
+        scans the label partition.
+        """
+        candidate_ids: set[NodeId] | None = None
+        for prop, value in criteria.items():
+            index = self._property_indexes.get((label, prop)) or self._property_indexes.get(
+                (None, prop)
+            )
+            if index is not None:
+                hits = index.get(value, set())
+                candidate_ids = hits if candidate_ids is None else candidate_ids & hits
+        if candidate_ids is None:
+            if label is not None:
+                candidate_ids = self._label_index.get(label, set())
+            else:
+                candidate_ids = set(self.graph.node_ids())
+        for node_id in candidate_ids:
+            if not self.graph.has_node(node_id):
+                continue
+            node = self.graph.node(node_id)
+            if label is not None and node.label != label:
+                continue
+            if all(node.properties.get(p) == v for p, v in criteria.items()):
+                yield node
+
+    def match_edges(
+        self,
+        label: str | None = None,
+        source: NodeId | None = None,
+        target: NodeId | None = None,
+        **criteria: Any,
+    ) -> Iterator[Edge]:
+        """Edges matching a label, endpoints and property equalities."""
+        if source is not None:
+            edges: Iterator[Edge] = self.graph.out_edges(source, label)
+        elif target is not None:
+            edges = self.graph.in_edges(target, label)
+        else:
+            edges = self.graph.edges(label)
+        for edge in edges:
+            if source is not None and edge.source != source:
+                continue
+            if target is not None and edge.target != target:
+                continue
+            if all(edge.properties.get(p) == v for p, v in criteria.items()):
+                yield edge
+
+    def expand(
+        self, node_id: NodeId, label: str | None = None, depth: int = 1
+    ) -> set[NodeId]:
+        """Nodes reachable from ``node_id`` within ``depth`` hops (out-edges)."""
+        frontier = {node_id}
+        visited = {node_id}
+        for _ in range(depth):
+            next_frontier: set[NodeId] = set()
+            for current in frontier:
+                for successor in self.graph.successors(current, label):
+                    if successor not in visited:
+                        visited.add(successor)
+                        next_frontier.add(successor)
+            frontier = next_frontier
+            if not frontier:
+                break
+        visited.discard(node_id)
+        return visited
+
+    def node_count(self, label: str | None = None) -> int:
+        if label is None:
+            return self.graph.node_count
+        return len(self._label_index.get(label, ()))

@@ -1,0 +1,186 @@
+"""Yearly ownership history — the temporal shape of the paper's database.
+
+The Italian company database covers 2005-2018 and the paper reports its
+statistics "on average, for each year".  This module models that shape:
+an :class:`OwnershipHistory` holds one :class:`CompanyGraph` snapshot per
+year and answers longitudinal questions — how control changed between
+years, which relationships are stable, how the yearly statistical profile
+evolves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..ownership.control import CONTROL_THRESHOLD, control_closure
+from .company_graph import CompanyGraph
+from .metrics import GraphProfile, profile
+from .property_graph import NodeId
+
+
+@dataclass(frozen=True)
+class ControlChange:
+    """One change in the control relation between two snapshots."""
+
+    controller: NodeId
+    company: NodeId
+    kind: str  # "gained" or "lost"
+
+
+class OwnershipHistory:
+    """An ordered collection of yearly company-graph snapshots."""
+
+    def __init__(self, snapshots: dict[int, CompanyGraph] | None = None):
+        self._snapshots: dict[int, CompanyGraph] = dict(snapshots or {})
+
+    # ------------------------------------------------------------------
+    # snapshot management
+    # ------------------------------------------------------------------
+
+    def add_snapshot(self, year: int, graph: CompanyGraph) -> None:
+        self._snapshots[year] = graph
+
+    def snapshot(self, year: int) -> CompanyGraph:
+        try:
+            return self._snapshots[year]
+        except KeyError:
+            raise KeyError(f"no snapshot for year {year}") from None
+
+    def years(self) -> list[int]:
+        return sorted(self._snapshots)
+
+    def __len__(self) -> int:
+        return len(self._snapshots)
+
+    def __iter__(self) -> Iterator[tuple[int, CompanyGraph]]:
+        for year in self.years():
+            yield year, self._snapshots[year]
+
+    # ------------------------------------------------------------------
+    # longitudinal analytics
+    # ------------------------------------------------------------------
+
+    def control_changes(
+        self,
+        year_from: int,
+        year_to: int,
+        threshold: float = CONTROL_THRESHOLD,
+    ) -> list[ControlChange]:
+        """Control pairs gained or lost between two snapshot years."""
+        before = control_closure(self.snapshot(year_from), threshold=threshold)
+        after = control_closure(self.snapshot(year_to), threshold=threshold)
+        changes = [
+            ControlChange(x, y, "gained") for x, y in sorted(after - before, key=str)
+        ]
+        changes.extend(
+            ControlChange(x, y, "lost") for x, y in sorted(before - after, key=str)
+        )
+        return changes
+
+    def stable_control_pairs(
+        self, threshold: float = CONTROL_THRESHOLD
+    ) -> set[tuple[NodeId, NodeId]]:
+        """Control pairs that hold in *every* snapshot."""
+        years = self.years()
+        if not years:
+            return set()
+        stable = control_closure(self.snapshot(years[0]), threshold=threshold)
+        for year in years[1:]:
+            stable &= control_closure(self.snapshot(year), threshold=threshold)
+        return stable
+
+    def profile_series(self) -> dict[int, GraphProfile]:
+        """The Section 2 statistical profile, per year."""
+        return {year: profile(graph) for year, graph in self}
+
+    def node_tenure(self) -> dict[NodeId, tuple[int, int]]:
+        """node -> (first year present, last year present)."""
+        tenure: dict[NodeId, tuple[int, int]] = {}
+        for year, graph in self:
+            for node in graph.node_ids():
+                first, _ = tenure.get(node, (year, year))
+                tenure[node] = (first, year)
+        return tenure
+
+    def churn(self, year_from: int, year_to: int) -> dict[str, int]:
+        """Node/edge arrivals and departures between two years."""
+        before = self.snapshot(year_from)
+        after = self.snapshot(year_to)
+        nodes_before = set(before.node_ids())
+        nodes_after = set(after.node_ids())
+        edges_before = {
+            (e.source, e.target, round(e.get("w", 0.0), 9))
+            for e in before.shareholdings()
+        }
+        edges_after = {
+            (e.source, e.target, round(e.get("w", 0.0), 9))
+            for e in after.shareholdings()
+        }
+        return {
+            "nodes_added": len(nodes_after - nodes_before),
+            "nodes_removed": len(nodes_before - nodes_after),
+            "edges_added": len(edges_after - edges_before),
+            "edges_removed": len(edges_before - edges_after),
+        }
+
+
+def evolve(
+    graph: CompanyGraph,
+    years: list[int],
+    seed: int = 0,
+    transfer_rate: float = 0.05,
+    incorporation_rate: float = 0.02,
+    dissolution_rate: float = 0.01,
+) -> OwnershipHistory:
+    """Simulate yearly evolution of an ownership graph.
+
+    Each year: a fraction of shareholdings transfer to a different owner
+    (``transfer_rate``), new companies incorporate with shares taken by
+    random existing nodes (``incorporation_rate`` of the company count),
+    and a few companies dissolve (``dissolution_rate``).  Deterministic
+    per seed; the first listed year holds the input graph unchanged.
+    """
+    import random
+
+    rng = random.Random(seed)
+    history = OwnershipHistory()
+    current = graph.copy()
+    history.add_snapshot(years[0], current)
+
+    next_company_id = 0
+    for year in years[1:]:
+        current = current.copy()
+
+        # share transfers: reassign the owner of some shareholdings
+        holders = [n.id for n in current.persons()] + [n.id for n in current.companies()]
+        for edge in list(current.shareholdings()):
+            if rng.random() >= transfer_rate or not holders:
+                continue
+            new_owner = rng.choice(holders)
+            if new_owner == edge.target or new_owner == edge.source:
+                continue
+            share = edge.get("w", 0.0)
+            current.remove_edge(edge.id)
+            current.add_shareholding(new_owner, edge.target, share)
+
+        # incorporations
+        companies = [n.id for n in current.companies()]
+        births = max(0, int(len(companies) * incorporation_rate))
+        for _ in range(births):
+            company_id = f"NEW{year}_{next_company_id:05d}"
+            next_company_id += 1
+            current.add_company(company_id, name=company_id,
+                                incorporation_date=f"{year}-01-01")
+            if holders:
+                owner = rng.choice(holders)
+                current.add_shareholding(owner, company_id, 0.3 + 0.7 * rng.random())
+
+        # dissolutions
+        companies = [n.id for n in current.companies()]
+        deaths = max(0, int(len(companies) * dissolution_rate))
+        for company in rng.sample(companies, min(deaths, len(companies))):
+            current.remove_node(company)
+
+        history.add_snapshot(year, current)
+    return history

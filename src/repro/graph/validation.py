@@ -1,0 +1,147 @@
+"""Data-quality validation of company graphs.
+
+The paper's Section 1 lists low edge trustworthiness among the reasons
+relationship data is missing from enterprise stores, and Section 5 notes
+the pipeline performs "data cleaning and quality enhancement steps".
+This module makes those checks concrete — each produces typed findings a
+pipeline can report or act on:
+
+* over-issued equity (a company's incoming shares sum past 100%);
+* self-ownership above a plausibility bound (buy-backs exist, but a
+  company majority-owning itself is a data artefact);
+* duplicate person records (same name/surname/birth date — typical of
+  registry double entries);
+* missing identity features (persons lacking the fields the family
+  classifiers need);
+* orphan shareholders (persons holding nothing — legal in the data but
+  often a stale record in an *ownership* extract).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from .company_graph import CompanyGraph
+from .property_graph import NodeId
+
+#: Tolerance on the 100%-equity check (rounding artefacts are legitimate).
+EQUITY_TOLERANCE = 1e-6
+#: A self-held fraction above this is treated as an artefact, not buy-back.
+SELF_OWNERSHIP_BOUND = 0.5
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One data-quality finding."""
+
+    check: str
+    subject: NodeId
+    severity: str  # "error" or "warning"
+    detail: str
+
+
+def check_over_issued_equity(graph: CompanyGraph) -> Iterator[Finding]:
+    """Companies whose incoming shares sum to more than 100%."""
+    for company in graph.companies():
+        total = graph.total_issued(company.id)
+        if total > 1.0 + EQUITY_TOLERANCE:
+            yield Finding(
+                "over_issued_equity", company.id, "error",
+                f"shares held sum to {total:.4f} (> 1.0)",
+            )
+
+
+def check_self_ownership(graph: CompanyGraph) -> Iterator[Finding]:
+    """Companies majority-owning themselves (beyond plausible buy-backs)."""
+    for company in graph.companies():
+        self_share = graph.share(company.id, company.id)
+        if self_share > SELF_OWNERSHIP_BOUND:
+            yield Finding(
+                "excessive_self_ownership", company.id, "error",
+                f"company holds {self_share:.2%} of itself",
+            )
+        elif self_share > 0:
+            yield Finding(
+                "self_ownership", company.id, "warning",
+                f"buy-back of {self_share:.2%}",
+            )
+
+
+def check_duplicate_persons(graph: CompanyGraph) -> Iterator[Finding]:
+    """Distinct person records sharing name, surname and birth date."""
+    seen: dict[tuple, NodeId] = {}
+    for person in graph.persons():
+        key = (
+            str(person.get("name") or "").lower(),
+            str(person.get("surname") or "").lower(),
+            person.get("birth_date"),
+        )
+        if not key[0] or not key[1] or key[2] is None:
+            continue
+        if key in seen:
+            yield Finding(
+                "duplicate_person", person.id, "warning",
+                f"same identity as {seen[key]}: {key[0]} {key[1]} {key[2]}",
+            )
+        else:
+            seen[key] = person.id
+
+
+def check_missing_identity_features(
+    graph: CompanyGraph,
+    required: tuple[str, ...] = ("surname", "birth_date"),
+) -> Iterator[Finding]:
+    """Persons lacking the features the family classifiers rely on."""
+    for person in graph.persons():
+        missing = [f for f in required if person.get(f) in (None, "")]
+        if missing:
+            yield Finding(
+                "missing_identity_features", person.id, "warning",
+                f"missing: {', '.join(missing)}",
+            )
+
+
+def check_orphan_shareholders(graph: CompanyGraph) -> Iterator[Finding]:
+    """Person records with no shareholding at all."""
+    for person in graph.persons():
+        if graph.out_degree(person.id) == 0:
+            yield Finding(
+                "orphan_shareholder", person.id, "warning",
+                "person holds no shares",
+            )
+
+
+ALL_CHECKS = (
+    check_over_issued_equity,
+    check_self_ownership,
+    check_duplicate_persons,
+    check_missing_identity_features,
+    check_orphan_shareholders,
+)
+
+
+def validate(graph: CompanyGraph, checks=ALL_CHECKS) -> list[Finding]:
+    """Run the selected checks; findings sorted errors-first."""
+    findings: list[Finding] = []
+    for check in checks:
+        findings.extend(check(graph))
+    severity_rank = {"error": 0, "warning": 1}
+    return sorted(
+        findings,
+        key=lambda f: (severity_rank.get(f.severity, 2), f.check, str(f.subject)),
+    )
+
+
+def quality_report(graph: CompanyGraph) -> str:
+    """A human-readable validation summary."""
+    findings = validate(graph)
+    if not findings:
+        return "no data-quality findings"
+    lines = [f"{len(findings)} finding(s):"]
+    for finding in findings:
+        lines.append(
+            f"  [{finding.severity:7s}] {finding.check}: "
+            f"{finding.subject} — {finding.detail}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,165 @@
+"""Bayesian personal-link classifier with Graham combination.
+
+Following the paper's Section 2 model: for each feature ``f_i`` we need
+``p_i = P(L_xy | d(f_i^x, f_i^y) < T_f)`` — the probability of a link
+given the feature matches.  By Bayes::
+
+    p_i = P(d < T | L) * P(L) / P(d < T)
+
+where ``P(d < T | L)`` (the *m-probability* in record-linkage jargon) and
+the marginal ``P(d < T)`` are estimated from training data, and ``P(L)``
+is the prior likelihood of a link.  When a feature does *not* match we
+use the complementary evidence ``P(L | d >= T)`` the same way.
+
+The per-feature posteriors combine via Graham's formula (from Bayesian
+spam filtering, cited as [25] in the paper)::
+
+    p = (p_1 ... p_n) / (p_1 ... p_n + (1 - p_1) ... (1 - p_n))
+
+A pair is a link candidate when ``p > 0.5`` (Algorithm 7's threshold).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+from .features import FeatureSpec
+
+#: Laplace-style smoothing applied to estimated probabilities.
+_SMOOTHING = 0.5
+#: Posteriors are clamped away from 0/1 so one feature cannot veto the rest.
+_CLAMP = 1e-4
+
+
+def graham_combination(probabilities: Sequence[float]) -> float:
+    """Combine per-feature posteriors into a single link probability."""
+    if not probabilities:
+        return 0.0
+    product = 1.0
+    complement = 1.0
+    for p in probabilities:
+        p = min(max(p, _CLAMP), 1.0 - _CLAMP)
+        product *= p
+        complement *= 1.0 - p
+    return product / (product + complement)
+
+
+@dataclass
+class FeatureEstimate:
+    """Estimated match probabilities of one feature."""
+
+    m: float  # P(d < T | link)
+    u: float  # P(d < T | no link)
+
+    def posterior(self, matched: bool, prior: float) -> float:
+        """P(link | evidence) for this feature alone."""
+        if matched:
+            likelihood_link, likelihood_nolink = self.m, self.u
+        else:
+            likelihood_link, likelihood_nolink = 1.0 - self.m, 1.0 - self.u
+        numerator = likelihood_link * prior
+        denominator = numerator + likelihood_nolink * (1.0 - prior)
+        if denominator == 0.0:
+            return 0.5
+        return numerator / denominator
+
+
+@dataclass
+class BayesianLinkClassifier:
+    """Multi-feature Bayesian classifier for one link class."""
+
+    link_class: str
+    features: tuple[FeatureSpec, ...]
+    prior: float = 0.1
+    estimates: dict[str, FeatureEstimate] = field(default_factory=dict)
+    #: Optional asymmetry constraint (e.g. ParentOf requires left older);
+    #: pairs violating it get probability 0 regardless of the features.
+    direction: Callable[[dict[str, Any], dict[str, Any]], bool] | None = None
+
+    def __post_init__(self) -> None:
+        # untrained defaults come from the feature specs (training replaces them)
+        for spec in self.features:
+            self.estimates.setdefault(
+                spec.name, FeatureEstimate(m=spec.m_default, u=spec.u_default)
+            )
+
+    # ------------------------------------------------------------------
+    # training
+    # ------------------------------------------------------------------
+
+    def fit(
+        self,
+        pairs: Iterable[tuple[dict[str, Any], dict[str, Any]]],
+        labels: Iterable[bool],
+        prior: float | None = None,
+    ) -> "BayesianLinkClassifier":
+        """Estimate m/u probabilities (and the prior) from labelled pairs.
+
+        Pass ``prior`` explicitly when the training sample is balanced
+        rather than population-representative — the label frequency of a
+        balanced sample is not the a-priori link likelihood.
+        """
+        match_counts = {spec.name: [0, 0] for spec in self.features}   # matched among links
+        unmatch_counts = {spec.name: [0, 0] for spec in self.features}  # matched among non-links
+        links = 0
+        total = 0
+        for (left, right), label in zip(pairs, labels):
+            total += 1
+            if label:
+                links += 1
+            for spec in self.features:
+                matched = spec.matches(left, right)
+                if matched is None:
+                    continue
+                bucket = match_counts if label else unmatch_counts
+                bucket[spec.name][1] += 1
+                if matched:
+                    bucket[spec.name][0] += 1
+        if prior is not None:
+            self.prior = prior
+        elif total:
+            self.prior = (links + _SMOOTHING) / (total + 2 * _SMOOTHING)
+        for spec in self.features:
+            matched_links, seen_links = match_counts[spec.name]
+            matched_nolinks, seen_nolinks = unmatch_counts[spec.name]
+            m = (matched_links + _SMOOTHING) / (seen_links + 2 * _SMOOTHING)
+            u = (matched_nolinks + _SMOOTHING) / (seen_nolinks + 2 * _SMOOTHING)
+            self.estimates[spec.name] = FeatureEstimate(m=m, u=u)
+        return self
+
+    # ------------------------------------------------------------------
+    # scoring
+    # ------------------------------------------------------------------
+
+    def probability(self, left: dict[str, Any], right: dict[str, Any]) -> float:
+        """Link probability for a pair of person feature dicts.
+
+        Per-feature evidence is combined with Graham's formula over the
+        *likelihood* posteriors (prior 1/2 — Graham combination is
+        exactly naive Bayes with an even prior, so 0.5 is its neutral
+        point), and the class prior is folded in once at the end.
+        Folding the prior into every p_i instead would shift the neutral
+        point and make weak positive evidence count as negative.
+        """
+        if self.direction is not None and not self.direction(left, right):
+            return 0.0
+        posteriors: list[float] = []
+        for spec in self.features:
+            matched = spec.matches(left, right)
+            if matched is None:
+                continue  # missing data contributes no evidence
+            posteriors.append(self.estimates[spec.name].posterior(matched, 0.5))
+        if not posteriors:
+            return 0.0
+        evidence = graham_combination(posteriors)
+        evidence = min(max(evidence, _CLAMP), 1.0 - _CLAMP)
+        prior = min(max(self.prior, _CLAMP), 1.0 - _CLAMP)
+        odds = (evidence / (1.0 - evidence)) * (prior / (1.0 - prior))
+        return odds / (1.0 + odds)
+
+    def predict(
+        self, left: dict[str, Any], right: dict[str, Any], threshold: float = 0.5
+    ) -> bool:
+        """Algorithm 7's decision: probability strictly above the threshold."""
+        return self.probability(left, right) > threshold

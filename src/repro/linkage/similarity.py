@@ -1,0 +1,146 @@
+"""String and value similarity measures used for personal-link detection.
+
+The paper's family-link classifier compares person features with
+per-feature distances (it names Levenshtein for strings); this module
+provides those distances plus the usual record-linkage companions
+(Jaro, Jaro-Winkler) and numeric/date helpers.
+"""
+
+from __future__ import annotations
+
+
+def levenshtein(a: str, b: str) -> int:
+    """Edit distance (insert/delete/substitute), O(len(a)*len(b)) two rows."""
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    if len(a) < len(b):
+        a, b = b, a
+    previous = list(range(len(b) + 1))
+    for i, char_a in enumerate(a, start=1):
+        current = [i]
+        for j, char_b in enumerate(b, start=1):
+            cost = 0 if char_a == char_b else 1
+            current.append(min(
+                previous[j] + 1,        # deletion
+                current[j - 1] + 1,     # insertion
+                previous[j - 1] + cost  # substitution
+            ))
+        previous = current
+    return previous[-1]
+
+
+def levenshtein_similarity(a: str, b: str) -> float:
+    """1 - normalised edit distance, in [0, 1]; empty-vs-empty is 1."""
+    longest = max(len(a), len(b))
+    if longest == 0:
+        return 1.0
+    return 1.0 - levenshtein(a, b) / longest
+
+
+def jaro(a: str, b: str) -> float:
+    """Jaro similarity in [0, 1]."""
+    if a == b:
+        return 1.0
+    len_a, len_b = len(a), len(b)
+    if len_a == 0 or len_b == 0:
+        return 0.0
+    window = max(len_a, len_b) // 2 - 1
+    window = max(window, 0)
+    matches_a = [False] * len_a
+    matches_b = [False] * len_b
+    matches = 0
+    for i, char in enumerate(a):
+        lo = max(0, i - window)
+        hi = min(len_b, i + window + 1)
+        for j in range(lo, hi):
+            if matches_b[j] or b[j] != char:
+                continue
+            matches_a[i] = matches_b[j] = True
+            matches += 1
+            break
+    if matches == 0:
+        return 0.0
+    transpositions = 0
+    k = 0
+    for i in range(len_a):
+        if not matches_a[i]:
+            continue
+        while not matches_b[k]:
+            k += 1
+        if a[i] != b[k]:
+            transpositions += 1
+        k += 1
+    transpositions //= 2
+    return (
+        matches / len_a + matches / len_b + (matches - transpositions) / matches
+    ) / 3.0
+
+
+def jaro_winkler(a: str, b: str, prefix_scale: float = 0.1, max_prefix: int = 4) -> float:
+    """Jaro-Winkler: Jaro boosted by the length of the common prefix."""
+    base = jaro(a, b)
+    prefix = 0
+    for char_a, char_b in zip(a, b):
+        if char_a != char_b or prefix >= max_prefix:
+            break
+        prefix += 1
+    return base + prefix * prefix_scale * (1.0 - base)
+
+
+def absolute_difference(a: float | int, b: float | int) -> float:
+    """|a - b| for numeric features (ages, years)."""
+    return abs(float(a) - float(b))
+
+
+def equality_distance(a: object, b: object) -> float:
+    """0.0 when equal, 1.0 otherwise (categorical features: sex, city code)."""
+    return 0.0 if a == b else 1.0
+
+
+def year_of(date: str | int) -> int:
+    """Extract the year from an ISO date string or pass an int through."""
+    if isinstance(date, int):
+        return date
+    return int(str(date)[:4])
+
+
+_SOUNDEX_CODES = {
+    **dict.fromkeys("bfpv", "1"),
+    **dict.fromkeys("cgjkqsxz", "2"),
+    **dict.fromkeys("dt", "3"),
+    "l": "4",
+    **dict.fromkeys("mn", "5"),
+    "r": "6",
+}
+
+
+def soundex(word: str) -> str:
+    """American Soundex code (e.g. 'Rossi' -> 'R200').
+
+    Useful as a typo-robust blocking key: surnames differing by a vowel
+    substitution or doubled consonant map to the same code.
+    """
+    cleaned = [c for c in word.lower() if c.isalpha()]
+    if not cleaned:
+        return "0000"
+    first = cleaned[0]
+    encoded = [first.upper()]
+    previous = _SOUNDEX_CODES.get(first, "")
+    for char in cleaned[1:]:
+        code = _SOUNDEX_CODES.get(char, "")
+        if code and code != previous:
+            encoded.append(code)
+            if len(encoded) == 4:
+                break
+        if char not in "hw":  # h/w do not reset the previous code
+            previous = code
+    return "".join(encoded).ljust(4, "0")
+
+
+def soundex_distance(a: str, b: str) -> float:
+    """0.0 when the Soundex codes agree, 1.0 otherwise."""
+    return 0.0 if soundex(str(a)) == soundex(str(b)) else 1.0

@@ -1,0 +1,109 @@
+"""Classic topological link-prediction baselines.
+
+The paper positions KG augmentation against *link prediction* [29]: the
+usual predictors score a candidate pair by its graph neighbourhood —
+common neighbours, Jaccard, Adamic-Adar, preferential attachment.  We
+implement them as the comparison baseline: on company ownership graphs
+the personal links Vada-Link derives connect people who are often in
+*different weakly connected components*, so neighbourhood scores carry
+no signal — exactly the paper's argument for combining extensional data
+with domain knowledge instead of guessing from topology.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable
+
+from ..graph.property_graph import PropertyGraph
+
+NodeId = Hashable
+
+
+def _neighbor_sets(graph: PropertyGraph) -> dict[NodeId, set[NodeId]]:
+    return {node: set(graph.neighbors(node)) for node in graph.node_ids()}
+
+
+def common_neighbors(graph: PropertyGraph, x: NodeId, y: NodeId) -> int:
+    """|N(x) ∩ N(y)| on the undirected projection."""
+    neighbors_x = set(graph.neighbors(x))
+    neighbors_y = set(graph.neighbors(y))
+    return len(neighbors_x & neighbors_y)
+
+
+def jaccard_coefficient(graph: PropertyGraph, x: NodeId, y: NodeId) -> float:
+    """|N(x) ∩ N(y)| / |N(x) ∪ N(y)| (0 for two isolated nodes)."""
+    neighbors_x = set(graph.neighbors(x))
+    neighbors_y = set(graph.neighbors(y))
+    union = neighbors_x | neighbors_y
+    if not union:
+        return 0.0
+    return len(neighbors_x & neighbors_y) / len(union)
+
+
+def adamic_adar(graph: PropertyGraph, x: NodeId, y: NodeId) -> float:
+    """Sum over common neighbours z of 1 / log |N(z)|."""
+    neighbors_x = set(graph.neighbors(x))
+    neighbors_y = set(graph.neighbors(y))
+    score = 0.0
+    for z in neighbors_x & neighbors_y:
+        degree = sum(1 for _ in graph.neighbors(z))
+        if degree > 1:
+            score += 1.0 / math.log(degree)
+    return score
+
+
+def preferential_attachment(graph: PropertyGraph, x: NodeId, y: NodeId) -> int:
+    """|N(x)| * |N(y)| — hubs attract."""
+    return sum(1 for _ in graph.neighbors(x)) * sum(1 for _ in graph.neighbors(y))
+
+
+SCORERS = {
+    "common_neighbors": common_neighbors,
+    "jaccard": jaccard_coefficient,
+    "adamic_adar": adamic_adar,
+    "preferential_attachment": preferential_attachment,
+}
+
+
+def score_pairs(
+    graph: PropertyGraph,
+    pairs: list[tuple[NodeId, NodeId]],
+    method: str = "adamic_adar",
+) -> list[tuple[NodeId, NodeId, float]]:
+    """Score candidate pairs with the chosen predictor, best first."""
+    scorer = SCORERS[method]
+    scored = [(x, y, float(scorer(graph, x, y))) for x, y in pairs]
+    return sorted(scored, key=lambda item: -item[2])
+
+
+def top_predictions(
+    graph: PropertyGraph,
+    candidate_pairs: list[tuple[NodeId, NodeId]],
+    k: int,
+    method: str = "adamic_adar",
+) -> set[tuple[NodeId, NodeId]]:
+    """The k best-scoring pairs with a strictly positive score."""
+    result: set[tuple[NodeId, NodeId]] = set()
+    for x, y, score in score_pairs(graph, candidate_pairs, method):
+        if score <= 0 or len(result) >= k:
+            break
+        result.add((x, y))
+    return result
+
+
+def recall_against(
+    graph: PropertyGraph,
+    true_pairs: set[tuple[NodeId, NodeId]],
+    candidate_pairs: list[tuple[NodeId, NodeId]],
+    method: str = "adamic_adar",
+) -> float:
+    """Recall of the top-|true| predictions against a truth set.
+
+    The standard link-prediction evaluation: rank candidates, keep as
+    many as there are true pairs, measure the overlap.
+    """
+    if not true_pairs:
+        return 1.0
+    predictions = top_predictions(graph, candidate_pairs, len(true_pairs), method)
+    return len(predictions & true_pairs) / len(true_pairs)

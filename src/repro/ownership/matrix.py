@@ -1,0 +1,109 @@
+"""Integrated ownership via sparse linear algebra.
+
+Definition 2.5's accumulated ownership sums simple paths and is exact
+but worst-case exponential.  Corporate-network economics (the literature
+the paper cites for ownership studies) more often uses *integrated
+ownership*: the walk-sum
+
+    Y = W + W·Y      =>      Y = (I - W)^-1 · W
+
+where ``W`` is the direct-ownership matrix.  Integrated and accumulated
+ownership coincide on acyclic graphs (every walk is a simple path); on
+cyclic graphs the geometric series converges whenever no company is
+fully self-owned through cycles, counting circular ownership the way a
+dividend flow would — including a company's indirect stake in itself
+(the buy-back effect).
+
+This module solves the system with scipy sparse LU, giving an
+O(n·nnz)-ish alternative to path enumeration that also handles cycles —
+it backs the reproduction's cyclic-graph close-link screening and the
+ultimate-beneficial-owner extension (:mod:`repro.ownership.ubo`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.sparse import identity, lil_matrix
+from scipy.sparse.linalg import spsolve
+
+from ..graph.company_graph import SHAREHOLDING, CompanyGraph
+from ..graph.property_graph import NodeId
+
+
+def ownership_matrix(
+    graph: CompanyGraph,
+) -> tuple[list[NodeId], "lil_matrix"]:
+    """Direct-ownership matrix W with W[i, j] = share of node j held by node i."""
+    nodes = sorted(graph.node_ids(), key=str)
+    index = {node: i for i, node in enumerate(nodes)}
+    matrix = lil_matrix((len(nodes), len(nodes)))
+    for edge in graph.edges(SHAREHOLDING):
+        i = index[edge.source]
+        j = index[edge.target]
+        matrix[i, j] += edge.get("w", 0.0)
+    return nodes, matrix
+
+
+def integrated_ownership_matrix(
+    graph: CompanyGraph,
+    damping: float = 1.0,
+) -> tuple[list[NodeId], np.ndarray]:
+    """The full integrated-ownership matrix ``Y = (I - W)^-1 W``.
+
+    ``damping`` < 1 shrinks W before inversion; useful when a graph has
+    (pathological) fully circular ownership making ``I - W`` singular.
+    Returns (node order, dense Y) — dense because Y is generally dense;
+    intended for graphs up to a few thousand nodes.
+    """
+    nodes, w = ownership_matrix(graph)
+    if not nodes:
+        return nodes, np.zeros((0, 0))
+    w = (w * damping).tocsc()
+    system = (identity(len(nodes), format="csc") - w)
+    solution = spsolve(system, w.toarray())
+    result = np.asarray(solution)
+    if result.ndim == 1:  # single-node graphs come back as a vector
+        result = result.reshape(len(nodes), len(nodes))
+    return nodes, result
+
+
+def integrated_ownership(
+    graph: CompanyGraph,
+    source: NodeId,
+    target: NodeId,
+    damping: float = 1.0,
+) -> float:
+    """Integrated ownership of ``source`` over ``target`` (walk-sum)."""
+    nodes, matrix = integrated_ownership_matrix(graph, damping)
+    index = {node: i for i, node in enumerate(nodes)}
+    if source not in index or target not in index:
+        return 0.0
+    return float(matrix[index[source], index[target]])
+
+
+def integrated_ownership_from(
+    graph: CompanyGraph,
+    source: NodeId,
+    damping: float = 1.0,
+) -> dict[NodeId, float]:
+    """Integrated ownership of ``source`` over every node (one linear solve).
+
+    Solves ``y = W^T y + W^T e_source`` — the column of Y restricted to
+    the source row — without forming the full matrix.
+    """
+    nodes, w = ownership_matrix(graph)
+    index = {node: i for i, node in enumerate(nodes)}
+    if source not in index:
+        return {}
+    w = (w * damping).tocsc()
+    transpose = w.T.tocsc()
+    unit = np.zeros(len(nodes))
+    unit[index[source]] = 1.0
+    rhs = transpose @ unit
+    system = identity(len(nodes), format="csc") - transpose
+    solution = spsolve(system, rhs)
+    return {
+        node: float(solution[i])
+        for node, i in index.items()
+        if node != source and abs(solution[i]) > 1e-12
+    }

@@ -1,0 +1,86 @@
+"""Simple-path enumeration over shareholding edges.
+
+Accumulated ownership (Definition 2.5) sums, over all *simple* paths from
+x to y, the product of the edge shares along each path.  This module
+provides the path enumerator those computations are built on, with depth
+and path-count guards: the paper notes these problems "in the worst case
+enumerate all the graph paths", so callers on adversarial graphs must be
+able to bound the work.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..graph.company_graph import SHAREHOLDING, CompanyGraph
+from ..graph.property_graph import NodeId
+
+
+class PathBudgetExceeded(RuntimeError):
+    """Raised when path enumeration exceeds the caller-provided budget."""
+
+
+def simple_paths(
+    graph: CompanyGraph,
+    source: NodeId,
+    target: NodeId,
+    max_depth: int | None = None,
+    max_paths: int | None = None,
+) -> Iterator[list[NodeId]]:
+    """Yield all simple paths source -> target along shareholding edges.
+
+    A path is a list of node ids starting at ``source`` and ending at
+    ``target`` with no repeated node.  ``max_depth`` bounds the number of
+    edges per path; ``max_paths`` raises :class:`PathBudgetExceeded` when
+    more paths would be produced.
+    """
+    if not graph.has_node(source) or not graph.has_node(target):
+        return
+    def distinct_successors(node: NodeId) -> Iterator[NodeId]:
+        # parallel shareholding edges must yield one path, not several:
+        # their fractions are summed by path_weight via CompanyGraph.share
+        seen: set[NodeId] = set()
+        for successor in graph.successors(node, SHAREHOLDING):
+            if successor not in seen:
+                seen.add(successor)
+                yield successor
+
+    produced = 0
+    # iterative DFS with explicit stack of (node, successor-iterator)
+    path: list[NodeId] = [source]
+    on_path: set[NodeId] = {source}
+    stack = [distinct_successors(source)]
+    while stack:
+        children = stack[-1]
+        child = next(children, None)
+        if child is None:
+            stack.pop()
+            on_path.discard(path.pop())
+            continue
+        if child in on_path:
+            continue
+        if child == target:
+            produced += 1
+            if max_paths is not None and produced > max_paths:
+                raise PathBudgetExceeded(
+                    f"more than {max_paths} simple paths from {source!r} to {target!r}"
+                )
+            yield path + [target]
+            continue
+        if max_depth is not None and len(path) >= max_depth:
+            continue
+        path.append(child)
+        on_path.add(child)
+        stack.append(distinct_successors(child))
+
+
+def path_weight(graph: CompanyGraph, path: list[NodeId]) -> float:
+    """Product of shareholding fractions along ``path`` (Definition 2.5, W).
+
+    Parallel edges between consecutive nodes are summed before
+    multiplying, consistent with :meth:`CompanyGraph.share`.
+    """
+    weight = 1.0
+    for owner, company in zip(path, path[1:]):
+        weight *= graph.share(owner, company)
+    return weight

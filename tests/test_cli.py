@@ -1,0 +1,115 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def extract(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("extract")
+    code = main([
+        "generate", str(directory),
+        "--persons", "60", "--companies", "40", "--seed", "5",
+    ])
+    assert code == 0
+    return directory
+
+
+class TestGenerate:
+    def test_files_written(self, extract):
+        for name in ("companies.csv", "persons.csv", "shareholdings.csv",
+                     "ground_truth.json"):
+            assert (extract / name).exists()
+
+    def test_ground_truth_shape(self, extract):
+        payload = json.loads((extract / "ground_truth.json").read_text())
+        assert payload["links"]
+        assert payload["families"]
+
+    def test_bad_density_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["generate", str(tmp_path), "--density", "bogus"])
+
+
+class TestProfile:
+    def test_prints_indicators(self, extract, capsys):
+        assert main(["profile", str(extract)]) == 0
+        out = capsys.readouterr().out
+        assert "nodes" in out and "WCCs" in out
+
+
+class TestControl:
+    def test_all_pairs(self, extract, capsys):
+        assert main(["control", str(extract)]) == 0
+        captured = capsys.readouterr()
+        assert "control pairs" in captured.err
+
+    def test_single_source(self, extract, capsys):
+        assert main(["control", str(extract), "--source", "P000000"]) == 0
+        out = capsys.readouterr().out
+        for line in out.strip().splitlines():
+            assert line.startswith("P000000,")
+
+
+class TestCloseLinks:
+    def test_runs(self, extract, capsys):
+        assert main(["close-links", str(extract)]) == 0
+        assert "close-link" in capsys.readouterr().err
+
+
+class TestFamily:
+    def test_with_training(self, extract, capsys):
+        truth = extract / "ground_truth.json"
+        assert main(["family", str(extract), "--truth", str(truth)]) == 0
+        captured = capsys.readouterr()
+        assert "personal links" in captured.err
+        for line in captured.out.strip().splitlines():
+            assert line.count(",") == 2
+
+
+class TestUbo:
+    def test_runs(self, extract, capsys):
+        assert main(["ubo", str(extract)]) == 0
+        captured = capsys.readouterr()
+        assert "beneficial owners" in captured.err
+
+
+class TestAugment:
+    def test_writes_json(self, extract, tmp_path, capsys):
+        output = tmp_path / "augmented.json"
+        assert main(["augment", str(extract), str(output)]) == 0
+        payload = json.loads(output.read_text())
+        assert payload["nodes"] and payload["edges"]
+
+
+class TestReason:
+    def test_custom_program(self, extract, tmp_path, capsys):
+        program = tmp_path / "big_owners.vada"
+        program.write_text(
+            'own(X, Y, W, R), W >= 0.5 -> big_owner(X, Y, W).\n'
+        )
+        assert main([
+            "reason", str(extract), str(program), "--query", "big_owner",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "facts of big_owner" in captured.err
+        for line in captured.out.strip().splitlines():
+            assert float(line.split(",")[2]) >= 0.5
+
+
+class TestExportDot:
+    def test_writes_dot_file(self, extract, tmp_path, capsys):
+        output = tmp_path / "graph.dot"
+        assert main(["export-dot", str(extract), str(output)]) == 0
+        content = output.read_text()
+        assert content.startswith("digraph")
+        assert "shape=box" in content
+
+    def test_augmented_export_has_derived_edges(self, extract, tmp_path, capsys):
+        output = tmp_path / "augmented.dot"
+        assert main(["export-dot", str(extract), str(output), "--augment"]) == 0
+        content = output.read_text()
+        assert "forestgreen" in content or "magenta" in content or "red" in content

@@ -1,0 +1,94 @@
+"""Tests for the company-graph schema (Definition 2.2) and paper example graphs."""
+
+import pytest
+
+from repro.graph import COMPANY, PERSON, SHAREHOLDING, CompanyGraph, GraphError
+from repro.graph import figure1_graph, figure2_graph
+
+
+@pytest.fixture
+def small():
+    graph = CompanyGraph()
+    graph.add_person("p1", name="Anna")
+    graph.add_company("c1", name="Acme")
+    graph.add_company("c2", name="Beta")
+    graph.add_shareholding("p1", "c1", 0.6)
+    graph.add_shareholding("c1", "c2", 0.3)
+    return graph
+
+
+class TestSchema:
+    def test_labels(self, small):
+        assert small.node("p1").label == PERSON
+        assert small.node("c1").label == COMPANY
+        assert next(small.shareholdings()).label == SHAREHOLDING
+
+    def test_share_bounds(self, small):
+        for bad in (0.0, -0.1, 1.2):
+            with pytest.raises(GraphError):
+                small.add_shareholding("p1", "c2", bad)
+        small.add_shareholding("p1", "c2", 1.0)  # exactly 1 allowed
+
+    def test_target_must_be_company(self, small):
+        small.add_person("p2", name="Ben")
+        with pytest.raises(GraphError):
+            small.add_shareholding("p1", "p2", 0.5)
+
+    def test_self_loop_allowed(self, small):
+        # buy-backs: companies owning their own shares exist in the data
+        small.add_shareholding("c1", "c1", 0.05)
+        assert small.share("c1", "c1") == pytest.approx(0.05)
+
+    def test_typed_accessors(self, small):
+        assert {n.id for n in small.companies()} == {"c1", "c2"}
+        assert {n.id for n in small.persons()} == {"p1"}
+        assert small.is_company("c1") and not small.is_company("p1")
+        assert small.is_person("p1") and not small.is_person("zzz")
+
+
+class TestShares:
+    def test_share_sums_parallel_edges(self, small):
+        small.add_shareholding("p1", "c1", 0.2)
+        assert small.share("p1", "c1") == pytest.approx(0.8)
+
+    def test_share_zero_when_absent(self, small):
+        assert small.share("p1", "c2") == 0.0
+
+    def test_shareholders_and_holdings(self, small):
+        assert dict(small.shareholders("c2")) == {"c1": 0.3}
+        assert dict(small.holdings("p1")) == {"c1": 0.6}
+
+    def test_total_issued(self, small):
+        small.add_person("p2", name="Ben")
+        small.add_shareholding("p2", "c1", 0.4)
+        assert small.total_issued("c1") == pytest.approx(1.0)
+
+
+class TestFigure1:
+    """The statements the paper makes about Figure 1 must hold in our graph."""
+
+    def test_structure(self):
+        graph = figure1_graph()
+        assert graph.node_count == 10
+        assert graph.share("P1", "C") == pytest.approx(0.8)
+        assert graph.share("D", "E") == pytest.approx(0.4)
+        assert graph.share("P1", "E") == pytest.approx(0.2)
+
+    def test_d_plus_p1_hold_majority_of_e(self):
+        graph = figure1_graph()
+        assert graph.share("D", "E") + graph.share("P1", "E") > 0.5
+
+    def test_l_has_no_majority_holder_chain(self):
+        graph = figure1_graph()
+        assert graph.share("F", "L") + graph.share("I", "L") == pytest.approx(0.6)
+
+
+class TestFigure2:
+    def test_p1_direct_control_edge(self):
+        graph = figure2_graph()
+        assert graph.share("P1", "C4") == pytest.approx(0.8)
+
+    def test_p3_common_ownership(self):
+        graph = figure2_graph()
+        assert graph.share("P3", "C4") >= 0.2
+        assert graph.share("P3", "C6") >= 0.2

@@ -1,0 +1,122 @@
+"""Tests for second-level blocking (#GenerateBlocks)."""
+
+from repro.core import (
+    BlockingScheme,
+    company_blocker,
+    feature_blocker,
+    household_blocker,
+    narrow_person_blocker,
+    person_blocker,
+    single_block,
+    stable_hash,
+)
+from repro.graph import CompanyGraph, Node
+
+
+def person(pid, **props):
+    return Node(pid, "P", props)
+
+
+def company(cid, **props):
+    return Node(cid, "C", props)
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash("a", 1) == stable_hash("a", 1)
+
+    def test_argument_sensitive(self):
+        assert stable_hash("a", "b") != stable_hash("ab")
+        assert stable_hash("a") != stable_hash("b")
+
+    def test_handles_none(self):
+        assert isinstance(stable_hash(None), int)
+
+
+class TestBlockers:
+    def test_person_blocker_groups_by_surname(self):
+        blocker = person_blocker()
+        assert blocker(person("1", surname="Rossi")) == blocker(person("2", surname="rossi"))
+        assert blocker(person("1", surname="Rossi")) != blocker(person("2", surname="Verdi"))
+
+    def test_person_blocker_fallback_to_id(self):
+        blocker = person_blocker()
+        assert blocker(person("x1")) != blocker(person("x2"))
+
+    def test_k_folding_bounds_block_count(self):
+        blocker = person_blocker(k=4)
+        keys = {blocker(person(str(i), surname=f"S{i}")) for i in range(100)}
+        assert keys <= set(range(4))
+
+    def test_narrow_blocker_splits_by_decade(self):
+        blocker = narrow_person_blocker()
+        a = person("1", surname="Rossi", birth_date="1950-01-01", birth_place="Roma")
+        b = person("2", surname="Rossi", birth_date="1990-01-01", birth_place="Roma")
+        assert blocker(a) != blocker(b)
+
+    def test_household_blocker(self):
+        blocker = household_blocker()
+        assert blocker(person("1", address="x")) == blocker(person("2", address="x"))
+        assert blocker(person("1", address="x")) != blocker(person("2", address="y"))
+
+    def test_company_blocker_uses_city_and_form(self):
+        blocker = company_blocker()
+        a = company("1", legal_form="SRL", address="Via Roma 1, Roma")
+        b = company("2", legal_form="SRL", address="Via Milano 9, Roma")
+        c = company("3", legal_form="SPA", address="Via Milano 9, Roma")
+        assert blocker(a) == blocker(b)
+        assert blocker(a) != blocker(c)
+
+    def test_feature_blocker_exact_values(self):
+        blocker = feature_blocker(("color",))
+        assert blocker(person("1", color="red")) == blocker(person("2", color="red"))
+
+    def test_single_block(self):
+        blocker = single_block()
+        assert blocker(person("1")) == blocker(company("2"))
+
+
+class TestScheme:
+    def test_default_scheme_separates_labels(self):
+        scheme = BlockingScheme.default()
+        p = person("1", surname="Rossi")
+        c = company("2", legal_form="SRL", address="Roma")
+        assert scheme.block_of(p) != scheme.block_of(c)
+
+    def test_partition_covers_all_nodes(self):
+        scheme = BlockingScheme.default()
+        nodes = [person(str(i), surname=("Rossi" if i % 2 else "Verdi")) for i in range(10)]
+        blocks = scheme.partition(nodes)
+        covered = {node.id for block in blocks.values() for node in block}
+        assert covered == {str(i) for i in range(10)}
+        # the surname pass yields exactly two shared blocks; the household
+        # pass adds one singleton block per person (no address set)
+        shared = [block for block in blocks.values() if len(block) > 1]
+        assert len(shared) == 2
+
+    def test_multi_pass_blocking_unions_keys(self):
+        from repro.core import multi_blocker, household_blocker, person_blocker
+
+        scheme = BlockingScheme(
+            {"P": multi_blocker(person_blocker(), household_blocker())}
+        )
+        anna = person("a", surname="Rossi", address="x")
+        bruno = person("b", surname="Bianchi", address="x")
+        carla = person("c", surname="Rossi", address="y")
+        blocks = scheme.partition([anna, bruno, carla])
+        together = [
+            {node.id for node in block} for block in blocks.values() if len(block) > 1
+        ]
+        assert {"a", "b"} in together   # household pass
+        assert {"a", "c"} in together   # surname pass
+
+    def test_unregistered_label_gets_catchall(self):
+        scheme = BlockingScheme.default()
+        family = Node("f1", "F", {})
+        other = Node("f2", "F", {})
+        assert scheme.block_of(family) == scheme.block_of(other)
+
+    def test_exhaustive_scheme_one_block_per_label(self):
+        scheme = BlockingScheme.exhaustive()
+        nodes = [person("1", surname="A"), person("2", surname="B")]
+        assert len(scheme.partition(nodes)) == 1

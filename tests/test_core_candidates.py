@@ -1,0 +1,93 @@
+"""Tests for the polymorphic Candidate rules."""
+
+import pytest
+
+from repro.core import (
+    CloseLinkCandidate,
+    ControlCandidate,
+    FamilyLinkCandidate,
+    default_family_candidates,
+)
+from repro.graph import CompanyGraph, figure1_graph
+from repro.linkage import BayesianLinkClassifier, partner_features
+
+
+@pytest.fixture
+def graph():
+    return figure1_graph()
+
+
+class TestControlCandidate:
+    def test_accepts_only_targets_companies(self, graph):
+        rule = ControlCandidate()
+        p1, c, p2 = graph.node("P1"), graph.node("C"), graph.node("P2")
+        assert rule.accepts(p1, c)
+        assert rule.accepts(c, c)
+        assert not rule.accepts(p1, p2)
+
+    def test_decides_paper_pairs(self, graph):
+        rule = ControlCandidate()
+        assert rule.decide(graph, graph.node("P1"), graph.node("F")) is not None
+        assert rule.decide(graph, graph.node("P1"), graph.node("L")) is None
+
+    def test_cache_invalidated(self, graph):
+        rule = ControlCandidate()
+        assert rule.decide(graph, graph.node("P1"), graph.node("C")) is not None
+        rule.invalidate()
+        assert rule._cache == {}
+
+
+class TestCloseLinkCandidate:
+    def test_accepts_companies_only(self, graph):
+        rule = CloseLinkCandidate()
+        assert rule.accepts(graph.node("C"), graph.node("D"))
+        assert not rule.accepts(graph.node("P1"), graph.node("C"))
+
+    def test_common_owner_pair_found(self, graph):
+        # P1 owns 80% of C and 75% of D -> C~D by common owner
+        rule = CloseLinkCandidate()
+        decision = rule.decide(graph, graph.node("C"), graph.node("D"))
+        assert decision is not None
+        assert decision["witness"] == "P1"
+
+    def test_unrelated_pair_rejected(self, graph):
+        rule = CloseLinkCandidate()
+        assert rule.decide(graph, graph.node("C"), graph.node("G")) is None
+
+    def test_invalidate_clears_cache(self, graph):
+        rule = CloseLinkCandidate()
+        rule.decide(graph, graph.node("C"), graph.node("D"))
+        rule.invalidate()
+        assert rule._pairs is None
+
+
+class TestFamilyLinkCandidate:
+    def test_accepts_persons_only(self, graph):
+        rule = default_family_candidates()[0]
+        assert rule.accepts(graph.node("P1"), graph.node("P2"))
+        assert not rule.accepts(graph.node("P1"), graph.node("C"))
+
+    def test_decision_includes_probability(self):
+        graph = CompanyGraph()
+        left = graph.add_person("a", address="x", birth_date="1960-01-01", sex="M")
+        right = graph.add_person("b", address="x", birth_date="1962-01-01", sex="F")
+        rule = FamilyLinkCandidate(
+            BayesianLinkClassifier("partner_of", partner_features())
+        )
+        decision = rule.decide(graph, left, right)
+        assert decision is not None
+        assert 0.5 < decision["probability"] <= 1.0
+
+    def test_threshold_respected(self):
+        graph = CompanyGraph()
+        left = graph.add_person("a", address="x", birth_date="1960-01-01", sex="M")
+        right = graph.add_person("b", address="x", birth_date="1962-01-01", sex="F")
+        rule = FamilyLinkCandidate(
+            BayesianLinkClassifier("partner_of", partner_features()),
+            threshold=0.9999,
+        )
+        assert rule.decide(graph, left, right) is None
+
+    def test_default_candidates_cover_three_classes(self):
+        classes = {rule.link_class for rule in default_family_candidates()}
+        assert classes == {"partner_of", "sibling_of", "parent_of"}

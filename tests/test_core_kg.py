@@ -1,0 +1,89 @@
+"""Tests for the KnowledgeGraph container (extensional + intensional)."""
+
+import pytest
+
+from repro.core import KnowledgeGraph
+from repro.datalog import Database, UnknownFunctionError
+from repro.graph import figure1_graph
+
+
+class TestConstruction:
+    def test_from_property_graph(self):
+        kg = KnowledgeGraph(figure1_graph())
+        assert kg.extensional.count("company") == 8
+        assert kg.extensional.count("person") == 2
+        assert kg.extensional.count("own") == 13
+
+    def test_from_fact_list(self):
+        kg = KnowledgeGraph([("p", (1,)), ("q", (2, 3))])
+        assert kg.extensional.count("p") == 1
+
+    def test_from_database(self):
+        db = Database([("p", (1,))])
+        kg = KnowledgeGraph(db)
+        assert kg.extensional is db
+
+    def test_empty(self):
+        kg = KnowledgeGraph()
+        assert kg.extensional.count() == 0
+
+
+class TestRuleSets:
+    def test_add_and_list(self):
+        kg = KnowledgeGraph()
+        kg.add_rules("tc", "edge(X, Y) -> path(X, Y).")
+        kg.add_rules("step", "path(X, Z), edge(Z, Y) -> path(X, Y).")
+        assert kg.rule_sets() == ["tc", "step"]
+        assert len(kg.program()) == 2
+        assert len(kg.program(["tc"])) == 1
+
+    def test_replace_rule_set(self):
+        kg = KnowledgeGraph()
+        kg.add_rules("r", "a(X) -> b(X).")
+        kg.add_rules("r", "a(X) -> c(X).")
+        assert len(kg.program()) == 1
+        assert kg.program().rules[0].head[0].predicate == "c"
+
+    def test_remove_rule_set(self):
+        kg = KnowledgeGraph()
+        kg.add_rules("r", "a(X) -> b(X).")
+        kg.remove_rules("r")
+        assert kg.rule_sets() == []
+        kg.remove_rules("never-existed")  # no error
+
+
+class TestReasoning:
+    def test_reason_selected_sets(self):
+        kg = KnowledgeGraph([("edge", (1, 2)), ("edge", (2, 3))])
+        kg.add_rules("base", "edge(X, Y) -> path(X, Y).")
+        kg.add_rules("step", "path(X, Z), edge(Z, Y) -> path(X, Y).")
+        base_only = kg.reason(["base"])
+        assert set(base_only.query("path")) == {(1, 2), (2, 3)}
+        full = kg.reason()
+        assert (1, 3) in set(full.query("path"))
+
+    def test_extensional_component_never_mutated(self):
+        kg = KnowledgeGraph([("edge", (1, 2))])
+        kg.add_rules("base", "edge(X, Y) -> path(X, Y).")
+        kg.reason()
+        assert kg.extensional.count("path") == 0  # derived facts stay out
+
+    def test_registered_functions_available(self):
+        kg = KnowledgeGraph([("p", (3,))])
+        kg.register_function("square", lambda v: v * v)
+        kg.add_rules("r", "p(X), Y = $square(X) -> q(Y).")
+        engine = kg.reason()
+        assert engine.query("q") == [(9,)]
+
+    def test_missing_function_raises(self):
+        kg = KnowledgeGraph([("p", (3,))])
+        kg.add_rules("r", "p(X), Y = $nope(X) -> q(Y).")
+        with pytest.raises(UnknownFunctionError):
+            kg.reason()
+
+    def test_add_facts_after_construction(self):
+        kg = KnowledgeGraph()
+        kg.add_fact("edge", (1, 2))
+        kg.add_facts([("edge", (2, 3))])
+        kg.add_rules("base", "edge(X, Y) -> path(X, Y).")
+        assert len(kg.reason().query("path")) == 2

@@ -1,0 +1,124 @@
+"""Tests for the end-to-end reasoning pipeline (Section 5 architecture)."""
+
+import pytest
+
+from repro.core import PipelineConfig, ReasoningPipeline
+from repro.datagen import CompanySpec, generate_company_graph
+from repro.graph import FAMILY, CompanyGraph, figure1_graph
+from repro.linkage import persons_of, train_classifiers
+from repro.ownership import close_link_pairs, control_closure
+
+
+def fast_config(**overrides):
+    defaults = dict(first_level_clusters=1, use_embeddings=False)
+    defaults.update(overrides)
+    return PipelineConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def world():
+    return generate_company_graph(
+        CompanySpec(persons=80, companies=50, seed=31, feature_noise=0.0)
+    )
+
+
+class TestDeterministicProblems:
+    def test_control_matches_reference(self):
+        graph = figure1_graph()
+        pipeline = ReasoningPipeline(graph, fast_config())
+        assert pipeline.control_pairs() == control_closure(graph)
+
+    def test_close_links_match_reference(self):
+        graph = figure1_graph()
+        pipeline = ReasoningPipeline(graph, fast_config())
+        assert pipeline.close_link_pairs() == close_link_pairs(graph)
+
+    def test_cyclic_graph_uses_procedural_fallback(self):
+        graph = CompanyGraph()
+        for company in ("a", "b", "c"):
+            graph.add_company(company)
+        graph.add_shareholding("a", "b", 0.5)
+        graph.add_shareholding("b", "a", 0.5)
+        graph.add_shareholding("a", "c", 0.25)
+        pipeline = ReasoningPipeline(graph, fast_config())
+        pairs = pipeline.close_link_pairs()  # must not diverge
+        assert ("a", "c") in pairs
+
+    def test_forced_procedural_mode(self):
+        graph = figure1_graph()
+        pipeline = ReasoningPipeline(graph, fast_config(close_links_via="procedural"))
+        assert pipeline.close_link_pairs() == close_link_pairs(graph)
+
+
+class TestFamilyDetection:
+    def test_family_links_found(self, world):
+        graph, truth = world
+        classifiers = train_classifiers(persons_of(graph), truth.links, seed=2)
+        pipeline = ReasoningPipeline(graph, fast_config(), classifiers=classifiers)
+        links = pipeline.family_links()
+        assert links
+        recall = len(links & truth.links) / len(truth.links)
+        assert recall > 0.5
+
+    def test_detected_links_are_person_pairs(self, world):
+        graph, truth = world
+        pipeline = ReasoningPipeline(graph, fast_config())
+        for x, y, _ in pipeline.family_links():
+            assert graph.is_person(x) and graph.is_person(y)
+
+
+class TestFamilyMaterialisation:
+    def test_links_become_family_nodes(self, world):
+        graph, truth = world
+        pipeline = ReasoningPipeline(graph.copy(), fast_config())
+        links = {("P1", "P2", "partner_of")}
+        # use two real persons from the graph
+        persons = [n.id for n in graph.persons()][:3]
+        links = {
+            (persons[0], persons[1], "partner_of"),
+            (persons[1], persons[2], "sibling_of"),
+        }
+        families = pipeline.materialise_families(links)
+        assert len(families) == 1
+        members = next(iter(families.values()))
+        assert members == set(persons[:3])
+        assert sum(1 for _ in pipeline.graph.edges(FAMILY)) == 3
+
+    def test_family_control_after_materialisation(self):
+        graph = CompanyGraph()
+        graph.add_person("mom", name="m")
+        graph.add_person("dad", name="d")
+        graph.add_company("firm", name="f")
+        graph.add_shareholding("mom", "firm", 0.3)
+        graph.add_shareholding("dad", "firm", 0.3)
+        pipeline = ReasoningPipeline(graph, fast_config())
+        pipeline.materialise_families({("mom", "dad", "partner_of")})
+        pairs = pipeline.family_control_pairs()
+        assert any(company == "firm" for _, company in pairs)
+
+
+class TestAugment:
+    def test_augment_adds_typed_edges(self, world):
+        graph, truth = world
+        classifiers = train_classifiers(persons_of(graph), truth.links, seed=2)
+        pipeline = ReasoningPipeline(graph, fast_config(), classifiers=classifiers)
+        augmented = pipeline.augment()
+        labels = {edge.label for edge in augmented.edges()}
+        assert "control" in labels or "close_link" in labels
+        assert augmented.edge_count > graph.edge_count
+
+    def test_augment_leaves_original_untouched(self, world):
+        graph, _ = world
+        before = graph.edge_count
+        ReasoningPipeline(graph, fast_config()).augment()
+        assert graph.edge_count == before
+
+
+class TestProvenance:
+    def test_control_explanation_available(self):
+        graph = figure1_graph()
+        pipeline = ReasoningPipeline(graph, fast_config())
+        pipeline.control_pairs(provenance=True)
+        engine = pipeline.last_engine
+        lines = engine.explain("control", ("P1", "C"))
+        assert any("ctrl" in line or "extensional" in line for line in lines)

@@ -1,0 +1,227 @@
+"""Cross-validation: the declarative Vadalog programs (Algorithms 2-9)
+must agree with the procedural reference implementations."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    KnowledgeGraph,
+    close_link_program,
+    control_program,
+    family_control_program,
+    input_mapping,
+    link_creation,
+    output_mapping,
+    paper_close_link_program,
+)
+from repro.datagen import barabasi_company_graph
+from repro.graph import FAMILY, CompanyGraph, figure1_graph, figure2_graph
+from repro.ownership import close_link_pairs, control_closure, family_controlled
+
+
+def declarative_control(graph):
+    kg = KnowledgeGraph(graph)
+    kg.add_rules("m", input_mapping(False))
+    kg.add_rules("c", control_program())
+    kg.add_rules("l", link_creation(("control",)))
+    kg.add_rules("o", output_mapping(("control",)))
+    engine = kg.reason()
+    return set(engine.query("control"))
+
+
+def declarative_close_links(graph, threshold=0.2, paper_version=False):
+    kg = KnowledgeGraph(graph)
+    kg.add_rules("m", input_mapping(False))
+    program = paper_close_link_program if paper_version else close_link_program
+    kg.add_rules("c", program(threshold))
+    kg.add_rules("l", link_creation(("close_link",)))
+    kg.add_rules("o", output_mapping(("close_link",)))
+    engine = kg.reason()
+    return set(engine.query("close_link"))
+
+
+class TestControlProgram:
+    def test_figure1(self):
+        graph = figure1_graph()
+        assert declarative_control(graph) == control_closure(graph)
+
+    def test_figure2(self):
+        graph = figure2_graph()
+        assert declarative_control(graph) == control_closure(graph)
+
+    def test_cyclic_ownership(self):
+        graph = CompanyGraph()
+        for company in ("a", "b"):
+            graph.add_company(company)
+        graph.add_shareholding("a", "b", 0.6)
+        graph.add_shareholding("b", "a", 0.6)
+        assert declarative_control(graph) == control_closure(graph)
+
+    def test_parallel_edges_sum(self):
+        graph = CompanyGraph()
+        graph.add_person("p")
+        graph.add_company("c")
+        graph.add_shareholding("p", "c", 0.3)
+        graph.add_shareholding("p", "c", 0.3)
+        assert declarative_control(graph) == {("p", "c")}
+
+    def test_scale_free_graph(self):
+        graph = barabasi_company_graph(60, 2, seed=1)
+        assert declarative_control(graph) == control_closure(graph)
+
+
+class TestCloseLinkProgram:
+    def test_figure1(self):
+        graph = figure1_graph()
+        assert declarative_close_links(graph) == close_link_pairs(graph)
+
+    def test_figure2(self):
+        graph = figure2_graph()
+        assert declarative_close_links(graph) == close_link_pairs(graph)
+
+    def test_scale_free_graph(self):
+        graph = barabasi_company_graph(40, 2, seed=2)
+        assert declarative_close_links(graph) == close_link_pairs(graph)
+
+    def test_paper_verbatim_misses_split_threshold(self):
+        """Algorithm 6 verbatim keeps the direct edge and the recursive sums
+        in separate acc_own facts; a pair crossing the threshold only when
+        both are added is missed — our corrected program finds it."""
+        graph = CompanyGraph()
+        for company in ("x", "m", "y"):
+            graph.add_company(company)
+        graph.add_shareholding("x", "y", 0.15)        # direct: below 0.2
+        graph.add_shareholding("x", "m", 0.5)
+        graph.add_shareholding("m", "y", 0.2)         # via m: 0.1, below 0.2
+        # total Phi(x, y) = 0.25 >= 0.2
+        assert ("x", "y") in declarative_close_links(graph)
+        assert ("x", "y") not in declarative_close_links(graph, paper_version=True)
+        assert ("x", "y") in close_link_pairs(graph)
+
+
+@st.composite
+def random_dag_graph(draw):
+    n = draw(st.integers(min_value=2, max_value=7))
+    graph = CompanyGraph()
+    for i in range(n):
+        graph.add_company(f"c{i}")
+    for target in range(1, n):
+        sources = draw(
+            st.lists(st.integers(min_value=0, max_value=target - 1), unique=True, max_size=2)
+        )
+        budget = 1.0
+        for source in sources:
+            share = draw(st.floats(min_value=0.1, max_value=0.6))
+            share = min(share, budget)
+            if share >= 0.05:
+                graph.add_shareholding(f"c{source}", f"c{target}", share)
+                budget -= share
+    return graph
+
+
+class TestPropertyCrossValidation:
+    @given(random_dag_graph())
+    @settings(max_examples=25, deadline=None)
+    def test_control_matches_reference(self, graph):
+        assert declarative_control(graph) == control_closure(graph)
+
+    @given(random_dag_graph())
+    @settings(max_examples=15, deadline=None)
+    def test_close_links_match_reference(self, graph):
+        assert declarative_close_links(graph) == close_link_pairs(graph)
+
+
+class TestFamilyControlProgram:
+    def test_family_pooling(self):
+        graph = CompanyGraph()
+        graph.add_person("mom")
+        graph.add_person("dad")
+        graph.add_company("firm")
+        graph.add_company("sub")
+        graph.add_shareholding("mom", "firm", 0.3)
+        graph.add_shareholding("dad", "firm", 0.3)
+        graph.add_shareholding("firm", "sub", 0.6)
+
+        kg = KnowledgeGraph(graph)
+        kg.add_fact("family_member", ("mom", "fam1"))
+        kg.add_fact("family_member", ("dad", "fam1"))
+        kg.add_rules("m", input_mapping(True))
+        kg.add_rules("c", control_program())
+        kg.add_rules("f", family_control_program())
+        kg.add_rules("l", link_creation(("control",)))
+        kg.add_rules("o", output_mapping(("control",)))
+        engine = kg.reason()
+        controls = set(engine.query("control"))
+        assert ("fam1", "firm") in controls
+        assert ("fam1", "sub") in controls
+        # reference agrees
+        assert family_controlled(graph, ["mom", "dad"]) == {"firm", "sub"}
+
+    def test_member_control_counts_for_family(self):
+        graph = CompanyGraph()
+        graph.add_person("solo")
+        graph.add_company("firm")
+        graph.add_shareholding("solo", "firm", 0.8)
+        kg = KnowledgeGraph(graph)
+        kg.add_fact("family_member", ("solo", "fam1"))
+        kg.add_rules("m", input_mapping(True))
+        kg.add_rules("c", control_program())
+        kg.add_rules("f", family_control_program())
+        kg.add_rules("l", link_creation(("control",)))
+        kg.add_rules("o", output_mapping(("control",)))
+        engine = kg.reason()
+        assert ("fam1", "firm") in set(engine.query("control"))
+
+
+class TestFamilyCloseLinkProgram:
+    def test_distinct_members_induce_close_link(self):
+        """Algorithm 9: members i != j with Phi >= 0.2 over x and y."""
+        graph = CompanyGraph()
+        graph.add_person("i")
+        graph.add_person("j")
+        graph.add_company("x")
+        graph.add_company("y")
+        graph.add_shareholding("i", "x", 0.3)
+        graph.add_shareholding("j", "y", 0.3)
+
+        from repro.core import family_close_link_program
+
+        kg = KnowledgeGraph(graph)
+        kg.add_fact("family_member", ("i", "fam"))
+        kg.add_fact("family_member", ("j", "fam"))
+        kg.add_rules("m", input_mapping(True))
+        kg.add_rules("cl", close_link_program(0.2))
+        kg.add_rules("fcl", family_close_link_program(0.2))
+        kg.add_rules("l", link_creation(("close_link",)))
+        kg.add_rules("o", output_mapping(("close_link",)))
+        engine = kg.reason()
+        links = set(engine.query("close_link"))
+        assert ("x", "y") in links
+
+        # cross-check the reference algorithm
+        from repro.ownership import family_close_links
+
+        assert ("x", "y") in family_close_links(graph, ["i", "j"])
+
+    def test_single_member_does_not_trigger(self):
+        graph = CompanyGraph()
+        graph.add_person("i")
+        graph.add_company("x")
+        graph.add_company("y")
+        graph.add_shareholding("i", "x", 0.3)
+        graph.add_shareholding("i", "y", 0.3)
+
+        from repro.core import family_close_link_program
+
+        kg = KnowledgeGraph(graph)
+        kg.add_fact("family_member", ("i", "fam"))
+        kg.add_rules("m", input_mapping(True))
+        # note: only the family rule, not the base close-link program —
+        # i's common ownership alone must not produce a *family* link
+        kg.add_rules("acc", close_link_program(0.99))  # acc relation only
+        kg.add_rules("fcl", family_close_link_program(0.2))
+        kg.add_rules("l", link_creation(("close_link",)))
+        kg.add_rules("o", output_mapping(("close_link",)))
+        engine = kg.reason()
+        assert set(engine.query("close_link")) == set()

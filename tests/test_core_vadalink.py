@@ -1,0 +1,123 @@
+"""Tests for the Algorithm 1 augmentation loop."""
+
+import pytest
+
+from repro.bench import naive_comparison_count
+from repro.core import (
+    BlockingScheme,
+    ControlCandidate,
+    FamilyLinkCandidate,
+    VadaLink,
+    VadaLinkConfig,
+    default_family_candidates,
+    household_blocker,
+)
+from repro.datagen import CompanySpec, generate_company_graph
+from repro.graph import figure1_graph
+from repro.linkage import persons_of, train_classifiers
+
+
+@pytest.fixture(scope="module")
+def world():
+    return generate_company_graph(
+        CompanySpec(persons=120, companies=60, seed=21, feature_noise=0.0)
+    )
+
+
+@pytest.fixture(scope="module")
+def trained_rules(world):
+    graph, truth = world
+    classifiers = train_classifiers(persons_of(graph), truth.links, seed=1)
+    return [FamilyLinkCandidate(c) for c in classifiers]
+
+
+def light_config(**overrides):
+    defaults = dict(first_level_clusters=1, use_embeddings=False, max_rounds=2)
+    defaults.update(overrides)
+    return VadaLinkConfig(**defaults)
+
+
+class TestLoop:
+    def test_requires_rules(self):
+        with pytest.raises(ValueError):
+            VadaLink([])
+
+    def test_augment_does_not_mutate_input(self, world, trained_rules):
+        graph, _ = world
+        before = graph.edge_count
+        VadaLink(trained_rules, light_config()).augment(graph)
+        assert graph.edge_count == before
+
+    def test_new_edges_typed_and_counted(self, world, trained_rules):
+        graph, _ = world
+        result = VadaLink(trained_rules, light_config()).augment(graph)
+        assert result.total_new_edges == len(result.new_edges)
+        assert sum(result.edges_by_class.values()) == result.total_new_edges
+        for edge in result.new_edges:
+            assert edge.label in {"partner_of", "sibling_of", "parent_of"}
+
+    def test_finds_planted_links(self, world, trained_rules):
+        graph, truth = world
+        result = VadaLink(trained_rules, light_config()).augment(graph)
+        predicted = {(e.source, e.target, e.label) for e in result.new_edges}
+        recall = len(predicted & truth.links) / len(truth.links)
+        assert recall > 0.5
+
+    def test_idempotent_on_augmented_graph(self, world, trained_rules):
+        graph, _ = world
+        first = VadaLink(trained_rules, light_config()).augment(graph)
+        second = VadaLink(trained_rules, light_config()).augment(first.graph)
+        assert second.total_new_edges == 0
+
+    def test_comparisons_below_naive(self, world, trained_rules):
+        graph, _ = world
+        blocked = VadaLink(trained_rules, light_config()).augment(graph)
+        persons = sum(1 for _ in graph.persons())
+        assert blocked.comparisons < naive_comparison_count(persons)
+
+    def test_exhaustive_blocking_is_quadratic(self, world, trained_rules):
+        graph, _ = world
+        config = light_config(blocking=BlockingScheme.exhaustive(), max_rounds=1)
+        result = VadaLink(trained_rules, config).augment(graph)
+        persons = sum(1 for _ in graph.persons())
+        # every ordered person pair once per class (some cut by accepts())
+        assert result.comparisons + result.total_new_edges >= persons * (persons - 1)
+
+    def test_per_rule_blocking_scheme(self, world, trained_rules):
+        graph, _ = world
+        household = BlockingScheme({"P": household_blocker()})
+        rules = [
+            FamilyLinkCandidate(r.classifier, blocking=household)
+            for r in trained_rules
+        ]
+        result = VadaLink(rules, light_config(max_rounds=1)).augment(graph)
+        assert result.total_new_edges > 0
+
+    def test_rounds_bounded(self, world, trained_rules):
+        graph, _ = world
+        result = VadaLink(trained_rules, light_config(max_rounds=1)).augment(graph)
+        assert result.rounds == 1
+
+    def test_non_recursive_single_round(self, world, trained_rules):
+        graph, _ = world
+        config = light_config(max_rounds=5, recursive=False)
+        result = VadaLink(trained_rules, config).augment(graph)
+        assert result.rounds == 1
+
+
+class TestWithControlRule:
+    def test_control_edges_added(self):
+        graph = figure1_graph()
+        config = VadaLinkConfig(
+            first_level_clusters=1,
+            use_embeddings=False,
+            blocking=BlockingScheme.exhaustive(),
+            max_rounds=1,
+        )
+        result = VadaLink([ControlCandidate()], config).augment(graph)
+        control_pairs = {
+            (e.source, e.target) for e in result.new_edges if e.label == "control"
+        }
+        assert ("P1", "F") in control_pairs
+        assert ("P2", "I") in control_pairs
+        assert not any(target == "L" for _, target in control_pairs)

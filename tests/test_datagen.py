@@ -1,0 +1,185 @@
+"""Tests for the synthetic generators and their planted ground truth."""
+
+import pytest
+
+from repro.datagen import (
+    CompanySpec,
+    DENSITY_PRESETS,
+    barabasi_albert_edges,
+    barabasi_company_graph,
+    clipped_normal,
+    generate_company_graph,
+    power_law_int,
+    random_shares,
+    zipf_choice,
+    zipf_sampler,
+)
+from repro.graph import profile
+from repro.linkage import PARENT_OF, PARTNER_OF, SIBLING_OF, year_of
+import random
+
+
+class TestDistributions:
+    def test_random_shares_sum_to_total(self):
+        rng = random.Random(0)
+        shares = random_shares(rng, 5, 0.8)
+        assert sum(shares) == pytest.approx(0.8)
+        assert all(s > 0 for s in shares)
+
+    def test_random_shares_empty(self):
+        assert random_shares(random.Random(0), 0) == []
+
+    def test_power_law_int_bounds(self):
+        rng = random.Random(1)
+        values = [power_law_int(rng, 1, 100) for _ in range(500)]
+        assert all(1 <= v <= 100 for v in values)
+        # heavy head: most samples should be small
+        assert sum(1 for v in values if v <= 5) > len(values) / 2
+
+    def test_clipped_normal_bounds(self):
+        rng = random.Random(2)
+        values = [clipped_normal(rng, 0, 10, -1, 1) for _ in range(100)]
+        assert all(-1 <= v <= 1 for v in values)
+
+    def test_zipf_prefers_head(self):
+        rng = random.Random(3)
+        items = list(range(20))
+        picks = [zipf_choice(rng, items) for _ in range(1000)]
+        assert picks.count(0) > picks.count(19)
+
+    def test_zipf_sampler_matches_choice_distribution(self):
+        rng = random.Random(4)
+        sample = zipf_sampler(rng, ["a", "b", "c"])
+        picks = [sample() for _ in range(300)]
+        assert picks.count("a") > picks.count("c")
+
+
+class TestBarabasi:
+    def test_edge_count(self):
+        edges = barabasi_albert_edges(50, 2, random.Random(0))
+        # seed clique (3 choose 2 = 3 edges with m=2) + 2 per remaining node
+        assert len(edges) == 3 + 2 * 47
+
+    def test_no_duplicate_attachments_per_node(self):
+        edges = barabasi_albert_edges(30, 3, random.Random(1))
+        from collections import defaultdict
+        attachments = defaultdict(set)
+        for new, old in edges:
+            if new >= 4:  # past the seed
+                assert old not in attachments[new]
+                attachments[new].add(old)
+
+    def test_scale_free_company_graph(self):
+        graph = barabasi_company_graph(300, 2, seed=5)
+        stats = profile(graph)
+        assert stats.nodes == 300
+        assert stats.power_law_alpha is not None
+        assert stats.max_in_degree <= 1 + stats.max_out_degree + 300  # sanity
+
+    def test_share_totals_bounded(self):
+        graph = barabasi_company_graph(100, 3, seed=6)
+        for company in graph.companies():
+            assert graph.total_issued(company.id) <= 1.0 + 1e-6
+
+    def test_tiny_graphs(self):
+        assert barabasi_albert_edges(0, 2, random.Random(0)) == []
+        assert barabasi_company_graph(1, 2, seed=0).node_count == 1
+
+
+class TestCompanyGenerator:
+    def test_deterministic_per_seed(self):
+        spec = CompanySpec(persons=100, companies=60, seed=9)
+        g1, t1 = generate_company_graph(spec)
+        g2, t2 = generate_company_graph(spec)
+        assert g1.node_count == g2.node_count
+        assert g1.edge_count == g2.edge_count
+        assert t1.links == t2.links
+
+    def test_counts_match_spec(self):
+        graph, _ = generate_company_graph(CompanySpec(persons=120, companies=80, seed=0))
+        assert sum(1 for _ in graph.persons()) == 120
+        assert sum(1 for _ in graph.companies()) == 80
+
+    def test_invalid_density_rejected(self):
+        with pytest.raises(ValueError):
+            CompanySpec(density="bogus")
+
+    def test_density_ordering(self):
+        sizes = {}
+        for density in DENSITY_PRESETS:
+            graph, _ = generate_company_graph(
+                CompanySpec(persons=200, companies=150, density=density, seed=4)
+            )
+            sizes[density] = graph.edge_count
+        assert sizes["sparse"] < sizes["normal"] < sizes["dense"] < sizes["superdense"]
+
+    def test_share_totals_bounded(self):
+        graph, _ = generate_company_graph(
+            CompanySpec(persons=150, companies=100, density="superdense", seed=3)
+        )
+        for company in graph.companies():
+            assert graph.total_issued(company.id) <= 1.0 + 1e-6
+
+
+class TestGroundTruth:
+    @pytest.fixture(scope="class")
+    def world(self):
+        return generate_company_graph(
+            CompanySpec(persons=200, companies=100, seed=7, feature_noise=0.0)
+        )
+
+    def test_links_reference_existing_persons(self, world):
+        graph, truth = world
+        for x, y, _ in truth.links:
+            assert graph.is_person(x) and graph.is_person(y)
+
+    def test_partner_links_symmetric(self, world):
+        _, truth = world
+        partners = truth.pairs(PARTNER_OF)
+        assert all((y, x) in partners for x, y in partners)
+
+    def test_partners_share_address_but_keep_surnames(self, world):
+        graph, truth = world
+        for x, y in truth.pairs(PARTNER_OF):
+            assert graph.node(x).get("address") == graph.node(y).get("address")
+
+    def test_children_carry_father_surname_and_name(self, world):
+        graph, truth = world
+        for parent, child in truth.pairs(PARENT_OF):
+            if graph.node(parent).get("sex") == "M":
+                assert graph.node(parent).get("surname") == graph.node(child).get("surname")
+                assert graph.node(parent).get("name") == graph.node(child).get("father_name")
+
+    def test_parents_older_than_children(self, world):
+        graph, truth = world
+        for parent, child in truth.pairs(PARENT_OF):
+            parent_year = year_of(graph.node(parent).get("birth_date"))
+            child_year = year_of(graph.node(child).get("birth_date"))
+            assert parent_year + 15 <= child_year
+
+    def test_siblings_share_surname(self, world):
+        graph, truth = world
+        for x, y in truth.pairs(SIBLING_OF):
+            assert graph.node(x).get("surname") == graph.node(y).get("surname")
+
+    def test_families_partition_members(self, world):
+        _, truth = world
+        seen = set()
+        for members in truth.families.values():
+            assert len(members) >= 2
+            assert not (members & seen)
+            seen |= members
+
+    def test_family_businesses_exist(self, world):
+        graph, truth = world
+        for family, businesses in truth.family_businesses.items():
+            assert family in truth.families
+            for business in businesses:
+                assert graph.is_company(business)
+
+    def test_family_nodes_materialised_on_request(self):
+        graph, truth = generate_company_graph(
+            CompanySpec(persons=60, companies=30, seed=8, add_family_nodes=True)
+        )
+        family_edges = sum(1 for _ in graph.edges("family"))
+        assert family_edges == sum(len(m) for m in truth.families.values())

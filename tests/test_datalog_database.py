@@ -1,0 +1,93 @@
+"""Tests for the indexed fact store."""
+
+from repro.datalog import Database
+
+
+class TestAddRemove:
+    def test_add_returns_true_when_new(self):
+        db = Database()
+        assert db.add("p", (1, 2))
+        assert not db.add("p", (1, 2))
+
+    def test_contains(self):
+        db = Database([("p", (1,))])
+        assert db.contains("p", (1,))
+        assert not db.contains("p", (2,))
+        assert not db.contains("q", (1,))
+        assert ("p", (1,)) in db
+
+    def test_remove(self):
+        db = Database([("p", (1,)), ("p", (2,))])
+        assert db.remove("p", (1,))
+        assert not db.remove("p", (1,))
+        assert db.facts("p") == [(2,)]
+
+    def test_add_all_counts_new(self):
+        db = Database()
+        added = db.add_all([("p", (1,)), ("p", (1,)), ("q", (2,))])
+        assert added == 2
+
+    def test_len_and_count(self):
+        db = Database([("p", (1,)), ("p", (2,)), ("q", (3,))])
+        assert len(db) == 3
+        assert db.count("p") == 2
+        assert db.count("missing") == 0
+
+
+class TestMatch:
+    def test_full_scan(self):
+        db = Database([("p", (1, "a")), ("p", (2, "b"))])
+        assert sorted(db.match("p", {})) == [(1, "a"), (2, "b")]
+
+    def test_single_position(self):
+        db = Database([("p", (1, "a")), ("p", (2, "b")), ("p", (1, "c"))])
+        assert sorted(db.match("p", {0: 1})) == [(1, "a"), (1, "c")]
+
+    def test_multi_position(self):
+        db = Database([("p", (1, "a")), ("p", (1, "b"))])
+        assert list(db.match("p", {0: 1, 1: "b"})) == [(1, "b")]
+
+    def test_no_match(self):
+        db = Database([("p", (1,))])
+        assert list(db.match("p", {0: 99})) == []
+        assert list(db.match("unknown", {0: 1})) == []
+
+    def test_index_stays_fresh_after_insert(self):
+        db = Database([("p", (1, "a"))])
+        assert list(db.match("p", {0: 2})) == []  # builds the index
+        db.add("p", (2, "b"))
+        assert list(db.match("p", {0: 2})) == [(2, "b")]
+
+    def test_index_invalidated_by_remove(self):
+        db = Database([("p", (1, "a")), ("p", (2, "b"))])
+        assert list(db.match("p", {0: 1})) == [(1, "a")]
+        db.remove("p", (1, "a"))
+        assert list(db.match("p", {0: 1})) == []
+
+    def test_mixed_arity_same_predicate(self):
+        # the engine stores link/3 and link/4 under one name
+        db = Database([("link", (1, 2, 3)), ("link", (1, 2, 3, 0.5))])
+        assert db.count("link") == 2
+
+
+class TestBulk:
+    def test_all_facts(self):
+        facts = [("p", (1,)), ("q", (2, 3))]
+        db = Database(facts)
+        assert sorted(db.all_facts()) == sorted(facts)
+
+    def test_copy_is_independent(self):
+        db = Database([("p", (1,))])
+        clone = db.copy()
+        clone.add("p", (2,))
+        assert db.count("p") == 1
+        assert clone.count("p") == 2
+
+    def test_predicates_skips_empty(self):
+        db = Database([("p", (1,))])
+        db.remove("p", (1,))
+        assert db.predicates() == []
+
+    def test_repr(self):
+        db = Database([("p", (1,))])
+        assert "p" in repr(db)

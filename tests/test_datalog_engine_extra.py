@@ -1,0 +1,165 @@
+"""Additional engine edge cases: pruning soundness, nulls, explain limits."""
+
+import pytest
+
+from repro.datalog import Database, Engine, Null, parse_program, solve
+
+
+class TestAggregatePruningSoundness:
+    """The unimproved-aggregate skip must never lose derivable facts."""
+
+    def test_tail_comparison_on_foreign_variable_not_pruned(self):
+        # The second arrival of contributor "z" carries a smaller W (not
+        # improved) but NOW satisfies the tail comparison W < 0.2: the
+        # head p(T) must still be derived.  The static analysis must mark
+        # this rule non-skippable because W is not determined by (group, T).
+        engine = solve(
+            """
+            stage1(Z, W) -> c(Z, W).
+            stage2(Z, W) -> c(Z, W).
+            c(Z, W), T = msum(W, <Z>), W < 0.2 -> p(T).
+            """,
+            [("stage1", ("z", 0.3)), ("stage2", ("z", 0.1))],
+        )
+        assert engine.query("p")  # p(0.3) via the W=0.1 re-arrival
+
+    def test_determined_tail_is_pruned_but_complete(self):
+        # heads depending only on (group, total) stay complete under pruning
+        engine = solve(
+            """
+            a(Z, W) -> c(Z, W).
+            b(Z, W) -> c(Z, W).
+            c(Z, W), T = msum(W, <Z>), T > 0.1 -> total_seen(T).
+            """,
+            [("a", ("z1", 0.3)), ("b", ("z1", 0.3)), ("a", ("z2", 0.2))],
+        )
+        totals = {t for (t,) in engine.query("total_seen")}
+        assert totals == {0.3, 0.5}
+
+    def test_atom_after_aggregate_not_pruned(self):
+        engine = solve(
+            """
+            c(Z, W), T = msum(W, <Z>), lookup(T, L) -> p(L).
+            """,
+            [("c", ("z", 0.5)), ("lookup", (0.5, "hit"))],
+        )
+        assert engine.query("p") == [("hit",)]
+
+
+class TestNullsAsValues:
+    def test_null_values_join(self):
+        engine = solve(
+            """
+            own(X, Y) -> link(E, X, Y).
+            link(E, X, Y), link(E, X2, Y2) -> same_edge(X, X2).
+            """,
+            [("own", ("a", "b"))],
+        )
+        assert engine.query("same_edge") == [("a", "a")]
+
+    def test_null_inequality_comparison(self):
+        engine = solve(
+            """
+            own(X, Y) -> link(E, X, Y).
+            link(E1, X, Y), link(E2, X2, Y2), E1 != E2 -> distinct(X, X2).
+            """,
+            [("own", ("a", "b")), ("own", ("c", "d"))],
+        )
+        pairs = set(engine.query("distinct"))
+        assert ("a", "c") in pairs and ("c", "a") in pairs
+
+    def test_facts_with_none_values(self):
+        engine = solve(
+            "p(X, Y) -> q(Y).",
+            [("p", (1, None))],
+        )
+        assert engine.query("q") == [(None,)]
+
+
+class TestExplain:
+    def test_explain_unknown_fact_reports_extensional(self):
+        engine = solve("p(X) -> q(X).", [("p", (1,))], provenance=True)
+        lines = engine.explain("never_derived", (9,))
+        assert "extensional" in lines[0]
+
+    def test_explain_depth_limited_on_deep_chains(self):
+        rules = "base(X) -> level0(X).\n"
+        for i in range(30):
+            rules += f"level{i}(X) -> level{i + 1}(X).\n"
+        engine = solve(rules, [("base", (1,))], provenance=True)
+        lines = engine.explain("level30", (1,))
+        assert any("depth limit" in line for line in lines)
+
+    def test_provenance_disabled_gives_extensional_answers(self):
+        engine = solve("p(X) -> q(X).", [("p", (1,))], provenance=False)
+        assert "extensional" in engine.explain("q", (1,))[0]
+
+
+class TestEngineReuse:
+    def test_run_twice_is_stable(self):
+        program = parse_program(
+            """
+            edge(X, Y) -> path(X, Y).
+            path(X, Z), edge(Z, Y) -> path(X, Y).
+            """
+        )
+        engine = Engine(program, Database([("edge", (1, 2)), ("edge", (2, 3))]))
+        first = set(engine.run().facts("path"))
+        second = set(engine.run().facts("path"))
+        assert first == second
+
+    def test_query_before_run_sees_edb_only(self):
+        program = parse_program("p(X) -> q(X).")
+        engine = Engine(program, Database([("p", (1,))]))
+        assert engine.query("q") == []
+        engine.run()
+        assert engine.query("q") == [(1,)]
+
+
+class TestMixedArity:
+    def test_link3_and_link4_coexist(self):
+        engine = solve(
+            """
+            typed(E, X, Y) -> link(E, X, Y).
+            weighted(E, X, Y, W) -> link(E, X, Y, W).
+            link(E, X, Y) -> three(X, Y).
+            link(E, X, Y, W) -> four(X, Y, W).
+            """,
+            [("typed", ("e1", "a", "b")), ("weighted", ("e2", "c", "d", 0.5))],
+        )
+        assert engine.query("three") == [("a", "b")]
+        assert engine.query("four") == [("c", "d", 0.5)]
+
+
+class TestAsk:
+    def setup_method(self):
+        self.engine = solve(
+            """
+            edge(X, Y) -> path(X, Y).
+            path(X, Z), edge(Z, Y) -> path(X, Y).
+            """,
+            [("edge", ("a", "b")), ("edge", ("b", "c"))],
+        )
+
+    def test_free_variables(self):
+        answers = self.engine.ask('path("a", X)')
+        assert {b["X"] for b in answers} == {"b", "c"}
+
+    def test_ground_query(self):
+        assert self.engine.ask('path("a", "c")') == [{}]
+        assert self.engine.ask('path("c", "a")') == []
+
+    def test_all_free(self):
+        answers = self.engine.ask("path(X, Y)")
+        assert len(answers) == 3
+
+    def test_repeated_variable_unifies(self):
+        engine = solve("p(X, Y) -> q(X, Y).", [("p", (1, 1)), ("p", (1, 2))])
+        answers = engine.ask("q(X, X)")
+        assert answers == [{"X": 1}]
+
+    def test_malformed_query_rejected(self):
+        import pytest as _pytest
+        from repro.datalog import ParseError
+        with _pytest.raises((ParseError, Exception)):
+            self.engine.ask("not_an_atom(")

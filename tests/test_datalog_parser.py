@@ -1,0 +1,263 @@
+"""Tests for the Vadalog-like parser."""
+
+import pytest
+
+from repro.datalog import (
+    Aggregate,
+    Assignment,
+    Atom,
+    Comparison,
+    Constant,
+    Expr,
+    FunctionTerm,
+    Negation,
+    ParseError,
+    SkolemTerm,
+    Variable,
+    parse_program,
+    parse_rule,
+)
+
+
+class TestBasicRules:
+    def test_single_rule(self):
+        rule = parse_rule("p(X), q(X, Y) -> r(Y).")
+        assert len(rule.body) == 2
+        assert rule.head[0].predicate == "r"
+        assert rule.head[0].terms == (Variable("Y"),)
+
+    def test_multiple_heads(self):
+        rule = parse_rule("p(X) -> q(X), r(X).")
+        assert [atom.predicate for atom in rule.head] == ["q", "r"]
+
+    def test_label(self):
+        rule = parse_rule("@myrule p(X) -> q(X).")
+        assert rule.label == "myrule"
+
+    def test_constants_in_atoms(self):
+        rule = parse_rule('p(X, "hello", 3, 2.5, true) -> q(X).')
+        values = [t.value for t in rule.body[0].terms[1:]]
+        assert values == ["hello", 3, 2.5, True]
+
+    def test_comments_ignored(self):
+        program = parse_program("% comment\np(X) -> q(X). // another\n")
+        assert len(program.rules) == 1
+
+    def test_multiple_rules_and_whitespace(self):
+        program = parse_program(
+            """
+            p(X) -> q(X).
+
+            q(X), r(X) -> s(X).
+            """
+        )
+        assert len(program.rules) == 2
+
+
+class TestFacts:
+    def test_simple_fact(self):
+        program = parse_program('person("anna", 1980).')
+        assert program.facts == [("person", ("anna", 1980))]
+
+    def test_negative_number_fact(self):
+        program = parse_program("temp(-5).")
+        assert program.facts == [("temp", (-5,))]
+
+    def test_bare_identifier_becomes_string(self):
+        program = parse_program("color(red).")
+        assert program.facts == [("color", ("red",))]
+
+    def test_fact_and_rule_mixed(self):
+        program = parse_program('p("a"). p(X) -> q(X).')
+        assert len(program.facts) == 1
+        assert len(program.rules) == 1
+
+
+class TestLiterals:
+    def test_negation(self):
+        rule = parse_rule("p(X), not q(X) -> r(X).")
+        assert isinstance(rule.body[1], Negation)
+        assert rule.body[1].atom.predicate == "q"
+
+    def test_comparison(self):
+        rule = parse_rule("p(X, W), W >= 0.5 -> q(X).")
+        comparison = rule.body[1]
+        assert isinstance(comparison, Comparison)
+        assert comparison.op == ">="
+
+    def test_all_comparison_operators(self):
+        for op in ("==", "!=", "<", "<=", ">", ">="):
+            rule = parse_rule(f"p(X), X {op} 3 -> q(X).")
+            assert rule.body[1].op == op
+
+    def test_assignment_with_arithmetic(self):
+        rule = parse_rule("p(X, Y), Z = X * Y + 1 -> q(Z).")
+        assignment = rule.body[1]
+        assert isinstance(assignment, Assignment)
+        assert assignment.variable == Variable("Z")
+        assert isinstance(assignment.expression, Expr)
+
+    def test_skolem_assignment(self):
+        rule = parse_rule("p(N), Z = #sk_c(N) -> q(Z).")
+        assignment = rule.body[1]
+        assert isinstance(assignment.expression, SkolemTerm)
+        assert assignment.expression.name == "sk_c"
+
+    def test_external_function(self):
+        rule = parse_rule("p(X, Y), P = $prob(X, Y), P > 0.5 -> q(X, Y).")
+        assignment = rule.body[1]
+        assert isinstance(assignment.expression, FunctionTerm)
+        assert assignment.expression.name == "prob"
+
+    def test_skolem_in_head(self):
+        rule = parse_rule("own(X, Y) -> link(#sk_p(X), #sk_c(Y)).")
+        head_terms = rule.head[0].terms
+        assert isinstance(head_terms[0], SkolemTerm)
+        assert isinstance(head_terms[1], SkolemTerm)
+
+
+class TestAggregates:
+    def test_msum_with_contributors(self):
+        rule = parse_rule("p(X, Z, W), T = msum(W, <Z>), T > 0.5 -> q(X).")
+        aggregate = rule.body[1]
+        assert isinstance(aggregate, Aggregate)
+        assert aggregate.func == "msum"
+        assert aggregate.contributors == (Variable("Z"),)
+
+    def test_msum_expression(self):
+        rule = parse_rule("p(Z, W1, W2), T = msum(W1 * W2, <Z>) -> q(T).")
+        aggregate = rule.body[1]
+        assert isinstance(aggregate.expression, Expr)
+
+    def test_multiple_contributors(self):
+        rule = parse_rule("p(Z, E, W), T = msum(W, <Z, E>) -> q(T).")
+        assert aggregate_of(rule).contributors == (Variable("Z"), Variable("E"))
+
+    def test_no_contributors(self):
+        rule = parse_rule("p(X, W), T = msum(W) -> q(X, T).")
+        assert aggregate_of(rule).contributors == ()
+
+    def test_mcount(self):
+        rule = parse_rule("p(X, Z), T = mcount(<Z>) -> q(X, T).")
+        aggregate = aggregate_of(rule)
+        assert aggregate.func == "mcount"
+        assert aggregate.expression == Constant(1)
+
+    def test_mmax_mmin_mprod(self):
+        for func in ("mmax", "mmin", "mprod"):
+            rule = parse_rule(f"p(X, Z, W), T = {func}(W, <Z>) -> q(X, T).")
+            assert aggregate_of(rule).func == func
+
+
+def aggregate_of(rule):
+    for literal in rule.body:
+        if isinstance(literal, Aggregate):
+            return literal
+    raise AssertionError("no aggregate in rule")
+
+
+class TestErrors:
+    def test_missing_dot(self):
+        with pytest.raises(ParseError):
+            parse_program("p(X) -> q(X)")
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            parse_program('p("abc) -> q(X).')
+
+    def test_garbage_character(self):
+        with pytest.raises(ParseError):
+            parse_program("p(X) -> q(X) & r(X).")
+
+    def test_parse_rule_rejects_two_rules(self):
+        with pytest.raises(ParseError):
+            parse_rule("p(X) -> q(X). q(X) -> r(X).")
+
+    def test_error_carries_line(self):
+        with pytest.raises(ParseError) as info:
+            parse_program("p(X) -> q(X).\np(X) -> .")
+        assert "line 2" in str(info.value)
+
+
+class TestRoundTrip:
+    def test_str_of_parsed_rule_reparses(self):
+        source = 'p(X, W), W >= 0.5, not r(X), T = msum(W, <X>) -> q(X, T).'
+        rule = parse_rule(source)
+        reparsed = parse_rule(str(rule))
+        assert str(reparsed) == str(rule)
+
+
+class TestNumericLiterals:
+    def test_scientific_notation(self):
+        rule = parse_rule("p(X), X > 1e-3 -> q(X).")
+        assert rule.body[1].rhs.value == pytest.approx(0.001)
+
+    def test_leading_dot_float(self):
+        program = parse_program("w(.5).")
+        assert program.facts == [("w", (0.5,))]
+
+    def test_unary_minus_in_expression(self):
+        rule = parse_rule("p(X), Y = -X + 1 -> q(Y).")
+        assert rule is not None
+
+    def test_negative_constant_in_comparison(self):
+        rule = parse_rule("p(X), X > -5 -> q(X).")
+        assert rule is not None
+
+
+class TestNestedExpressions:
+    def test_parentheses_override_precedence(self):
+        from repro.datalog import solve
+
+        engine = solve("p(X), Y = (X + 1) * 2 -> q(Y).", [("p", (3,))])
+        assert engine.query("q") == [(8,)]
+
+    def test_precedence_without_parentheses(self):
+        from repro.datalog import solve
+
+        engine = solve("p(X), Y = X + 1 * 2 -> q(Y).", [("p", (3,))])
+        assert engine.query("q") == [(5,)]
+
+    def test_percent_is_always_a_comment(self):
+        # '%' starts a comment (modulo is not in the surface syntax; the
+        # programmatic Expr("%", ...) form still evaluates)
+        rule = parse_rule("p(X), Y = X + 1 -> q(Y). % trailing words")
+        assert rule is not None
+
+    def test_skolem_with_expression_argument(self):
+        rule = parse_rule("p(X), Z = #sk(X + 1) -> q(Z).")
+        assert isinstance(rule.body[1].expression, SkolemTerm)
+
+    def test_nested_function_calls(self):
+        rule = parse_rule("p(X), Z = $outer($inner(X)) -> q(Z).")
+        outer = rule.body[1].expression
+        assert isinstance(outer, FunctionTerm)
+        assert isinstance(outer.args[0], FunctionTerm)
+
+
+class TestWhitespaceAndComments:
+    def test_rule_spanning_lines(self):
+        rule = parse_rule(
+            """
+            p(X),
+              q(X, Y)
+            -> r(Y).
+            """
+        )
+        assert rule.head[0].predicate == "r"
+
+    def test_comment_between_rules(self):
+        program = parse_program(
+            "p(X) -> q(X).\n% interlude\nq(X) -> r(X).\n// coda\n"
+        )
+        assert len(program.rules) == 2
+
+    def test_empty_program(self):
+        program = parse_program("   % nothing here\n")
+        assert len(program.rules) == 0 and program.facts == []
+
+    def test_zero_arity_atom(self):
+        from repro.datalog import solve
+
+        engine = solve("flag() -> fired().", [("flag", ())])
+        assert engine.query("fired") == [()]

@@ -1,0 +1,138 @@
+"""Property-based tests of the Datalog engine against independent oracles."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datalog import Database, Engine, parse_program, solve
+
+TC_PROGRAM = """
+edge(X, Y) -> path(X, Y).
+path(X, Z), edge(Z, Y) -> path(X, Y).
+"""
+
+
+@st.composite
+def edge_lists(draw):
+    n = draw(st.integers(min_value=1, max_value=10))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            max_size=25,
+        )
+    )
+    return edges
+
+
+class TestTransitiveClosureOracle:
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_matches_networkx(self, edges):
+        engine = solve(TC_PROGRAM, [("edge", e) for e in edges])
+        ours = set(engine.query("path"))
+
+        digraph = nx.DiGraph(edges)
+        theirs = set()
+        for source in digraph.nodes:
+            lengths = nx.single_source_shortest_path_length(digraph, source)
+            for target, distance in lengths.items():
+                if distance >= 1:
+                    theirs.add((source, target))
+                # self-paths via cycles need >= 1 step; networkx reports
+                # distance 0 for the source itself, so detect cycles:
+            if digraph.has_edge(source, source):
+                theirs.add((source, source))
+        # nodes on directed cycles reach themselves
+        for component in nx.strongly_connected_components(digraph):
+            if len(component) > 1:
+                for node in component:
+                    theirs.add((node, node))
+        assert ours == theirs
+
+    @given(edge_lists())
+    @settings(max_examples=30, deadline=None)
+    def test_naive_equals_seminaive(self, edges):
+        facts = [("edge", e) for e in edges]
+        fast = solve(TC_PROGRAM, list(facts))
+        slow = Engine(parse_program(TC_PROGRAM), Database(list(facts)), seminaive=False)
+        slow.run()
+        assert set(fast.query("path")) == set(slow.query("path"))
+
+    @given(edge_lists())
+    @settings(max_examples=30, deadline=None)
+    def test_deterministic(self, edges):
+        facts = [("edge", e) for e in edges]
+        first = solve(TC_PROGRAM, list(facts))
+        second = solve(TC_PROGRAM, list(facts))
+        assert set(first.query("path")) == set(second.query("path"))
+
+
+class TestAggregateOracle:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=4),       # group
+                st.integers(min_value=0, max_value=6),       # contributor
+                st.floats(min_value=0.01, max_value=1.0),    # value
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_msum_equals_python_groupby(self, rows):
+        engine = solve(
+            "contribution(G, Z, W), T = msum(W, <Z>) -> total(G, T).",
+            [("contribution", row) for row in rows],
+        )
+        # oracle: per group, each contributor counts once at its max value
+        expected: dict[int, dict[int, float]] = {}
+        for group, contributor, value in rows:
+            bucket = expected.setdefault(group, {})
+            bucket[contributor] = max(bucket.get(contributor, 0.0), value)
+        for group, contributions in expected.items():
+            target = sum(contributions.values())
+            best = max(t for g, t in engine.query("total") if g == group)
+            assert best == pytest.approx(target)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(min_value=0, max_value=3), st.integers(min_value=0, max_value=9)),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_mcount_equals_distinct_count(self, rows):
+        engine = solve(
+            "member(G, Z), T = mcount(<Z>) -> size(G, T).",
+            [("member", row) for row in rows],
+        )
+        expected: dict[int, set[int]] = {}
+        for group, member in rows:
+            expected.setdefault(group, set()).add(member)
+        for group, members in expected.items():
+            best = max(t for g, t in engine.query("size") if g == group)
+            assert best == len(members)
+
+
+class TestSetSemantics:
+    @given(edge_lists())
+    @settings(max_examples=30, deadline=None)
+    def test_duplicate_facts_are_idempotent(self, edges):
+        once = solve(TC_PROGRAM, [("edge", e) for e in edges])
+        twice = solve(TC_PROGRAM, [("edge", e) for e in edges + edges])
+        assert set(once.query("path")) == set(twice.query("path"))
+
+    @given(edge_lists())
+    @settings(max_examples=20, deadline=None)
+    def test_monotone_under_fact_addition(self, edges):
+        if not edges:
+            return
+        smaller = solve(TC_PROGRAM, [("edge", e) for e in edges[:-1]])
+        larger = solve(TC_PROGRAM, [("edge", e) for e in edges])
+        assert set(smaller.query("path")) <= set(larger.query("path"))

@@ -1,0 +1,94 @@
+"""Tests for rule construction, safety analysis and Program helpers."""
+
+import pytest
+
+from repro.datalog import (
+    Program,
+    Rule,
+    UnsafeRuleError,
+    Variable,
+    parse_program,
+    parse_rule,
+)
+
+
+class TestVariableClassification:
+    def test_frontier_and_existential(self):
+        rule = parse_rule("own(X, Y, W) -> link(E, X, Y, W).")
+        assert rule.frontier_variables() == {Variable("X"), Variable("Y"), Variable("W")}
+        assert rule.existential_variables() == {Variable("E")}
+        assert rule.is_existential()
+
+    def test_plain_rule_not_existential(self):
+        rule = parse_rule("p(X) -> q(X).")
+        assert not rule.is_existential()
+
+    def test_assignment_binds(self):
+        rule = parse_rule("p(N), Z = #sk(N) -> q(Z).")
+        assert Variable("Z") in rule.body_variables()
+        assert not rule.is_existential()
+
+    def test_head_and_body_predicates(self):
+        rule = parse_rule("p(X), not q(X) -> r(X), s(X).")
+        assert rule.body_predicates() == {"p", "q"}
+        assert rule.head_predicates() == {"r", "s"}
+
+
+class TestSafety:
+    def test_unbound_comparison_rejected(self):
+        with pytest.raises(UnsafeRuleError):
+            parse_rule("p(X), Y > 3 -> q(X).")
+
+    def test_unbound_negation_rejected(self):
+        with pytest.raises(UnsafeRuleError):
+            parse_rule("p(X), not q(Y) -> r(X).")
+
+    def test_unbound_assignment_rejected(self):
+        with pytest.raises(UnsafeRuleError):
+            parse_rule("p(X), Z = Y + 1 -> q(Z).")
+
+    def test_unbound_aggregate_rejected(self):
+        with pytest.raises(UnsafeRuleError):
+            parse_rule("p(X), T = msum(W, <X>) -> q(T).")
+
+    def test_left_to_right_binding_order_matters(self):
+        # comparison before the atom that binds its variable
+        with pytest.raises(UnsafeRuleError):
+            parse_rule("W > 1, p(W) -> q(W).")
+
+    def test_empty_head_rejected(self):
+        with pytest.raises(UnsafeRuleError):
+            Rule(body=(), head=())
+
+    def test_assignment_chains_are_safe(self):
+        rule = parse_rule("p(X), Y = X + 1, Z = Y * 2 -> q(Z).")
+        assert rule is not None
+
+
+class TestProgram:
+    def test_idb_edb_split(self):
+        program = parse_program(
+            """
+            p(X) -> q(X).
+            q(X), r(X) -> s(X).
+            """
+        )
+        assert program.idb_predicates() == {"q", "s"}
+        assert program.edb_predicates() == {"p", "r"}
+
+    def test_fact_predicates_are_edb(self):
+        program = parse_program('base("a"). base(X) -> derived(X).')
+        assert "base" in program.edb_predicates()
+        assert "derived" in program.idb_predicates()
+
+    def test_extend(self):
+        left = parse_program("p(X) -> q(X).")
+        right = parse_program('r("a"). q(X) -> r(X).')
+        left.extend(right)
+        assert len(left) == 2
+        assert left.facts == [("r", ("a",))]
+
+    def test_iteration_and_str(self):
+        program = parse_program("p(X) -> q(X).")
+        assert len(list(program)) == 1
+        assert "->" in str(program)

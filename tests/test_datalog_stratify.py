@@ -1,0 +1,116 @@
+"""Tests for dependency analysis and stratification."""
+
+import pytest
+
+from repro.datalog import StratificationError, parse_program, stratify
+
+
+def strata_of(source: str):
+    return stratify(parse_program(source))
+
+
+class TestOrdering:
+    def test_dependencies_come_first(self):
+        strata = strata_of(
+            """
+            p(X) -> q(X).
+            q(X) -> r(X).
+            """
+        )
+        positions = {}
+        for stratum in strata:
+            for predicate in stratum.predicates:
+                positions[predicate] = stratum.index
+        assert positions["p"] < positions["q"] < positions["r"]
+
+    def test_recursive_component_merged(self):
+        strata = strata_of(
+            """
+            e(X, Y) -> t(X, Y).
+            t(X, Z), e(Z, Y) -> t(X, Y).
+            """
+        )
+        t_stratum = next(s for s in strata if "t" in s.predicates)
+        assert t_stratum.recursive
+
+    def test_mutual_recursion_one_stratum(self):
+        strata = strata_of(
+            """
+            base(X) -> even(X).
+            even(X), step(X, Y) -> odd(Y).
+            odd(X), step(X, Y) -> even(Y).
+            """
+        )
+        component = next(s for s in strata if "even" in s.predicates)
+        assert "odd" in component.predicates
+
+    def test_multihead_rules_keep_heads_together(self):
+        # all heads of a rule must live in one stratum so no consumer can
+        # be scheduled between them (regression test for the input-mapping bug)
+        strata = strata_of(
+            """
+            src(X) -> a(X), b(X), c(X).
+            b(X) -> consumer(X).
+            """
+        )
+        positions = {}
+        for stratum in strata:
+            for predicate in stratum.predicates:
+                positions[predicate] = stratum.index
+        assert positions["a"] == positions["b"] == positions["c"]
+        assert positions["consumer"] > positions["b"]
+
+    def test_rules_assigned_exactly_once(self):
+        program = parse_program(
+            """
+            p(X) -> q(X), r(X).
+            q(X) -> s(X).
+            r(X) -> s(X).
+            """
+        )
+        strata = stratify(program)
+        assigned = [rule for stratum in strata for rule in stratum.rules]
+        assert len(assigned) == len(program.rules)
+
+
+class TestNegation:
+    def test_stratified_negation_accepted(self):
+        strata = strata_of(
+            """
+            p(X) -> q(X).
+            r(X), not q(X) -> s(X).
+            """
+        )
+        positions = {}
+        for stratum in strata:
+            for predicate in stratum.predicates:
+                positions[predicate] = stratum.index
+        assert positions["q"] < positions["s"]
+
+    def test_negation_in_cycle_rejected(self):
+        with pytest.raises(StratificationError):
+            strata_of(
+                """
+                p(X), not q(X) -> q(X).
+                """
+            )
+
+    def test_negation_in_mutual_cycle_rejected(self):
+        with pytest.raises(StratificationError):
+            strata_of(
+                """
+                a(X), not b(X) -> c(X).
+                c(X) -> b(X).
+                b(X) -> a(X).
+                """
+            )
+
+    def test_aggregates_allowed_in_recursion(self):
+        # monotonic aggregation must not trigger stratification errors
+        strata = strata_of(
+            """
+            seed(X) -> reach(X, X).
+            reach(X, Z), edge(Z, Y, W), T = msum(W, <Z>), T > 0.5 -> reach(X, Y).
+            """
+        )
+        assert any("reach" in s.predicates for s in strata)

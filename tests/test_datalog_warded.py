@@ -1,0 +1,141 @@
+"""Tests for the wardedness analysis (Warded Datalog± membership)."""
+
+import pytest
+
+import repro.core as _core
+
+from repro.core import full_ownership_program
+from repro.datalog import parse_program
+from repro.datalog.warded import (
+    affected_positions,
+    check_wardedness,
+    dangerous_variables,
+    harmful_variables,
+)
+from repro.datalog.terms import Variable
+
+
+class TestAffectedPositions:
+    def test_existential_head_positions_affected(self):
+        program = parse_program("own(X, Y) -> link(E, X, Y).")
+        affected = affected_positions(program)
+        assert ("link", 0) in affected
+        assert ("link", 1) not in affected
+
+    def test_propagation_through_rules(self):
+        program = parse_program(
+            """
+            own(X, Y) -> link(E, X, Y).
+            link(E, X, Y) -> has_id(E).
+            """
+        )
+        affected = affected_positions(program)
+        assert ("has_id", 0) in affected
+
+    def test_join_with_unaffected_position_blocks_propagation(self):
+        # E also occurs at an unaffected position (base relation), so it
+        # is not harmful and does not propagate
+        program = parse_program(
+            """
+            own(X, Y) -> link(E, X, Y).
+            link(E, X, Y), registry(E) -> has_id(E).
+            """
+        )
+        affected = affected_positions(program)
+        assert ("has_id", 0) not in affected
+
+    def test_datalog_without_existentials_has_none(self):
+        program = parse_program(
+            """
+            edge(X, Y) -> path(X, Y).
+            path(X, Z), edge(Z, Y) -> path(X, Y).
+            """
+        )
+        assert affected_positions(program) == set()
+
+
+class TestHarmfulAndDangerous:
+    def test_harmful_variable_identified(self):
+        program = parse_program(
+            """
+            own(X, Y) -> link(E, X, Y).
+            link(E, X, Y) -> seen(E, X).
+            """
+        )
+        affected = affected_positions(program)
+        rule = program.rules[1]
+        assert Variable("E") in harmful_variables(rule, affected)
+        assert Variable("X") not in harmful_variables(rule, affected)
+        assert Variable("E") in dangerous_variables(rule, affected)
+
+    def test_harmful_but_not_dangerous(self):
+        program = parse_program(
+            """
+            own(X, Y) -> link(E, X, Y).
+            link(E, X, Y) -> connected(X, Y).
+            """
+        )
+        affected = affected_positions(program)
+        rule = program.rules[1]
+        assert Variable("E") in harmful_variables(rule, affected)
+        assert dangerous_variables(rule, affected) == set()
+
+
+class TestWardedness:
+    def test_plain_datalog_is_warded(self):
+        program = parse_program(
+            """
+            edge(X, Y) -> path(X, Y).
+            path(X, Z), edge(Z, Y) -> path(X, Y).
+            """
+        )
+        assert check_wardedness(program)
+
+    def test_single_ward_accepted(self):
+        program = parse_program(
+            """
+            person(X) -> owns_something(X, E).
+            owns_something(X, E) -> thing(E).
+            """
+        )
+        assert check_wardedness(program)
+
+    def test_dangerous_join_rejected(self):
+        # E (a possible null) is joined across two atoms and exported:
+        # the dangerous variable is shared with a second atom through a
+        # harmful variable -> not warded
+        program = parse_program(
+            """
+            a(X) -> p(X, E).
+            b(X) -> q(X, E).
+            p(X, E), q(Y, E) -> r(E).
+            """
+        )
+        report = check_wardedness(program)
+        assert not report.warded
+        assert report.violations
+
+    def test_paper_programs_are_warded(self):
+        """The reproduction's own reasoning stack must live in the warded
+        fragment — that is the paper's scalability argument."""
+        report = check_wardedness(full_ownership_program())
+        assert report.warded, report.violations
+
+
+class TestPaperProgramsIndividually:
+    """Each Algorithm's rule set must be warded on its own vocabulary."""
+
+    @pytest.mark.parametrize("build", [
+        lambda: _core.input_mapping(True),
+        lambda: _core.control_program(),
+        lambda: _core.close_link_program(),
+        lambda: _core.paper_close_link_program(),
+        lambda: _core.family_control_program(),
+        lambda: _core.family_close_link_program(),
+        lambda: _core.link_creation(),
+        lambda: _core.output_mapping(),
+        lambda: _core.influence_program(),
+    ])
+    def test_program_is_warded(self, build):
+        report = check_wardedness(parse_program(build()))
+        assert report.warded, report.violations

@@ -1,0 +1,103 @@
+"""Smoke tests: the runnable examples must stay runnable.
+
+The fast examples run end to end; the two heavier ones (embedding
+training over hundreds of nodes) are executed with shrunken populations
+by monkeypatching their module-level specs.
+"""
+
+import importlib
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+@pytest.fixture(autouse=True)
+def _examples_on_path():
+    sys.path.insert(0, str(EXAMPLES_DIR))
+    yield
+    sys.path.remove(str(EXAMPLES_DIR))
+
+
+def load(name):
+    module = importlib.import_module(name)
+    importlib.reload(module)
+    return module
+
+
+class TestFastExamples:
+    def test_quickstart(self, capsys):
+        load("quickstart").main()
+        out = capsys.readouterr().out
+        assert "holding" in out and "partner_of" in out
+        assert "family {anna, bruno} controls bakery" in out
+
+    def test_company_control(self, capsys):
+        load("company_control").main()
+        out = capsys.readouterr().out
+        assert "P1 controls: C, D, E, F" in out
+        assert "P2 controls: G, H, I" in out
+        assert "absorption chain" in out
+
+    def test_asset_eligibility(self, capsys):
+        load("asset_eligibility").main()
+        out = capsys.readouterr().out
+        assert "REJECTED" in out and "ELIGIBLE" in out
+        assert "common owner inv" in out
+
+    def test_beneficial_owners(self, capsys):
+        load("beneficial_owners").main()
+        out = capsys.readouterr().out
+        assert "basis=control" in out
+        assert "AML red flag" in out
+        assert "37.5%" in out
+
+    def test_ownership_history(self, capsys, monkeypatch):
+        module = load("ownership_history")
+        monkeypatch.setattr(module, "YEARS", list(range(2005, 2009)))
+        module.main()
+        out = capsys.readouterr().out
+        assert "Structural churn" in out
+        assert "Control changes" in out
+
+
+class TestHeavyExamples:
+    def test_family_detection_small(self, capsys, monkeypatch):
+        module = load("family_detection")
+        from repro.datagen import CompanySpec
+
+        monkeypatch.setattr(
+            module, "SPEC", CompanySpec(persons=80, companies=40, seed=42)
+        )
+        module.main()
+        out = capsys.readouterr().out
+        assert "predicted" in out and "recall" in out
+
+    def test_kg_augmentation_pipeline_small(self, capsys, monkeypatch):
+        module = load("kg_augmentation_pipeline")
+        from repro.datagen import CompanySpec
+
+        monkeypatch.setattr(
+            module, "SPEC", CompanySpec(persons=60, companies=40, seed=7)
+        )
+        module.main()
+        out = capsys.readouterr().out
+        assert "augmented PG" in out
+        assert "improves connectivity" in out
+
+
+class TestSupervisionReport:
+    def test_runs_end_to_end(self, capsys, monkeypatch):
+        module = load("supervision_report")
+        from repro.datagen import CompanySpec
+
+        monkeypatch.setattr(
+            module, "SPEC", CompanySpec(persons=60, companies=45, seed=77)
+        )
+        module.main()
+        out = capsys.readouterr().out
+        assert "Control groups" in out
+        assert "Beneficial owners" in out
+        assert "group.dot" in out

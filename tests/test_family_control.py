@@ -1,0 +1,115 @@
+"""Tests for family control and family close links (Definitions 2.8/2.9)."""
+
+import pytest
+
+from repro.graph import FAMILY, CompanyGraph, figure1_graph
+from repro.ownership import (
+    all_family_close_links,
+    all_family_control,
+    families_from_graph,
+    family_close_links,
+    family_controlled,
+)
+
+
+def family_business_graph() -> CompanyGraph:
+    """Two spouses each hold 30% of the family firm; the firm controls a sub."""
+    graph = CompanyGraph()
+    graph.add_person("mom")
+    graph.add_person("dad")
+    graph.add_person("stranger")
+    graph.add_company("firm")
+    graph.add_company("sub")
+    graph.add_shareholding("mom", "firm", 0.3)
+    graph.add_shareholding("dad", "firm", 0.3)
+    graph.add_shareholding("stranger", "firm", 0.4)
+    graph.add_shareholding("firm", "sub", 0.6)
+    return graph
+
+
+class TestFamilyControl:
+    def test_members_pool_to_control(self):
+        graph = family_business_graph()
+        assert family_controlled(graph, ["mom", "dad"]) == {"firm", "sub"}
+
+    def test_single_member_insufficient(self):
+        graph = family_business_graph()
+        assert family_controlled(graph, ["mom"]) == set()
+
+    def test_figure1_family_controls_l(self):
+        """The paper's headline example: P1+P2 as a family control L (60%)."""
+        graph = figure1_graph()
+        controlled = family_controlled(graph, ["P1", "P2"])
+        assert "L" in controlled
+        # and everything each controls individually
+        assert {"C", "D", "E", "F", "G", "H", "I"} <= controlled
+
+
+class TestFamilyCloseLinks:
+    def test_distinct_members_induce_link(self):
+        graph = CompanyGraph()
+        graph.add_person("i")
+        graph.add_person("j")
+        graph.add_company("x")
+        graph.add_company("y")
+        graph.add_shareholding("i", "x", 0.3)
+        graph.add_shareholding("j", "y", 0.3)
+        links = family_close_links(graph, ["i", "j"])
+        assert ("x", "y") in links and ("y", "x") in links
+
+    def test_same_member_does_not_count_twice(self):
+        graph = CompanyGraph()
+        graph.add_person("i")
+        graph.add_company("x")
+        graph.add_company("y")
+        graph.add_shareholding("i", "x", 0.3)
+        graph.add_shareholding("i", "y", 0.3)
+        # Definition 2.9 needs two DISTINCT members i != j
+        assert family_close_links(graph, ["i"]) == set()
+
+    def test_threshold_respected(self):
+        graph = CompanyGraph()
+        graph.add_person("i")
+        graph.add_person("j")
+        graph.add_company("x")
+        graph.add_company("y")
+        graph.add_shareholding("i", "x", 0.1)
+        graph.add_shareholding("j", "y", 0.3)
+        assert family_close_links(graph, ["i", "j"]) == set()
+        assert family_close_links(graph, ["i", "j"], threshold=0.05) != set()
+
+    def test_paper_d_g_example(self):
+        """Figure 1 narrative: P1-P2 personal tie puts D and G in close link."""
+        graph = figure1_graph()
+        links = family_close_links(graph, ["P1", "P2"])
+        assert ("D", "G") in links and ("G", "D") in links
+
+
+class TestDeclaredFamilies:
+    def test_families_from_graph(self):
+        graph = family_business_graph()
+        graph.add_node("fam", "F")
+        graph.add_edge("mom", "fam", FAMILY)
+        graph.add_edge("dad", "fam", FAMILY)
+        assert families_from_graph(graph) == {"fam": {"mom", "dad"}}
+
+    def test_all_family_control(self):
+        graph = family_business_graph()
+        graph.add_node("fam", "F")
+        graph.add_edge("mom", "fam", FAMILY)
+        graph.add_edge("dad", "fam", FAMILY)
+        pairs = all_family_control(graph)
+        assert ("fam", "firm") in pairs and ("fam", "sub") in pairs
+
+    def test_all_family_close_links(self):
+        graph = CompanyGraph()
+        graph.add_person("i")
+        graph.add_person("j")
+        graph.add_company("x")
+        graph.add_company("y")
+        graph.add_shareholding("i", "x", 0.3)
+        graph.add_shareholding("j", "y", 0.3)
+        graph.add_node("fam", "F")
+        graph.add_edge("i", "fam", FAMILY)
+        graph.add_edge("j", "fam", FAMILY)
+        assert ("x", "y") in all_family_close_links(graph)

@@ -1,0 +1,71 @@
+"""Tests for the Graphviz DOT export."""
+
+import pytest
+
+from repro.graph import CompanyGraph, figure1_graph
+from repro.graph.dot import save_dot, to_dot
+
+
+@pytest.fixture
+def augmented():
+    graph = figure1_graph()
+    graph.add_edge("P1", "C", "control")
+    graph.add_edge("C", "D", "close_link")
+    graph.add_edge("D", "C", "close_link")
+    graph.add_edge("P1", "P2", "partner_of")
+    return graph
+
+
+class TestToDot:
+    def test_valid_digraph_structure(self, augmented):
+        dot = to_dot(augmented)
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        assert dot.count("{") == dot.count("}")
+
+    def test_all_nodes_present(self, augmented):
+        dot = to_dot(augmented)
+        for node in augmented.node_ids():
+            assert f'"{node}"' in dot
+
+    def test_paper_styling(self, augmented):
+        dot = to_dot(augmented)
+        assert "shape=box" in dot                     # companies
+        assert "color=blue" in dot                    # persons
+        assert "color=forestgreen" in dot             # control edges
+        assert "color=magenta" in dot                 # close links
+        assert "color=red" in dot                     # personal links
+
+    def test_share_labels(self, augmented):
+        dot = to_dot(augmented)
+        assert '"80%"' in dot
+        assert '"40%"' in dot
+
+    def test_share_labels_can_be_disabled(self, augmented):
+        dot = to_dot(augmented, show_share_labels=False)
+        assert '"80%"' not in dot
+
+    def test_symmetric_relations_drawn_once(self, augmented):
+        dot = to_dot(augmented, symmetric_once=True)
+        assert dot.count("[color=magenta") == 1
+        assert "dir=both" in dot
+        both_ways = to_dot(augmented, symmetric_once=False)
+        assert both_ways.count("[color=magenta") == 2
+
+    def test_quoting_of_special_characters(self):
+        graph = CompanyGraph()
+        graph.add_company('we"ird', name='Acme "The" SRL')
+        dot = to_dot(graph)
+        assert '\\"' in dot
+
+    def test_node_name_property_used_as_label(self):
+        graph = CompanyGraph()
+        graph.add_company("c1", name="Acme SRL")
+        assert 'label="Acme SRL"' in to_dot(graph)
+
+    def test_save_dot(self, augmented, tmp_path):
+        path = tmp_path / "graph.dot"
+        save_dot(augmented, path)
+        content = path.read_text()
+        assert content.startswith("digraph")
+        assert content.endswith("}\n")

@@ -1,0 +1,76 @@
+"""Tests for CSV and JSON import/export."""
+
+import pytest
+
+from repro.graph import (
+    CompanyGraph,
+    figure1_graph,
+    from_json,
+    load_json,
+    read_company_csv,
+    save_json,
+    to_json,
+    write_company_csv,
+)
+
+
+@pytest.fixture
+def graph():
+    g = CompanyGraph()
+    g.add_person("p1", name="Anna", surname="Rossi", birth_date="1980-02-03",
+                 birth_place="Roma", sex="F", address="Via Roma 1, Roma")
+    g.add_company("c1", name="Acme SRL", address="Via Milano 2, Milano",
+                  incorporation_date="1999-01-01", legal_form="SRL")
+    g.add_shareholding("p1", "c1", 0.75, right="ownership")
+    return g
+
+
+class TestCsv:
+    def test_roundtrip(self, graph, tmp_path):
+        write_company_csv(graph, tmp_path)
+        back = read_company_csv(tmp_path)
+        assert back.node_count == 2
+        assert back.share("p1", "c1") == pytest.approx(0.75)
+        assert back.node("p1").get("surname") == "Rossi"
+        assert next(back.shareholdings()).get("right") == "ownership"
+
+    def test_files_created(self, graph, tmp_path):
+        write_company_csv(graph, tmp_path)
+        for name in ("companies.csv", "persons.csv", "shareholdings.csv"):
+            assert (tmp_path / name).exists()
+
+    def test_empty_graph(self, tmp_path):
+        write_company_csv(CompanyGraph(), tmp_path)
+        back = read_company_csv(tmp_path)
+        assert back.node_count == 0
+
+
+class TestJson:
+    def test_roundtrip_preserves_everything(self, graph):
+        back = from_json(to_json(graph))
+        assert back.node_count == graph.node_count
+        assert back.edge_count == graph.edge_count
+        assert back.share("p1", "c1") == pytest.approx(0.75)
+
+    def test_roundtrip_preserves_edge_ids(self, graph):
+        original_ids = {edge.id for edge in graph.edges()}
+        back = from_json(to_json(graph))
+        assert {edge.id for edge in back.edges()} == original_ids
+
+    def test_share_validation_applies_on_load(self, graph):
+        payload = to_json(graph)
+        payload["edges"][0]["properties"]["w"] = 7.5
+        with pytest.raises(Exception):
+            from_json(payload)
+
+    def test_plain_property_graph_mode(self, graph):
+        back = from_json(to_json(graph), company_graph=False)
+        assert back.node_count == graph.node_count
+
+    def test_file_roundtrip(self, tmp_path):
+        graph = figure1_graph()
+        path = tmp_path / "fig1.json"
+        save_json(graph, path)
+        back = load_json(path)
+        assert back.node_count == 10
+        assert back.share("P1", "C") == pytest.approx(0.8)

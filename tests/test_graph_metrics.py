@@ -1,0 +1,144 @@
+"""Tests for graph statistics — cross-validated against networkx."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    CompanyGraph,
+    PropertyGraph,
+    average_clustering,
+    clustering_coefficient,
+    count_self_loops,
+    degree_histogram,
+    power_law_alpha,
+    profile,
+    strongly_connected_components,
+    weakly_connected_components,
+)
+
+
+def graph_from_edges(n, edges):
+    graph = PropertyGraph()
+    for i in range(n):
+        graph.add_node(i)
+    for u, v in edges:
+        graph.add_edge(u, v)
+    return graph
+
+
+@st.composite
+def random_digraph(draw):
+    n = draw(st.integers(min_value=1, max_value=12))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            max_size=30,
+        )
+    )
+    return n, edges
+
+
+class TestComponentsAgainstNetworkx:
+    @given(random_digraph())
+    @settings(max_examples=60, deadline=None)
+    def test_scc_matches_networkx(self, data):
+        n, edges = data
+        ours = graph_from_edges(n, edges)
+        theirs = nx.DiGraph()
+        theirs.add_nodes_from(range(n))
+        theirs.add_edges_from(edges)
+        ours_sccs = {frozenset(c) for c in strongly_connected_components(ours)}
+        nx_sccs = {frozenset(c) for c in nx.strongly_connected_components(theirs)}
+        assert ours_sccs == nx_sccs
+
+    @given(random_digraph())
+    @settings(max_examples=60, deadline=None)
+    def test_wcc_matches_networkx(self, data):
+        n, edges = data
+        ours = graph_from_edges(n, edges)
+        theirs = nx.DiGraph()
+        theirs.add_nodes_from(range(n))
+        theirs.add_edges_from(edges)
+        ours_wccs = {frozenset(c) for c in weakly_connected_components(ours)}
+        nx_wccs = {frozenset(c) for c in nx.weakly_connected_components(theirs)}
+        assert ours_wccs == nx_wccs
+
+
+class TestClustering:
+    def test_triangle_has_full_clustering(self):
+        graph = graph_from_edges(3, [(0, 1), (1, 2), (2, 0)])
+        assert clustering_coefficient(graph, 0) == pytest.approx(1.0)
+
+    def test_star_has_zero_clustering(self):
+        graph = graph_from_edges(4, [(0, 1), (0, 2), (0, 3)])
+        assert clustering_coefficient(graph, 0) == 0.0
+
+    def test_degree_below_two_is_zero(self):
+        graph = graph_from_edges(2, [(0, 1)])
+        assert clustering_coefficient(graph, 0) == 0.0
+
+    @given(random_digraph())
+    @settings(max_examples=40, deadline=None)
+    def test_average_clustering_matches_networkx(self, data):
+        n, edges = data
+        simple_edges = {(u, v) for u, v in edges if u != v}
+        ours = graph_from_edges(n, sorted(simple_edges))
+        theirs = nx.Graph()
+        theirs.add_nodes_from(range(n))
+        theirs.add_edges_from(simple_edges)
+        assert average_clustering(ours) == pytest.approx(
+            nx.average_clustering(theirs), abs=1e-9
+        )
+
+
+class TestMiscStats:
+    def test_self_loops_counted(self):
+        graph = graph_from_edges(3, [(0, 0), (1, 1), (0, 1)])
+        assert count_self_loops(graph) == 2
+
+    def test_degree_histogram(self):
+        graph = graph_from_edges(3, [(0, 1), (0, 2)])
+        assert degree_histogram(graph) == {1: 2, 2: 1}
+
+    def test_power_law_alpha_none_for_tiny(self):
+        graph = graph_from_edges(1, [])
+        assert power_law_alpha(graph) is None
+
+    def test_power_law_alpha_positive(self):
+        graph = graph_from_edges(6, [(0, i) for i in range(1, 6)])
+        alpha = power_law_alpha(graph)
+        assert alpha is not None and alpha > 1.0
+
+
+class TestProfile:
+    def test_profile_known_graph(self):
+        graph = CompanyGraph()
+        for c in ("a", "b", "c"):
+            graph.add_company(c, name=c)
+        graph.add_shareholding("a", "b", 0.6)
+        graph.add_shareholding("b", "a", 0.6)
+        graph.add_shareholding("b", "c", 0.5)
+        result = profile(graph)
+        assert result.nodes == 3
+        assert result.edges == 3
+        assert result.scc_count == 2  # {a,b} and {c}
+        assert result.scc_max_size == 2
+        assert result.wcc_count == 1
+        assert result.max_out_degree == 2
+        assert result.self_loops == 0
+
+    def test_profile_rows_render(self):
+        graph = CompanyGraph()
+        graph.add_company("a", name="a")
+        rows = profile(graph).as_rows()
+        assert ("nodes", "1") in rows
+
+    def test_empty_graph(self):
+        result = profile(PropertyGraph())
+        assert result.nodes == 0
+        assert result.avg_in_degree == 0.0

@@ -1,0 +1,92 @@
+"""Tests for the embedded graph store (Neo4j stand-in)."""
+
+import pytest
+
+from repro.graph import GraphStore, PropertyGraph, figure1_graph
+
+
+@pytest.fixture
+def store():
+    s = GraphStore()
+    s.create_node("a", "Person", surname="Rossi", city="Roma")
+    s.create_node("b", "Person", surname="Rossi", city="Milano")
+    s.create_node("c", "Company", city="Roma")
+    s.create_edge("a", "c", "owns", w=0.5)
+    s.create_edge("b", "c", "owns", w=0.3)
+    return s
+
+
+class TestFind:
+    def test_by_label(self, store):
+        assert {n.id for n in store.find_nodes("Person")} == {"a", "b"}
+
+    def test_by_property_scan(self, store):
+        assert {n.id for n in store.find_nodes(surname="Rossi")} == {"a", "b"}
+
+    def test_by_label_and_property(self, store):
+        assert {n.id for n in store.find_nodes("Person", city="Roma")} == {"a"}
+
+    def test_with_index(self, store):
+        store.ensure_index("surname", "Person")
+        assert {n.id for n in store.find_nodes("Person", surname="Rossi")} == {"a", "b"}
+
+    def test_index_updated_on_create(self, store):
+        store.ensure_index("surname", "Person")
+        store.create_node("d", "Person", surname="Rossi")
+        assert {n.id for n in store.find_nodes("Person", surname="Rossi")} == {"a", "b", "d"}
+
+    def test_index_updated_on_set_property(self, store):
+        store.ensure_index("surname", "Person")
+        store.set_property("a", "surname", "Bianchi")
+        assert {n.id for n in store.find_nodes("Person", surname="Rossi")} == {"b"}
+        assert {n.id for n in store.find_nodes("Person", surname="Bianchi")} == {"a"}
+
+    def test_index_updated_on_delete(self, store):
+        store.ensure_index("surname", "Person")
+        store.delete_node("a")
+        assert {n.id for n in store.find_nodes("Person", surname="Rossi")} == {"b"}
+
+    def test_ensure_index_idempotent(self, store):
+        store.ensure_index("surname")
+        store.ensure_index("surname")
+        assert {n.id for n in store.find_nodes(surname="Rossi")} == {"a", "b"}
+
+
+class TestMatchEdges:
+    def test_by_label(self, store):
+        assert sum(1 for _ in store.match_edges("owns")) == 2
+
+    def test_by_source(self, store):
+        edges = list(store.match_edges("owns", source="a"))
+        assert len(edges) == 1 and edges[0].target == "c"
+
+    def test_by_target(self, store):
+        assert sum(1 for _ in store.match_edges("owns", target="c")) == 2
+
+    def test_by_property(self, store):
+        edges = list(store.match_edges("owns", w=0.3))
+        assert len(edges) == 1 and edges[0].source == "b"
+
+
+class TestExpand:
+    def test_single_hop(self, store):
+        assert store.expand("a") == {"c"}
+
+    def test_multi_hop(self):
+        s = GraphStore(figure1_graph())
+        reachable = s.expand("P1", depth=3)
+        assert {"C", "D", "E", "F"} <= reachable
+
+    def test_depth_limit(self):
+        s = GraphStore(figure1_graph())
+        assert "F" not in s.expand("P1", depth=1)
+
+    def test_counts(self, store):
+        assert store.node_count() == 3
+        assert store.node_count("Person") == 2
+
+    def test_wraps_existing_graph(self):
+        graph = PropertyGraph()
+        graph.add_node("x", "T")
+        store = GraphStore(graph)
+        assert store.node_count("T") == 1

@@ -1,0 +1,138 @@
+"""Tests for the yearly ownership history (temporal extension)."""
+
+import pytest
+
+from repro.datagen import CompanySpec, generate_company_graph
+from repro.graph import CompanyGraph, OwnershipHistory, evolve, figure1_graph
+from repro.ownership import control_closure
+
+
+def two_year_history():
+    """Year 1: p controls a.  Year 2: p sold down, q took control."""
+    year1 = CompanyGraph()
+    year1.add_person("p")
+    year1.add_person("q")
+    year1.add_company("a")
+    year1.add_shareholding("p", "a", 0.6)
+    year1.add_shareholding("q", "a", 0.4)
+
+    year2 = CompanyGraph()
+    year2.add_person("p")
+    year2.add_person("q")
+    year2.add_company("a")
+    year2.add_shareholding("p", "a", 0.4)
+    year2.add_shareholding("q", "a", 0.6)
+    return OwnershipHistory({2005: year1, 2006: year2})
+
+
+class TestSnapshots:
+    def test_years_sorted(self):
+        history = OwnershipHistory({2010: CompanyGraph(), 2005: CompanyGraph()})
+        assert history.years() == [2005, 2010]
+
+    def test_missing_year_raises(self):
+        with pytest.raises(KeyError):
+            OwnershipHistory().snapshot(1999)
+
+    def test_iteration_in_order(self):
+        history = two_year_history()
+        assert [year for year, _ in history] == [2005, 2006]
+        assert len(history) == 2
+
+
+class TestControlChanges:
+    def test_gained_and_lost(self):
+        history = two_year_history()
+        changes = history.control_changes(2005, 2006)
+        kinds = {(c.controller, c.company, c.kind) for c in changes}
+        assert ("p", "a", "lost") in kinds
+        assert ("q", "a", "gained") in kinds
+
+    def test_no_changes_on_identical_snapshots(self):
+        graph = figure1_graph()
+        history = OwnershipHistory({2005: graph, 2006: graph.copy()})
+        assert history.control_changes(2005, 2006) == []
+
+    def test_stable_pairs(self):
+        history = two_year_history()
+        assert history.stable_control_pairs() == set()
+        same = OwnershipHistory({2005: figure1_graph(), 2006: figure1_graph()})
+        assert same.stable_control_pairs() == control_closure(figure1_graph())
+
+
+class TestChurnAndTenure:
+    def test_churn_counts(self):
+        year1 = CompanyGraph()
+        year1.add_company("a")
+        year2 = CompanyGraph()
+        year2.add_company("a")
+        year2.add_company("b")
+        year2.add_shareholding("a", "b", 0.5)
+        history = OwnershipHistory({2005: year1, 2006: year2})
+        churn = history.churn(2005, 2006)
+        assert churn == {
+            "nodes_added": 1, "nodes_removed": 0,
+            "edges_added": 1, "edges_removed": 0,
+        }
+
+    def test_node_tenure(self):
+        history = two_year_history()
+        tenure = history.node_tenure()
+        assert tenure["p"] == (2005, 2006)
+
+
+class TestEvolve:
+    @pytest.fixture(scope="class")
+    def history(self):
+        graph, _ = generate_company_graph(
+            CompanySpec(persons=80, companies=60, seed=17)
+        )
+        return evolve(graph, list(range(2005, 2010)), seed=3)
+
+    def test_first_year_unchanged(self, history):
+        graph, _ = generate_company_graph(
+            CompanySpec(persons=80, companies=60, seed=17)
+        )
+        first = history.snapshot(2005)
+        assert first.node_count == graph.node_count
+        assert first.edge_count == graph.edge_count
+
+    def test_deterministic(self, history):
+        graph, _ = generate_company_graph(
+            CompanySpec(persons=80, companies=60, seed=17)
+        )
+        again = evolve(graph, list(range(2005, 2010)), seed=3)
+        for year in history.years():
+            assert history.snapshot(year).edge_count == again.snapshot(year).edge_count
+
+    def test_churn_is_nonzero(self, history):
+        churn = history.churn(2005, 2009)
+        assert churn["edges_added"] > 0
+        assert churn["nodes_added"] > 0
+
+    def test_share_validity_preserved(self, history):
+        for _, graph in history:
+            for edge in graph.shareholdings():
+                assert 0 < edge.get("w") <= 1
+
+    def test_profile_series(self, history):
+        series = history.profile_series()
+        assert set(series) == set(history.years())
+        assert all(p.nodes > 0 for p in series.values())
+
+
+class TestEvolveEdgeCases:
+    def test_single_year(self):
+        from repro.graph import CompanyGraph
+
+        graph = CompanyGraph()
+        graph.add_company("a")
+        history = evolve(graph, [2005], seed=0)
+        assert history.years() == [2005]
+
+    def test_empty_graph_evolves(self):
+        from repro.graph import CompanyGraph
+
+        history = evolve(CompanyGraph(), [2005, 2006], seed=0)
+        assert len(history) == 2
+        assert history.snapshot(2006).node_count == 0

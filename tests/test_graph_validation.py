@@ -1,0 +1,119 @@
+"""Tests for data-quality validation."""
+
+import pytest
+
+from repro.datagen import CompanySpec, generate_company_graph
+from repro.graph import CompanyGraph
+from repro.graph.validation import (
+    Finding,
+    check_duplicate_persons,
+    check_missing_identity_features,
+    check_orphan_shareholders,
+    check_over_issued_equity,
+    check_self_ownership,
+    quality_report,
+    validate,
+)
+
+
+class TestOverIssuedEquity:
+    def test_detected(self):
+        graph = CompanyGraph()
+        graph.add_person("p")
+        graph.add_person("q")
+        graph.add_company("c")
+        graph.add_shareholding("p", "c", 0.8)
+        graph.add_shareholding("q", "c", 0.4)
+        findings = list(check_over_issued_equity(graph))
+        assert len(findings) == 1
+        assert findings[0].subject == "c"
+        assert findings[0].severity == "error"
+
+    def test_rounding_tolerated(self):
+        graph = CompanyGraph()
+        graph.add_person("p")
+        graph.add_company("c")
+        graph.add_shareholding("p", "c", 1.0)
+        assert list(check_over_issued_equity(graph)) == []
+
+
+class TestSelfOwnership:
+    def test_buy_back_is_warning(self):
+        graph = CompanyGraph()
+        graph.add_company("c")
+        graph.add_shareholding("c", "c", 0.05)
+        findings = list(check_self_ownership(graph))
+        assert findings[0].severity == "warning"
+
+    def test_majority_self_ownership_is_error(self):
+        graph = CompanyGraph()
+        graph.add_company("c")
+        graph.add_shareholding("c", "c", 0.6)
+        findings = list(check_self_ownership(graph))
+        assert findings[0].severity == "error"
+
+    def test_clean_company_passes(self):
+        graph = CompanyGraph()
+        graph.add_company("c")
+        assert list(check_self_ownership(graph)) == []
+
+
+class TestDuplicatePersons:
+    def test_same_identity_flagged_once(self):
+        graph = CompanyGraph()
+        graph.add_person("p1", name="Anna", surname="Rossi", birth_date="1980-01-01")
+        graph.add_person("p2", name="Anna", surname="Rossi", birth_date="1980-01-01")
+        graph.add_person("p3", name="Anna", surname="Rossi", birth_date="1985-05-05")
+        findings = list(check_duplicate_persons(graph))
+        assert len(findings) == 1
+        assert findings[0].subject == "p2"
+
+    def test_incomplete_records_skipped(self):
+        graph = CompanyGraph()
+        graph.add_person("p1", name="Anna")
+        graph.add_person("p2", name="Anna")
+        assert list(check_duplicate_persons(graph)) == []
+
+
+class TestMissingFeaturesAndOrphans:
+    def test_missing_features(self):
+        graph = CompanyGraph()
+        graph.add_person("p", name="Anna")
+        findings = list(check_missing_identity_features(graph))
+        assert findings and "surname" in findings[0].detail
+
+    def test_orphan_shareholder(self):
+        graph = CompanyGraph()
+        graph.add_person("p", surname="Rossi", birth_date="1980-01-01")
+        assert list(check_orphan_shareholders(graph))
+        graph.add_company("c")
+        graph.add_shareholding("p", "c", 0.5)
+        assert list(check_orphan_shareholders(graph)) == []
+
+
+class TestValidate:
+    def test_errors_sorted_first(self):
+        graph = CompanyGraph()
+        graph.add_person("p", surname="Rossi", birth_date="1980-01-01")
+        graph.add_person("q", surname="Bianchi", birth_date="1981-01-01")
+        graph.add_company("c")
+        graph.add_shareholding("p", "c", 0.9)
+        graph.add_shareholding("q", "c", 0.9)  # over-issue (error)
+        findings = validate(graph)
+        assert findings[0].severity == "error"
+
+    def test_generator_output_is_mostly_clean(self):
+        graph, _ = generate_company_graph(
+            CompanySpec(persons=100, companies=60, seed=3, feature_noise=0.0)
+        )
+        errors = [f for f in validate(graph) if f.severity == "error"]
+        assert errors == []
+
+    def test_quality_report_renders(self):
+        graph = CompanyGraph()
+        graph.add_company("c")
+        graph.add_shareholding("c", "c", 0.9)
+        report = quality_report(graph)
+        assert "excessive_self_ownership" in report
+        clean = CompanyGraph()
+        assert "no data-quality findings" in quality_report(clean)

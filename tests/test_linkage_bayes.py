@@ -1,0 +1,132 @@
+"""Tests for the Bayesian link classifier and Graham combination."""
+
+import pytest
+
+from repro.linkage import (
+    BayesianLinkClassifier,
+    FeatureSpec,
+    equality_distance,
+    graham_combination,
+    parent_direction,
+    partner_features,
+)
+from repro.linkage.bayes import FeatureEstimate
+
+
+class TestGrahamCombination:
+    def test_empty(self):
+        assert graham_combination([]) == 0.0
+
+    def test_single_passthrough(self):
+        assert graham_combination([0.8]) == pytest.approx(0.8, abs=1e-3)
+
+    def test_agreement_amplifies(self):
+        assert graham_combination([0.8, 0.8]) > 0.8
+        assert graham_combination([0.2, 0.2]) < 0.2
+
+    def test_neutral_stays_half(self):
+        assert graham_combination([0.5, 0.5, 0.5]) == pytest.approx(0.5)
+
+    def test_extremes_clamped(self):
+        # one certain feature must not produce exactly 0 or 1
+        assert 0.0 < graham_combination([0.0, 0.9]) < 1.0
+        assert 0.0 < graham_combination([1.0, 0.1]) < 1.0
+
+    def test_symmetric_disagreement_cancels(self):
+        assert graham_combination([0.9, 0.1]) == pytest.approx(0.5, abs=1e-6)
+
+
+class TestFeatureEstimate:
+    def test_match_raises_posterior(self):
+        estimate = FeatureEstimate(m=0.9, u=0.1)
+        assert estimate.posterior(True, prior=0.3) > 0.3
+
+    def test_non_match_lowers_posterior(self):
+        estimate = FeatureEstimate(m=0.9, u=0.1)
+        assert estimate.posterior(False, prior=0.3) < 0.3
+
+    def test_inverted_feature(self):
+        # m < u: matching is evidence AGAINST (partners' equal sex)
+        estimate = FeatureEstimate(m=0.05, u=0.5)
+        assert estimate.posterior(True, prior=0.3) < 0.3
+        assert estimate.posterior(False, prior=0.3) > 0.3
+
+    def test_uninformative_feature(self):
+        estimate = FeatureEstimate(m=0.5, u=0.5)
+        assert estimate.posterior(True, prior=0.3) == pytest.approx(0.3)
+
+
+SPECS = (
+    FeatureSpec("a", equality_distance, 0.5),
+    FeatureSpec("b", equality_distance, 0.5),
+)
+
+
+class TestClassifier:
+    def test_matching_pair_scores_high(self):
+        classifier = BayesianLinkClassifier("link", SPECS)
+        left = {"a": 1, "b": 2}
+        assert classifier.probability(left, dict(left)) > 0.5
+        assert classifier.predict(left, dict(left))
+
+    def test_mismatching_pair_scores_low(self):
+        classifier = BayesianLinkClassifier("link", SPECS)
+        assert classifier.probability({"a": 1, "b": 2}, {"a": 9, "b": 8}) < 0.5
+
+    def test_missing_feature_contributes_nothing(self):
+        classifier = BayesianLinkClassifier("link", SPECS)
+        with_missing = classifier.probability({"a": 1}, {"a": 1})
+        both = classifier.probability({"a": 1, "b": 2}, {"a": 1, "b": 2})
+        assert 0.5 < with_missing < both
+
+    def test_all_missing_gives_zero(self):
+        classifier = BayesianLinkClassifier("link", SPECS)
+        assert classifier.probability({}, {}) == 0.0
+
+    def test_fit_recovers_planted_probabilities(self):
+        classifier = BayesianLinkClassifier("link", SPECS)
+        # feature "a" always matches on links, never otherwise; "b" is noise
+        pairs, labels = [], []
+        for i in range(50):
+            pairs.append(({"a": 1, "b": i}, {"a": 1, "b": i}))
+            labels.append(True)
+            pairs.append(({"a": 1, "b": 1}, {"a": 2, "b": 1}))
+            labels.append(False)
+        classifier.fit(pairs, labels)
+        assert classifier.estimates["a"].m > 0.9
+        assert classifier.estimates["a"].u < 0.1
+        assert classifier.prior == pytest.approx(0.5, abs=0.05)
+
+    def test_fit_with_explicit_prior(self):
+        classifier = BayesianLinkClassifier("link", SPECS)
+        classifier.fit([(({"a": 1}), ({"a": 1}))], [True], prior=0.01)
+        assert classifier.prior == 0.01
+
+    def test_direction_constraint(self):
+        classifier = BayesianLinkClassifier(
+            "parent_of", SPECS, direction=parent_direction
+        )
+        parent = {"a": 1, "b": 2, "birth_date": "1950-01-01"}
+        child = {"a": 1, "b": 2, "birth_date": "1985-01-01"}
+        assert classifier.probability(parent, child) > 0.5
+        assert classifier.probability(child, parent) == 0.0
+
+    def test_direction_missing_birth_dates(self):
+        classifier = BayesianLinkClassifier(
+            "parent_of", SPECS, direction=parent_direction
+        )
+        assert classifier.probability({"a": 1}, {"a": 1}) == 0.0
+
+
+class TestPartnerDefaults:
+    def test_opposite_sex_cohabitants_detected(self):
+        classifier = BayesianLinkClassifier("partner_of", partner_features())
+        husband = {"address": "x", "birth_date": "1960-01-01", "sex": "M"}
+        wife = {"address": "x", "birth_date": "1963-05-05", "sex": "F"}
+        assert classifier.predict(husband, wife)
+
+    def test_strangers_rejected(self):
+        classifier = BayesianLinkClassifier("partner_of", partner_features())
+        one = {"address": "x", "birth_date": "1960-01-01", "sex": "M"}
+        other = {"address": "y", "birth_date": "1990-05-05", "sex": "F"}
+        assert not classifier.predict(one, other)

@@ -1,0 +1,104 @@
+"""Tests for string/value similarity measures."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linkage import (
+    absolute_difference,
+    equality_distance,
+    jaro,
+    jaro_winkler,
+    levenshtein,
+    levenshtein_similarity,
+    year_of,
+)
+
+
+class TestLevenshtein:
+    @pytest.mark.parametrize(
+        "a, b, expected",
+        [
+            ("", "", 0),
+            ("abc", "abc", 0),
+            ("abc", "", 3),
+            ("", "abc", 3),
+            ("kitten", "sitting", 3),
+            ("flaw", "lawn", 2),
+            ("rossi", "rosso", 1),
+            ("a", "b", 1),
+        ],
+    )
+    def test_known_values(self, a, b, expected):
+        assert levenshtein(a, b) == expected
+
+    @given(st.text(max_size=12), st.text(max_size=12))
+    @settings(max_examples=80, deadline=None)
+    def test_symmetry(self, a, b):
+        assert levenshtein(a, b) == levenshtein(b, a)
+
+    @given(st.text(max_size=10), st.text(max_size=10), st.text(max_size=10))
+    @settings(max_examples=60, deadline=None)
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+    @given(st.text(max_size=12), st.text(max_size=12))
+    @settings(max_examples=80, deadline=None)
+    def test_identity_of_indiscernibles(self, a, b):
+        assert (levenshtein(a, b) == 0) == (a == b)
+
+    @given(st.text(max_size=12), st.text(max_size=12))
+    @settings(max_examples=80, deadline=None)
+    def test_bounded_by_longer_string(self, a, b):
+        assert levenshtein(a, b) <= max(len(a), len(b))
+
+    def test_similarity_normalised(self):
+        assert levenshtein_similarity("", "") == 1.0
+        assert levenshtein_similarity("abc", "abc") == 1.0
+        assert levenshtein_similarity("abc", "xyz") == 0.0
+        assert 0.0 < levenshtein_similarity("rossi", "rosso") < 1.0
+
+
+class TestJaro:
+    def test_identical(self):
+        assert jaro("martha", "martha") == 1.0
+
+    def test_known_value(self):
+        assert jaro("martha", "marhta") == pytest.approx(0.944, abs=1e-3)
+
+    def test_no_overlap(self):
+        assert jaro("abc", "xyz") == 0.0
+
+    def test_empty(self):
+        assert jaro("", "abc") == 0.0
+
+    def test_winkler_boosts_common_prefix(self):
+        plain = jaro("dixon", "dicksonx")
+        boosted = jaro_winkler("dixon", "dicksonx")
+        assert boosted > plain
+        assert jaro_winkler("dixon", "dicksonx") == pytest.approx(0.8133, abs=1e-3)
+
+    @given(st.text(max_size=10), st.text(max_size=10))
+    @settings(max_examples=80, deadline=None)
+    def test_jaro_winkler_in_unit_interval(self, a, b):
+        assert 0.0 <= jaro_winkler(a, b) <= 1.0 + 1e-9
+
+    @given(st.text(max_size=10), st.text(max_size=10))
+    @settings(max_examples=80, deadline=None)
+    def test_jaro_symmetry(self, a, b):
+        assert jaro(a, b) == pytest.approx(jaro(b, a))
+
+
+class TestHelpers:
+    def test_absolute_difference(self):
+        assert absolute_difference(1980, 1985) == 5.0
+        assert absolute_difference(3.5, 1.0) == 2.5
+
+    def test_equality_distance(self):
+        assert equality_distance("a", "a") == 0.0
+        assert equality_distance("a", "b") == 1.0
+        assert equality_distance(None, None) == 0.0
+
+    def test_year_of(self):
+        assert year_of("1980-05-12") == 1980
+        assert year_of(1975) == 1975

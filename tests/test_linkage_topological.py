@@ -1,0 +1,101 @@
+"""Tests for the topological link-prediction baselines."""
+
+import pytest
+
+from repro.graph import PropertyGraph
+from repro.linkage.topological import (
+    SCORERS,
+    adamic_adar,
+    common_neighbors,
+    jaccard_coefficient,
+    preferential_attachment,
+    recall_against,
+    score_pairs,
+    top_predictions,
+)
+
+
+@pytest.fixture
+def wedge():
+    """a and b share two neighbours (c, d); e is isolated."""
+    graph = PropertyGraph()
+    for node in "abcde":
+        graph.add_node(node)
+    graph.add_edge("a", "c")
+    graph.add_edge("a", "d")
+    graph.add_edge("b", "c")
+    graph.add_edge("b", "d")
+    graph.add_edge("c", "d")
+    return graph
+
+
+class TestScores:
+    def test_common_neighbors(self, wedge):
+        assert common_neighbors(wedge, "a", "b") == 2
+        assert common_neighbors(wedge, "a", "e") == 0
+
+    def test_jaccard(self, wedge):
+        assert jaccard_coefficient(wedge, "a", "b") == pytest.approx(1.0)
+        assert jaccard_coefficient(wedge, "e", "e") == 0.0
+
+    def test_adamic_adar_weights_rare_neighbors(self, wedge):
+        # c and d both have degree 3: score = 2 / log(3)
+        import math
+
+        assert adamic_adar(wedge, "a", "b") == pytest.approx(2 / math.log(3))
+
+    def test_adamic_adar_skips_degree_one(self):
+        graph = PropertyGraph()
+        for node in "abc":
+            graph.add_node(node)
+        graph.add_edge("a", "c")
+        graph.add_edge("b", "c")
+        # c has degree 2 -> contributes; make its degree 1 impossible here,
+        # but a degree-1 common neighbour must contribute nothing:
+        graph2 = PropertyGraph()
+        for node in "ab":
+            graph2.add_node(node)
+        assert adamic_adar(graph2, "a", "b") == 0.0
+
+    def test_preferential_attachment(self, wedge):
+        assert preferential_attachment(wedge, "c", "d") == 9
+        assert preferential_attachment(wedge, "e", "c") == 0
+
+
+class TestRanking:
+    def test_score_pairs_sorted_descending(self, wedge):
+        pairs = [("a", "b"), ("a", "e"), ("c", "d")]
+        ranked = score_pairs(wedge, pairs, "common_neighbors")
+        scores = [score for _, _, score in ranked]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_top_predictions_exclude_zero_scores(self, wedge):
+        pairs = [("a", "b"), ("a", "e")]
+        top = top_predictions(wedge, pairs, k=5, method="common_neighbors")
+        assert top == {("a", "b")}
+
+    def test_recall_against(self, wedge):
+        pairs = [("a", "b"), ("a", "e")]
+        assert recall_against(wedge, {("a", "b")}, pairs, "jaccard") == 1.0
+        assert recall_against(wedge, {("a", "e")}, pairs, "jaccard") == 0.0
+        assert recall_against(wedge, set(), pairs) == 1.0
+
+    def test_all_scorers_registered(self):
+        assert set(SCORERS) == {
+            "common_neighbors", "jaccard", "adamic_adar", "preferential_attachment",
+        }
+
+
+class TestDisconnectedFamilies:
+    def test_no_signal_across_components(self):
+        """The paper's point: structurally disconnected relatives score 0."""
+        graph = PropertyGraph()
+        for node in ("wife", "husband", "firm_a", "firm_b"):
+            graph.add_node(node)
+        graph.add_edge("wife", "firm_a")
+        graph.add_edge("husband", "firm_b")
+        for method in ("common_neighbors", "jaccard", "adamic_adar"):
+            assert SCORERS[method](graph, "wife", "husband") == 0, method
+        # preferential attachment scores ANY pair of non-isolated nodes —
+        # positive but uninformative (1*1), which is exactly its failure mode
+        assert preferential_attachment(graph, "wife", "husband") == 1

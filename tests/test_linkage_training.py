@@ -1,0 +1,107 @@
+"""Tests for classifier training on planted ground truth."""
+
+from repro.datagen import CompanySpec, generate_company_graph
+from repro.linkage import (
+    PARENT_OF,
+    PARTNER_OF,
+    SIBLING_OF,
+    default_classifiers,
+    persons_of,
+    train_classifiers,
+    training_pairs,
+)
+
+
+def small_world():
+    return generate_company_graph(
+        CompanySpec(persons=200, companies=50, seed=11, feature_noise=0.0)
+    )
+
+
+class TestTrainingPairs:
+    def test_positive_pairs_labelled_true(self):
+        graph, truth = small_world()
+        examples = training_pairs(persons_of(graph), truth.links, PARTNER_OF, seed=1)
+        positives = [pair for pair, label in examples if label]
+        assert len(positives) == len(truth.pairs(PARTNER_OF))
+
+    def test_negatives_generated(self):
+        graph, truth = small_world()
+        examples = training_pairs(
+            persons_of(graph), truth.links, PARTNER_OF, negatives_per_positive=2, seed=1
+        )
+        negatives = sum(1 for _, label in examples if not label)
+        positives = sum(1 for _, label in examples if label)
+        assert negatives >= positives  # roughly 2x, budget-limited
+
+    def test_negatives_are_not_true_links(self):
+        graph, truth = small_world()
+        examples = training_pairs(persons_of(graph), truth.links, SIBLING_OF, seed=2)
+        linked_feature_pairs = {
+            (id(l), id(r)) for (l, r), label in examples if label
+        }
+        assert linked_feature_pairs  # sanity: structure built
+
+    def test_deterministic(self):
+        graph, truth = small_world()
+        a = training_pairs(persons_of(graph), truth.links, PARTNER_OF, seed=5)
+        b = training_pairs(persons_of(graph), truth.links, PARTNER_OF, seed=5)
+        assert len(a) == len(b)
+        assert [label for _, label in a] == [label for _, label in b]
+
+
+class TestTrainedClassifiers:
+    def test_training_beats_or_matches_defaults_on_accuracy(self):
+        """Accuracy over a balanced set of true links and random non-links:
+        training learns honest u-probabilities, so it may trade a little
+        recall for precision but must not lose overall accuracy."""
+        import random
+
+        graph, truth = small_world()
+        persons = persons_of(graph)
+        trained = {c.link_class: c for c in train_classifiers(persons, truth.links, seed=3)}
+        untrained = {c.link_class: c for c in default_classifiers()}
+
+        rng = random.Random(99)
+        person_ids = sorted(persons)
+        linked = {(x, y) for x, y, _ in truth.links}
+        negatives = []
+        while len(negatives) < len(truth.links):
+            x, y = rng.sample(person_ids, 2)
+            if (x, y) not in linked:
+                negatives.append((x, y))
+
+        def accuracy(classifiers):
+            correct = total = 0
+            for x, y, link_class in truth.links:
+                total += 1
+                if classifiers[link_class].probability(persons[x], persons[y]) > 0.5:
+                    correct += 1
+            for x, y in negatives:
+                for classifier in classifiers.values():
+                    total += 1
+                    if classifier.probability(persons[x], persons[y]) <= 0.5:
+                        correct += 1
+            return correct / total
+
+        assert accuracy(trained) >= accuracy(untrained) - 0.02
+
+    def test_trained_recall_reasonable_without_noise(self):
+        graph, truth = small_world()
+        persons = persons_of(graph)
+        trained = {c.link_class: c for c in train_classifiers(persons, truth.links, seed=3)}
+        hits = total = 0
+        for x, y, link_class in truth.links:
+            total += 1
+            if trained[link_class].probability(persons[x], persons[y]) > 0.5:
+                hits += 1
+        assert hits / total > 0.6
+
+    def test_default_classifiers_cover_all_classes(self):
+        classes = {c.link_class for c in default_classifiers()}
+        assert classes == {PARTNER_OF, SIBLING_OF, PARENT_OF}
+
+    def test_parent_classifier_is_directional(self):
+        classifiers = {c.link_class: c for c in default_classifiers()}
+        assert classifiers[PARENT_OF].direction is not None
+        assert classifiers[PARTNER_OF].direction is None

@@ -1,0 +1,156 @@
+"""Tests for company control (Definition 2.3)."""
+
+import pytest
+
+from repro.graph import CompanyGraph, figure1_graph, figure2_graph
+from repro.ownership import (
+    control_chain,
+    control_closure,
+    controlled_by,
+    controls,
+    group_controlled,
+)
+
+
+def chain_graph(*shares):
+    """p -> c0 -> c1 -> ... with the given shares."""
+    graph = CompanyGraph()
+    graph.add_person("p")
+    previous = "p"
+    for index, share in enumerate(shares):
+        company = f"c{index}"
+        graph.add_company(company)
+        graph.add_shareholding(previous, company, share)
+        previous = company
+    return graph
+
+
+class TestDirectControl:
+    def test_majority_controls(self):
+        graph = chain_graph(0.51)
+        assert controls(graph, "p", "c0")
+
+    def test_exactly_half_does_not_control(self):
+        graph = chain_graph(0.5)
+        assert not controls(graph, "p", "c0")
+
+    def test_chain_of_majorities(self):
+        graph = chain_graph(0.6, 0.7, 0.51)
+        assert controlled_by(graph, "p") == {"c0", "c1", "c2"}
+
+    def test_chain_broken_by_minority(self):
+        graph = chain_graph(0.6, 0.4, 0.9)
+        assert controlled_by(graph, "p") == {"c0"}
+
+
+class TestJointControl:
+    def test_joint_ownership_via_controlled_companies(self):
+        """The paper's P1/E case: D (controlled) has 40%, P1 directly 20%."""
+        graph = CompanyGraph()
+        graph.add_person("p")
+        for company in ("d", "e"):
+            graph.add_company(company)
+        graph.add_shareholding("p", "d", 0.75)
+        graph.add_shareholding("d", "e", 0.4)
+        graph.add_shareholding("p", "e", 0.2)
+        assert controls(graph, "p", "e")
+
+    def test_two_controlled_companies_combine(self):
+        graph = CompanyGraph()
+        graph.add_person("p")
+        for company in ("a", "b", "t"):
+            graph.add_company(company)
+        graph.add_shareholding("p", "a", 0.6)
+        graph.add_shareholding("p", "b", 0.6)
+        graph.add_shareholding("a", "t", 0.3)
+        graph.add_shareholding("b", "t", 0.3)
+        assert controls(graph, "p", "t")
+
+    def test_uncontrolled_shares_do_not_pool(self):
+        graph = CompanyGraph()
+        graph.add_person("p")
+        for company in ("a", "t"):
+            graph.add_company(company)
+        graph.add_shareholding("p", "a", 0.4)   # not controlled
+        graph.add_shareholding("a", "t", 0.4)
+        graph.add_shareholding("p", "t", 0.2)
+        assert not controls(graph, "p", "t")
+
+
+class TestCycles:
+    def test_mutual_ownership_terminates(self):
+        graph = CompanyGraph()
+        for company in ("a", "b"):
+            graph.add_company(company)
+        graph.add_shareholding("a", "b", 0.6)
+        graph.add_shareholding("b", "a", 0.6)
+        assert controlled_by(graph, "a") == {"b"}
+        assert controlled_by(graph, "b") == {"a"}
+
+    def test_self_loop_ignored_for_own_control(self):
+        graph = CompanyGraph()
+        graph.add_company("a")
+        graph.add_shareholding("a", "a", 0.9)
+        assert controlled_by(graph, "a") == set()
+
+
+class TestClosureAndChains:
+    def test_figure1_closure(self):
+        graph = figure1_graph()
+        pairs = control_closure(graph)
+        expected = {
+            ("P1", "C"), ("P1", "D"), ("P1", "E"), ("P1", "F"),
+            ("P2", "G"), ("P2", "H"), ("P2", "I"), ("G", "H"),
+        }
+        assert expected <= pairs
+        assert not any(y == "L" for _, y in pairs)
+
+    def test_figure2_use_case_1(self):
+        """Use case (1): does P2 control C7? Yes, via C5 and C6."""
+        graph = figure2_graph()
+        assert controls(graph, "P2", "C7")
+
+    def test_closure_restricted_sources(self):
+        graph = figure1_graph()
+        pairs = control_closure(graph, sources=["P1"])
+        assert all(x == "P1" for x, _ in pairs)
+
+    def test_chain_explanation(self):
+        graph = figure1_graph()
+        chain = control_chain(graph, "P1", "F")
+        assert chain is not None
+        companies = [company for company, _ in chain]
+        assert companies[-1] == "F"
+        assert all(share > 0.5 for _, share in chain)
+
+    def test_chain_none_when_no_control(self):
+        graph = figure1_graph()
+        assert control_chain(graph, "P1", "L") is None
+        assert control_chain(graph, "P1", "P1") is None
+
+    def test_missing_source(self):
+        graph = figure1_graph()
+        assert controlled_by(graph, "nobody") == set()
+        assert control_chain(graph, "nobody", "C") is None
+
+
+class TestGroupControl:
+    def test_members_pool_shares(self):
+        graph = CompanyGraph()
+        graph.add_person("p1")
+        graph.add_person("p2")
+        graph.add_company("t")
+        graph.add_shareholding("p1", "t", 0.3)
+        graph.add_shareholding("p2", "t", 0.3)
+        assert group_controlled(graph, ["p1", "p2"]) == {"t"}
+        assert controlled_by(graph, "p1") == set()
+
+    def test_paper_family_business_l(self):
+        """Figure 1 narrative: P1 and P2 together control L (60%)."""
+        graph = figure1_graph()
+        joint = group_controlled(graph, ["P1", "P2"])
+        assert "L" in joint
+
+    def test_custom_threshold(self):
+        graph = chain_graph(0.45)
+        assert controlled_by(graph, "p", threshold=0.4) == {"c0"}

@@ -1,0 +1,105 @@
+"""Tests for control groups and groups of connected clients."""
+
+import pytest
+
+from repro.graph import CompanyGraph, figure1_graph
+from repro.ownership import (
+    connected_clients,
+    control_groups,
+    group_exposure,
+    ultimate_controller,
+)
+
+
+def pyramid() -> CompanyGraph:
+    """p -> holding -> {sub1, sub2}; sub2 -> leaf; q independent owner of x."""
+    graph = CompanyGraph()
+    graph.add_person("p")
+    graph.add_person("q")
+    for company in ("holding", "sub1", "sub2", "leaf", "x"):
+        graph.add_company(company)
+    graph.add_shareholding("p", "holding", 0.6)
+    graph.add_shareholding("holding", "sub1", 0.7)
+    graph.add_shareholding("holding", "sub2", 0.8)
+    graph.add_shareholding("sub2", "leaf", 0.9)
+    graph.add_shareholding("q", "x", 0.3)  # no control
+    return graph
+
+
+class TestUltimateController:
+    def test_follows_the_chain_to_the_top(self):
+        graph = pyramid()
+        for company in ("holding", "sub1", "sub2", "leaf"):
+            assert ultimate_controller(graph, company) == "p"
+
+    def test_uncontrolled_company_has_none(self):
+        graph = pyramid()
+        assert ultimate_controller(graph, "x") is None
+
+    def test_mutual_control_cycle_resolves_deterministically(self):
+        graph = CompanyGraph()
+        graph.add_company("a")
+        graph.add_company("b")
+        graph.add_shareholding("a", "b", 0.6)
+        graph.add_shareholding("b", "a", 0.6)
+        assert ultimate_controller(graph, "a") == ultimate_controller(graph, "b")
+
+    def test_figure1(self):
+        graph = figure1_graph()
+        assert ultimate_controller(graph, "F") == "P1"
+        assert ultimate_controller(graph, "H") == "P2"
+        assert ultimate_controller(graph, "L") is None
+
+
+class TestControlGroups:
+    def test_pyramid_is_one_group(self):
+        groups = control_groups(pyramid())
+        assert len(groups) == 1
+        group = groups[0]
+        assert group.controller == "p"
+        assert group.members == {"holding", "sub1", "sub2", "leaf"}
+        assert group.size == 5
+
+    def test_figure1_two_groups(self):
+        groups = control_groups(figure1_graph())
+        by_controller = {g.controller: g.members for g in groups}
+        assert by_controller["P1"] == {"C", "D", "E", "F"}
+        assert by_controller["P2"] == {"G", "H", "I"}
+
+    def test_sorted_largest_first(self):
+        groups = control_groups(figure1_graph())
+        sizes = [g.size for g in groups]
+        assert sizes == sorted(sizes, reverse=True)
+
+
+class TestConnectedClients:
+    def test_close_links_merge_groups(self):
+        # two controlled chains share a common owner above the threshold
+        graph = CompanyGraph()
+        graph.add_person("z")
+        for company in ("x", "y"):
+            graph.add_company(company)
+        graph.add_shareholding("z", "x", 0.25)
+        graph.add_shareholding("z", "y", 0.25)
+        groups = connected_clients(graph)
+        assert any({"x", "y"} <= group for group in groups)
+
+    def test_figure1_groups(self):
+        groups = connected_clients(figure1_graph())
+        merged = next(group for group in groups if "C" in group)
+        # P1's whole sphere hangs together through control + close links
+        assert {"P1", "C", "D", "E", "F"} <= merged
+
+    def test_singletons_not_reported(self):
+        graph = CompanyGraph()
+        graph.add_company("lonely")
+        assert connected_clients(graph) == []
+
+
+class TestGroupExposure:
+    def test_exposures_sum_over_groups(self):
+        graph = pyramid()
+        exposures = {"holding": 10.0, "sub1": 5.0, "leaf": 2.5, "x": 99.0}
+        totals = group_exposure(graph, exposures)
+        assert totals[0][1] == pytest.approx(17.5)  # p's group
+        assert all("x" not in group for group, _ in totals)  # x is unconnected

@@ -1,0 +1,116 @@
+"""Every quantitative claim the paper's text makes about its worked
+examples, checked end to end (Figures 1 and 2, Examples 2.4 and 2.7,
+and the three use-case questions of Section 2)."""
+
+import pytest
+
+from repro.core import ReasoningPipeline, PipelineConfig
+from repro.graph import figure1_graph, figure2_graph
+from repro.ownership import (
+    accumulated_ownership,
+    close_link_pairs,
+    controlled_by,
+    controls,
+    family_close_links,
+    group_controlled,
+)
+
+
+@pytest.fixture(scope="module")
+def fig1():
+    return figure1_graph()
+
+
+@pytest.fixture(scope="module")
+def fig2():
+    return figure2_graph()
+
+
+class TestFigure1Narrative:
+    """Section 1: 'P1 controls C, D, and E (via C), E (since it controls D,
+    which owns 40% of E and P1 directly owns 20% of it), and F (via E and
+    D). Similarly, P2 controls all its descendants except for L.
+    Apparently, P1 exerts no control on L either.'"""
+
+    def test_p1_controls(self, fig1):
+        assert controlled_by(fig1, "P1") == {"C", "D", "E", "F"}
+
+    def test_p2_controls_descendants_except_l(self, fig1):
+        assert controlled_by(fig1, "P2") == {"G", "H", "I"}
+
+    def test_nobody_controls_l_alone(self, fig1):
+        for node in fig1.node_ids():
+            assert not controls(fig1, node, "L")
+
+    def test_g_and_i_closely_linked(self, fig1):
+        """'G and I are closely linked since P2 owns more than 20% of both.'"""
+        assert ("G", "I") in close_link_pairs(fig1)
+
+    def test_p1_p2_together_control_l(self, fig1):
+        """'knowing that P1 and P2 have personal connections allows to
+        deduce that P1 and P2 together control L ... controlling 60% of it'"""
+        assert "L" in group_controlled(fig1, ["P1", "P2"])
+        assert fig1.share("F", "L") + fig1.share("I", "L") == pytest.approx(0.6)
+
+    def test_d_g_family_close_link(self, fig1):
+        """'although D and G do not strictly fulfil the definition of close
+        link, as P1 and P2 have a personal connection ... prevent G from
+        acting as a guarantor for D.'"""
+        assert ("D", "G") not in close_link_pairs(fig1)
+        assert ("D", "G") in family_close_links(fig1, ["P1", "P2"])
+
+
+class TestFigure2Narrative:
+    def test_example_24_p1_controls_c4_directly(self, fig2):
+        """Example 2.4: 'P1 controls C4 by means of a direct 80% edge.'"""
+        assert fig2.share("P1", "C4") == pytest.approx(0.8)
+        assert controls(fig2, "P1", "C4")
+
+    def test_example_24_p2_controls_c7_via_c5_c6(self, fig2):
+        """Example 2.4 / use case (1): 'P2 controls C7, via C5 and C6.'"""
+        assert controls(fig2, "P2", "C7")
+        assert controls(fig2, "P2", "C5")
+        assert controls(fig2, "P2", "C6")
+        assert not controls(fig2, "P2", "C4")
+
+    def test_example_27_common_owner(self, fig2):
+        """Example 2.7: 'P3 owns 40% of C4 and 50% of C6, therefore they
+        are in close link relationship by Definition 2.6-(iii).'"""
+        assert fig2.share("P3", "C4") == pytest.approx(0.4)
+        assert fig2.share("P3", "C6") == pytest.approx(0.5)
+        assert ("C4", "C6") in close_link_pairs(fig2, threshold=0.2)
+
+    def test_example_27_accumulated_ownership(self, fig2):
+        """Example 2.7: 'since Phi(C4, C7) = 0.2, it follows that C4 and C7
+        are in close link relationships by Definition 2.6-(i).'"""
+        assert accumulated_ownership(fig2, "C4", "C7") == pytest.approx(0.2)
+        assert ("C4", "C7") in close_link_pairs(fig2, threshold=0.2)
+
+    def test_use_case_2_c6_c7_closely_related(self, fig2):
+        """Use case (2): 'Are companies C6 and C7 closely related?'"""
+        assert ("C6", "C7") in close_link_pairs(fig2)
+
+
+class TestDeclarativeAgreesOnPaperExamples:
+    """The Vadalog programs must reach the same conclusions."""
+
+    @pytest.fixture(scope="class")
+    def pipelines(self, fig1, fig2):
+        config = PipelineConfig(first_level_clusters=1, use_embeddings=False)
+        return ReasoningPipeline(fig1, config), ReasoningPipeline(fig2, config)
+
+    def test_fig1_control(self, pipelines, fig1):
+        pipeline, _ = pipelines
+        pairs = pipeline.control_pairs()
+        assert {y for x, y in pairs if x == "P1"} == {"C", "D", "E", "F"}
+        assert {y for x, y in pairs if x == "P2"} == {"G", "H", "I"}
+
+    def test_fig2_control(self, pipelines, fig2):
+        _, pipeline = pipelines
+        assert ("P2", "C7") in pipeline.control_pairs()
+
+    def test_fig2_close_links(self, pipelines, fig2):
+        _, pipeline = pipelines
+        pairs = pipeline.close_link_pairs()
+        assert ("C4", "C7") in pairs
+        assert ("C4", "C6") in pairs

@@ -1,0 +1,103 @@
+"""Tests for the PG <-> relational mapping (Section 3)."""
+
+import pytest
+
+from repro.datalog import Database
+from repro.graph import (
+    COMPANY_SCHEMA,
+    CompanyGraph,
+    EdgeRelation,
+    NodeRelation,
+    RelationalSchema,
+    company_graph_from_facts,
+    figure1_graph,
+    roundtrip,
+    to_facts,
+)
+
+
+@pytest.fixture
+def graph():
+    g = CompanyGraph()
+    g.add_person("p1", name="Anna", surname="Rossi", birth_date="1980-01-01")
+    g.add_company("c1", name="Acme", legal_form="SRL")
+    g.add_company("c2", name="Beta")
+    g.add_shareholding("p1", "c1", 0.6, right="ownership")
+    g.add_shareholding("c1", "c2", 0.4)
+    return g
+
+
+class TestToFacts:
+    def test_node_facts_have_id_first(self, graph):
+        db = to_facts(graph)
+        companies = {values[0]: values for values in db.facts("company")}
+        assert set(companies) == {"c1", "c2"}
+        assert companies["c1"][1] == "Acme"
+
+    def test_missing_properties_become_none(self, graph):
+        db = to_facts(graph)
+        beta = next(v for v in db.facts("company") if v[0] == "c2")
+        assert beta[4] is None  # legal_form missing
+
+    def test_edge_facts_have_endpoints_first(self, graph):
+        db = to_facts(graph)
+        own = {(v[0], v[1]): v for v in db.facts("own")}
+        assert own[("p1", "c1")][2] == 0.6
+        assert own[("p1", "c1")][3] == "ownership"
+
+    def test_unmapped_labels_skipped(self, graph):
+        graph.add_node("fam1", "F")
+        graph.add_edge("p1", "fam1", "family")
+        db = to_facts(graph)
+        assert db.count() == 5  # 3 nodes + 2 shareholdings only
+
+
+class TestRoundtrip:
+    def test_roundtrip_preserves_structure(self, graph):
+        back = roundtrip(graph)
+        assert back.node_count == graph.node_count
+        assert back.edge_count == graph.edge_count
+        assert back.share("p1", "c1") == pytest.approx(0.6)
+
+    def test_roundtrip_preserves_schema_properties(self, graph):
+        back = roundtrip(graph)
+        assert back.node("p1").get("surname") == "Rossi"
+        assert next(
+            e for e in back.out_edges("p1") if e.target == "c1"
+        ).get("right") == "ownership"
+
+    def test_roundtrip_figure1(self):
+        graph = figure1_graph()
+        back = roundtrip(graph)
+        assert back.node_count == graph.node_count
+        assert back.share("P1", "C") == pytest.approx(0.8)
+
+    def test_missing_share_rejected(self):
+        db = Database([
+            ("company", ("c1", None, None, None, None)),
+            ("company", ("c2", None, None, None, None)),
+            ("own", ("c1", "c2", None, None)),
+        ])
+        with pytest.raises(ValueError):
+            company_graph_from_facts(db)
+
+
+class TestCustomSchema:
+    def test_custom_relation_names(self, graph):
+        schema = RelationalSchema(
+            node_relations=(
+                NodeRelation("C", "firm", ("name",)),
+                NodeRelation("P", "individual", ("name",)),
+            ),
+            edge_relations=(EdgeRelation("S", "holds", ("w",)),),
+        )
+        db = to_facts(graph, schema)
+        assert db.count("firm") == 2
+        assert db.count("individual") == 1
+        assert db.count("holds") == 2
+
+    def test_schema_lookup(self):
+        assert COMPANY_SCHEMA.node_relation("C").predicate == "company"
+        assert COMPANY_SCHEMA.edge_relation("S").predicate == "own"
+        assert COMPANY_SCHEMA.node_relation("zzz") is None
+        assert COMPANY_SCHEMA.edge_relation("zzz") is None
