@@ -6,6 +6,7 @@ from .harness import (
     check_shape,
     timed,
     timed_repeat,
+    timed_traced,
 )
 from .naive import naive_comparison_count, naive_family_detection
 from .recall import (
@@ -49,4 +50,5 @@ __all__ = [
     "recall_curve",
     "timed",
     "timed_repeat",
+    "timed_traced",
 ]

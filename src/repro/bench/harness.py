@@ -17,10 +17,16 @@ from typing import Any, Callable
 
 @dataclass
 class Measurement:
-    """One (x, metrics) point of an experiment series."""
+    """One (x, metrics) point of an experiment series.
+
+    ``spans`` optionally carries the telemetry span tree of the measured
+    run (``Tracer.to_dict()``), so benchmark records say not only *how
+    long* but *where the time went*.
+    """
 
     x: Any
     metrics: dict[str, float]
+    spans: dict | None = None
 
 
 @dataclass
@@ -31,8 +37,12 @@ class Experiment:
     x_label: str
     measurements: list[Measurement] = field(default_factory=list)
 
-    def record(self, x: Any, **metrics: float) -> None:
-        self.measurements.append(Measurement(x, metrics))
+    def record(self, x: Any, spans: dict | None = None, **metrics: float) -> None:
+        self.measurements.append(Measurement(x, metrics, spans=spans))
+
+    def span_trees(self) -> list[tuple[Any, dict]]:
+        """The (x, span tree) pairs of measurements that carried one."""
+        return [(m.x, m.spans) for m in self.measurements if m.spans is not None]
 
     def series(self, metric: str) -> list[tuple[Any, float]]:
         return [(m.x, m.metrics[metric]) for m in self.measurements if metric in m.metrics]
@@ -136,6 +146,22 @@ def timed(function: Callable[[], Any]) -> tuple[Any, float]:
     started = time.perf_counter()
     result = function()
     return result, time.perf_counter() - started
+
+
+def timed_traced(function: Callable[[Any], Any]) -> tuple[Any, float, dict]:
+    """Run ``function(tracer)`` once under a live telemetry tracer.
+
+    Returns (result, elapsed seconds, span tree dict) — the span tree is
+    ready to attach to an :meth:`Experiment.record` call via ``spans=``.
+    """
+    from ..telemetry import Tracer
+
+    tracer = Tracer("bench")
+    started = time.perf_counter()
+    result = function(tracer)
+    elapsed = time.perf_counter() - started
+    tracer.finish()
+    return result, elapsed, tracer.to_dict()
 
 
 def timed_repeat(

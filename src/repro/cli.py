@@ -40,6 +40,15 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Vada-Link reproduction: reasoning over company ownership graphs",
     )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="print a telemetry span tree (per-stage / per-stratum / per-rule "
+             "timings) to stderr after the command",
+    )
+    parser.add_argument(
+        "--profile-json", type=Path, metavar="PATH",
+        help="dump the telemetry span tree as JSON to PATH",
+    )
     commands = parser.add_subparsers(dest="command", required=True)
 
     generate = commands.add_parser("generate", help="write a synthetic CSV extract")
@@ -97,6 +106,15 @@ def build_parser() -> argparse.ArgumentParser:
 # command implementations
 # ----------------------------------------------------------------------
 
+def _tracer_of(args: argparse.Namespace):
+    """The live tracer installed by main(), or the no-op tracer."""
+    tracer = getattr(args, "tracer", None)
+    if tracer is None:
+        from .telemetry import NULL_TRACER
+
+        return NULL_TRACER
+    return tracer
+
 def _generate(args: argparse.Namespace) -> int:
     spec = CompanySpec(
         persons=args.persons, companies=args.companies,
@@ -127,13 +145,15 @@ def _profile(args: argparse.Namespace) -> int:
 
 def _control(args: argparse.Namespace) -> int:
     graph = read_company_csv(args.directory)
-    if args.source:
-        pairs = sorted(
-            (args.source, target)
-            for target in controlled_by(graph, args.source, args.threshold)
-        )
-    else:
-        pairs = sorted(control_closure(graph, threshold=args.threshold))
+    with _tracer_of(args).span("control.procedural") as span:
+        if args.source:
+            pairs = sorted(
+                (args.source, target)
+                for target in controlled_by(graph, args.source, args.threshold)
+            )
+        else:
+            pairs = sorted(control_closure(graph, threshold=args.threshold))
+        span.set("pairs", len(pairs))
     for controller, controlled in pairs:
         print(f"{controller},{controlled}")
     print(f"# {len(pairs)} control pairs", file=sys.stderr)
@@ -142,7 +162,9 @@ def _control(args: argparse.Namespace) -> int:
 
 def _close_links(args: argparse.Namespace) -> int:
     graph = read_company_csv(args.directory)
-    pairs = sorted(close_link_pairs(graph, args.threshold))
+    with _tracer_of(args).span("close_links.procedural") as span:
+        pairs = sorted(close_link_pairs(graph, args.threshold))
+        span.set("pairs", len(pairs))
     for x, y in pairs:
         if x <= y:  # print the symmetric relation once
             print(f"{x},{y}")
@@ -166,7 +188,9 @@ def _family(args: argparse.Namespace) -> int:
         first_level_clusters=args.clusters,
         use_embeddings=args.clusters > 1,
     )
-    pipeline = ReasoningPipeline(graph, config, classifiers=classifiers)
+    pipeline = ReasoningPipeline(
+        graph, config, classifiers=classifiers, tracer=_tracer_of(args)
+    )
     links = sorted(pipeline.family_links())
     for x, y, link_class in links:
         print(f"{x},{y},{link_class}")
@@ -176,7 +200,9 @@ def _family(args: argparse.Namespace) -> int:
 
 def _ubo(args: argparse.Namespace) -> int:
     graph = read_company_csv(args.directory)
-    owners_by_company = all_beneficial_owners(graph, args.threshold)
+    with _tracer_of(args).span("ubo") as span:
+        owners_by_company = all_beneficial_owners(graph, args.threshold)
+        span.set("companies", len(owners_by_company))
     for company in sorted(owners_by_company, key=str):
         for owner in owners_by_company[company]:
             print(f"{company},{owner.person},{owner.integrated_share:.4f},{owner.basis}")
@@ -195,7 +221,9 @@ def _augment(args: argparse.Namespace) -> int:
         first_level_clusters=args.clusters,
         use_embeddings=args.clusters > 1,
     )
-    pipeline = ReasoningPipeline(graph, config, classifiers=classifiers)
+    pipeline = ReasoningPipeline(
+        graph, config, classifiers=classifiers, tracer=_tracer_of(args)
+    )
     augmented = pipeline.augment()
     save_json(augmented, args.output)
     print(f"augmented graph: {augmented.edge_count - graph.edge_count} new edges "
@@ -209,7 +237,7 @@ def _export_dot(args: argparse.Namespace) -> int:
     graph = read_company_csv(args.directory)
     if args.augment:
         config = PipelineConfig(first_level_clusters=1, use_embeddings=False)
-        graph = ReasoningPipeline(graph, config).augment()
+        graph = ReasoningPipeline(graph, config, tracer=_tracer_of(args)).augment()
     save_dot(graph, args.output)
     print(f"wrote DOT ({graph.node_count} nodes, {graph.edge_count} edges) "
           f"to {args.output}")
@@ -219,7 +247,7 @@ def _export_dot(args: argparse.Namespace) -> int:
 def _reason(args: argparse.Namespace) -> int:
     graph = read_company_csv(args.directory)
     program = parse_program(args.program.read_text())
-    engine = Engine(program, to_facts(graph))
+    engine = Engine(program, to_facts(graph), tracer=_tracer_of(args))
     engine.run()
     rows = engine.query(args.query)
     for values in rows:
@@ -243,7 +271,22 @@ _HANDLERS = {
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return _HANDLERS[args.command](args)
+    tracer = None
+    if args.profile or args.profile_json:
+        from .telemetry import Tracer
+
+        tracer = Tracer(f"repro {args.command}")
+    args.tracer = tracer
+    status = _HANDLERS[args.command](args)
+    if tracer is not None:
+        tracer.finish()
+        if args.profile:
+            print(tracer.render(), file=sys.stderr)
+        if args.profile_json:
+            args.profile_json.parent.mkdir(parents=True, exist_ok=True)
+            args.profile_json.write_text(tracer.to_json())
+            print(f"# telemetry JSON -> {args.profile_json}", file=sys.stderr)
+    return status
 
 
 if __name__ == "__main__":

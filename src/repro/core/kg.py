@@ -92,12 +92,15 @@ class KnowledgeGraph:
         names: list[str] | None = None,
         provenance: bool = False,
         max_iterations: int = 1_000_000,
+        tracer=None,
     ) -> Engine:
         """Run the selected rule sets over a *copy* of the extensional data.
 
         The extensional component is never mutated by reasoning — derived
         facts live in the returned engine's database (the paper's "do not
         let business logic drift into the KG extensional component").
+        ``tracer`` (a :class:`repro.telemetry.Tracer`) collects the
+        engine's per-stratum / per-rule spans when given.
         """
         engine = Engine(
             self.program(names),
@@ -105,6 +108,7 @@ class KnowledgeGraph:
             functions=self.functions,
             provenance=provenance,
             max_iterations=max_iterations,
+            tracer=tracer,
         )
         engine.run()
         return engine

@@ -29,6 +29,7 @@ from ..linkage.bayes import BayesianLinkClassifier
 from ..linkage.training import default_classifiers
 from ..ownership.close_links import close_link_pairs as procedural_close_links
 from ..ownership.close_links import is_acyclic
+from ..telemetry import NULL_TRACER
 from .blocking import BlockingScheme
 from .kg import KnowledgeGraph
 from .programs import (
@@ -77,16 +78,19 @@ class ReasoningPipeline:
         graph: CompanyGraph,
         config: PipelineConfig | None = None,
         classifiers: Sequence[BayesianLinkClassifier] | None = None,
+        tracer=None,
     ):
         self.graph = graph
         self.config = config if config is not None else PipelineConfig()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         if classifiers is None:
             classifiers = default_classifiers()
         self.classifiers = {c.link_class: c for c in classifiers}
-        self.kg = KnowledgeGraph(graph)
-        self._add_family_member_facts()
-        self._register_functions()
-        self._install_programs()
+        with self.tracer.span("pipeline.build", nodes=graph.node_count):
+            self.kg = KnowledgeGraph(graph)
+            self._add_family_member_facts()
+            self._register_functions()
+            self._install_programs()
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -144,20 +148,25 @@ class ReasoningPipeline:
     def compute_blocks(self) -> list[tuple[int, object, str]]:
         """(first-level cluster, second-level block, skolem node id) triples."""
         config = self.config
-        if config.use_embeddings and config.first_level_clusters > 1:
-            assignment = embed_and_cluster(
-                self.graph,
-                config.first_level_clusters,
-                config.node2vec,
-                feature_properties=config.embedding_features,
-            )
-        else:
-            assignment = {node: 0 for node in self.graph.node_ids()}
-        triples: list[tuple[int, object, str]] = []
-        for node in self.graph.persons():
-            sk_id = skolem("sk_p", (node.id,))
-            for block in config.blocking.blocks_of(node):
-                triples.append((assignment.get(node.id, 0), block, sk_id))
+        with self.tracer.span("pipeline.blocking") as span:
+            if config.use_embeddings and config.first_level_clusters > 1:
+                with self.tracer.span(
+                    "embed_cluster", clusters=config.first_level_clusters
+                ):
+                    assignment = embed_and_cluster(
+                        self.graph,
+                        config.first_level_clusters,
+                        config.node2vec,
+                        feature_properties=config.embedding_features,
+                    )
+            else:
+                assignment = {node: 0 for node in self.graph.node_ids()}
+            triples: list[tuple[int, object, str]] = []
+            for node in self.graph.persons():
+                sk_id = skolem("sk_p", (node.id,))
+                for block in config.blocking.blocks_of(node):
+                    triples.append((assignment.get(node.id, 0), block, sk_id))
+            span.set("block_triples", len(triples))
         return triples
 
     def _inject_block_facts(self) -> None:
@@ -222,47 +231,58 @@ class ReasoningPipeline:
         with_blocks: bool = False,
     ) -> Engine:
         """Run the selected rule sets (all, by default) and return the engine."""
-        if with_blocks:
-            self._inject_block_facts()
-        return self.kg.reason(names, provenance=provenance)
+        label = "pipeline.reason[" + (",".join(names) if names else "all") + "]"
+        with self.tracer.span(label):
+            if with_blocks:
+                self._inject_block_facts()
+            return self.kg.reason(names, provenance=provenance, tracer=self.tracer)
 
     def control_pairs(self, provenance: bool = False) -> set[tuple[NodeId, NodeId]]:
         """Control pairs (external ids) via the declarative Algorithm 5."""
-        engine = self.reason(
-            ["input_mapping", "control", "link_creation", "output_mapping"],
-            provenance=provenance,
-        )
-        self.last_engine = engine
-        return {(x, y) for x, y in engine.query("control")}
+        with self.tracer.span("problem.control") as span:
+            engine = self.reason(
+                ["input_mapping", "control", "link_creation", "output_mapping"],
+                provenance=provenance,
+            )
+            self.last_engine = engine
+            pairs = {(x, y) for x, y in engine.query("control")}
+            span.set("pairs", len(pairs))
+        return pairs
 
     def close_link_pairs(self) -> set[tuple[NodeId, NodeId]]:
         """Close-link pairs; declarative when safe, procedural otherwise."""
         mode = self.config.close_links_via
         if mode == "auto":
             mode = "datalog" if is_acyclic(self.graph) else "procedural"
-        if mode == "procedural":
-            return procedural_close_links(
-                self.graph,
-                self.config.close_link_threshold,
-                max_depth=self.config.max_path_depth,
-            )
-        engine = self.reason(
-            ["input_mapping", "close_link", "link_creation", "output_mapping"]
-        )
-        self.last_engine = engine
-        return {(x, y) for x, y in engine.query("close_link")}
+        with self.tracer.span("problem.close_link", mode=mode) as span:
+            if mode == "procedural":
+                pairs = procedural_close_links(
+                    self.graph,
+                    self.config.close_link_threshold,
+                    max_depth=self.config.max_path_depth,
+                )
+            else:
+                engine = self.reason(
+                    ["input_mapping", "close_link", "link_creation", "output_mapping"]
+                )
+                self.last_engine = engine
+                pairs = {(x, y) for x, y in engine.query("close_link")}
+            span.set("pairs", len(pairs))
+        return pairs
 
     def family_links(self) -> set[tuple[NodeId, NodeId, str]]:
         """Personal links detected by the Bayesian classifiers inside blocks."""
-        engine = self.reason(
-            ["input_mapping", "family_links", "link_creation", "output_mapping"],
-            with_blocks=True,
-        )
-        self.last_engine = engine
-        links: set[tuple[NodeId, NodeId, str]] = set()
-        for link_class in FAMILY_LINK_CLASSES:
-            for x, y in engine.query(link_class):
-                links.add((x, y, link_class))
+        with self.tracer.span("problem.family_links") as span:
+            engine = self.reason(
+                ["input_mapping", "family_links", "link_creation", "output_mapping"],
+                with_blocks=True,
+            )
+            self.last_engine = engine
+            links: set[tuple[NodeId, NodeId, str]] = set()
+            for link_class in FAMILY_LINK_CLASSES:
+                for x, y in engine.query(link_class):
+                    links.add((x, y, link_class))
+            span.set("links", len(links))
         return links
 
     def family_control_pairs(self) -> set[tuple[NodeId, NodeId]]:
@@ -271,18 +291,21 @@ class ReasoningPipeline:
         Requires family nodes/edges in the graph (e.g. added by
         :meth:`materialise_families` after family-link detection).
         """
-        engine = self.reason(
-            [
-                "input_mapping",
-                "control",
-                "family_control",
-                "link_creation",
-                "output_mapping",
-            ]
-        )
-        self.last_engine = engine
-        family_ids = {edge.target for edge in self.graph.edges(FAMILY)}
-        return {(x, y) for x, y in engine.query("control") if x in family_ids}
+        with self.tracer.span("problem.family_control") as span:
+            engine = self.reason(
+                [
+                    "input_mapping",
+                    "control",
+                    "family_control",
+                    "link_creation",
+                    "output_mapping",
+                ]
+            )
+            self.last_engine = engine
+            family_ids = {edge.target for edge in self.graph.edges(FAMILY)}
+            pairs = {(x, y) for x, y in engine.query("control") if x in family_ids}
+            span.set("pairs", len(pairs))
+        return pairs
 
     # ------------------------------------------------------------------
     # augmentation
@@ -339,18 +362,20 @@ class ReasoningPipeline:
     def augment(self) -> CompanyGraph:
         """Run all three problems and return a copy of the graph with the
         predicted typed edges added (control / close_link / family links)."""
-        augmented = self.graph.copy()
+        with self.tracer.span("pipeline.augment") as span:
+            augmented = self.graph.copy()
 
-        def add(x: NodeId, y: NodeId, label: str, **properties) -> None:
-            if augmented.has_node(x) and augmented.has_node(y):
-                augmented.add_edge(x, y, label, **properties)
+            def add(x: NodeId, y: NodeId, label: str, **properties) -> None:
+                if augmented.has_node(x) and augmented.has_node(y):
+                    augmented.add_edge(x, y, label, **properties)
 
-        for x, y, link_class in self.family_links():
-            add(x, y, link_class)
-        for x, y in self.control_pairs():
-            add(x, y, "control")
-        for x, y in self.close_link_pairs():
-            add(x, y, "close_link")
+            for x, y, link_class in self.family_links():
+                add(x, y, link_class)
+            for x, y in self.control_pairs():
+                add(x, y, "control")
+            for x, y in self.close_link_pairs():
+                add(x, y, "close_link")
+            span.set("new_edges", augmented.edge_count - self.graph.edge_count)
         return augmented
 
 

@@ -24,6 +24,7 @@ from typing import Sequence
 
 from ..embeddings.node2vec import Node2VecConfig, embed_and_cluster
 from ..graph.property_graph import Edge, Node, PropertyGraph
+from ..telemetry import NULL_TRACER
 from .blocking import BlockingScheme
 from .candidates import CandidateRule
 
@@ -74,11 +75,13 @@ class VadaLink:
         self,
         candidate_rules: Sequence[CandidateRule],
         config: VadaLinkConfig | None = None,
+        tracer=None,
     ):
         if not candidate_rules:
             raise ValueError("VadaLink needs at least one candidate rule")
         self.candidate_rules = list(candidate_rules)
         self.config = config if config is not None else VadaLinkConfig()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     # ------------------------------------------------------------------
 
@@ -116,20 +119,27 @@ class VadaLink:
         while changed and rounds < config.max_rounds:
             changed = False
             rounds += 1
-            clusters = self._first_level_clusters(augmented)
-            for scheme, rules in scheme_groups:
-                for cluster_nodes in clusters.values():
-                    blocks = scheme.partition(cluster_nodes)
-                    for block_nodes in blocks.values():
-                        if len(block_nodes) < 2:
-                            continue
-                        added, compared = self._augment_block(
-                            augmented, rules, block_nodes, existing,
-                            new_edges, edges_by_class,
-                        )
-                        comparisons += compared
-                        if added:
-                            changed = True
+            with self.tracer.span(f"augment.round[{rounds}]") as round_span:
+                with self.tracer.span("embed_cluster"):
+                    clusters = self._first_level_clusters(augmented)
+                round_comparisons = comparisons
+                round_edges = len(new_edges)
+                with self.tracer.span("candidate_generation"):
+                    for scheme, rules in scheme_groups:
+                        for cluster_nodes in clusters.values():
+                            blocks = scheme.partition(cluster_nodes)
+                            for block_nodes in blocks.values():
+                                if len(block_nodes) < 2:
+                                    continue
+                                added, compared = self._augment_block(
+                                    augmented, rules, block_nodes, existing,
+                                    new_edges, edges_by_class,
+                                )
+                                comparisons += compared
+                                if added:
+                                    changed = True
+                round_span.set("comparisons", comparisons - round_comparisons)
+                round_span.set("new_edges", len(new_edges) - round_edges)
             if changed:
                 for rule in self.candidate_rules:
                     rule.invalidate()

@@ -78,8 +78,14 @@ class Database:
         return existing is not None and values in existing
 
     def facts(self, predicate: str) -> list[FactValues]:
-        """All value tuples of ``predicate`` (insertion order, do not mutate)."""
-        return self._facts.get(predicate, [])
+        """All value tuples of ``predicate`` in insertion order.
+
+        Returns a fresh list: mutating it cannot desynchronise the store's
+        insertion-order lists, dedup sets and cached indexes.  Internal
+        consumers iterate via :meth:`match`, which keeps the zero-copy
+        fast path.
+        """
+        return list(self._facts.get(predicate, ()))
 
     def predicates(self) -> list[str]:
         return [predicate for predicate, rows in self._facts.items() if rows]
@@ -128,10 +134,19 @@ class Database:
         return sum(len(rows) for rows in self._facts.values())
 
     def copy(self) -> "Database":
+        """An independent clone sharing no mutable state with the original.
+
+        The dedup sets are rebuilt from the insertion-order lists (the
+        single source of truth), so a clone is internally consistent even
+        if the two structures ever drifted apart; indexes are not copied
+        — they are rebuilt lazily on first use.
+        """
         clone = Database()
         for predicate, rows in self._facts.items():
+            if not rows:
+                continue
             clone._facts[predicate] = list(rows)
-            clone._sets[predicate] = set(self._sets[predicate])
+            clone._sets[predicate] = set(rows)
         return clone
 
     def __contains__(self, fact: Fact) -> bool:

@@ -22,9 +22,11 @@ reached (the result variable excluded); each distinct contributor tuple
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Any, Iterator
 
+from ..telemetry import NULL_TRACER
 from .atoms import Aggregate, Assignment, Atom, Comparison, Negation
 from .builtins import Binding, FunctionRegistry, compare, evaluate
 from .database import Database, Fact, FactValues
@@ -70,7 +72,13 @@ class _AggregateState:
     def update(self, contributor_key: tuple, value: Any) -> tuple[Any, bool]:
         """Fold one contribution in; returns (current total, improved?)."""
         previous = self.contributions.get(contributor_key)
-        if self.func in ("msum", "mmax", "mcount", "mprod"):
+        if self.func == "mcount":
+            # the total is the number of distinct contributors: a repeat
+            # contribution cannot move the count even if its value grew,
+            # so only a new contributor key reports improvement (anything
+            # else defeats the duplicate-round pruning downstream)
+            improved = previous is None
+        elif self.func in ("msum", "mmax", "mprod"):
             improved = previous is None or value > previous
         else:  # mmin decreases monotonically
             improved = previous is None or value < previous
@@ -111,6 +119,7 @@ class Engine:
         provenance: bool = False,
         max_iterations: int = 1_000_000,
         seminaive: bool = True,
+        tracer=None,
     ):
         self.program = program
         self.database = database if database is not None else Database()
@@ -119,6 +128,7 @@ class Engine:
         self.provenance: dict[Fact, Derivation] = {}
         self.max_iterations = max_iterations
         self.seminaive = seminaive
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.stats = EngineStats()
         self._aggregate_states: dict[tuple, _AggregateState] = {}
         self._group_vars_cache: dict[tuple, tuple[str, ...]] = {}
@@ -137,9 +147,23 @@ class Engine:
         """Evaluate the program to a fixpoint and return the database."""
         strata = stratify(self.program)
         self.stats.strata = len(strata)
-        for stratum in strata:
-            if stratum.rules:
-                self._evaluate_stratum(stratum)
+        with self.tracer.span(
+            "engine.run", rules=len(self.program.rules), strata=len(strata)
+        ) as run_span:
+            for number, stratum in enumerate(strata):
+                if not stratum.rules:
+                    continue
+                if self.tracer.enabled:
+                    with self.tracer.span(
+                        f"stratum[{number}]", rules=len(stratum.rules)
+                    ) as span:
+                        self._evaluate_stratum(stratum, span)
+                else:
+                    self._evaluate_stratum(stratum)
+            run_span.set("iterations", self.stats.iterations)
+            run_span.set("rule_firings", self.stats.rule_firings)
+            run_span.set("facts_derived", self.stats.facts_derived)
+            run_span.set("facts_total", self.database.count())
         return self.database
 
     def query(self, predicate: str, pattern: dict[int, Any] | None = None) -> list[FactValues]:
@@ -191,12 +215,18 @@ class Engine:
     # stratum evaluation
     # ------------------------------------------------------------------
 
-    def _evaluate_stratum(self, stratum: Stratum) -> None:
+    def _evaluate_stratum(self, stratum: Stratum, span=None) -> None:
+        # Per-rule accumulators (wall seconds, applications, firings,
+        # derived facts), populated only when a live tracer is attached.
+        rule_metrics: dict[int, list] | None = {} if span is not None else None
+
         # Round 0: full evaluation of every rule.
         delta: list[Fact] = []
         for rule in stratum.rules:
-            delta.extend(self._apply_rule(rule, seed_predicate=None, seed_facts=None))
+            delta.extend(self._apply_rule(rule, None, None, rule_metrics))
         self.stats.iterations += 1
+        if span is not None:
+            span.append("delta_sizes", len(delta))
 
         if not self.seminaive:
             # Naive mode (for the ablation benchmark): re-run all rules on
@@ -206,9 +236,10 @@ class Engine:
                 self._check_iteration_budget()
                 changed = False
                 for rule in stratum.rules:
-                    if self._apply_rule(rule, None, None):
+                    if self._apply_rule(rule, None, None, rule_metrics):
                         changed = True
                 self.stats.iterations += 1
+            self._finish_stratum_span(stratum, span, rule_metrics)
             return
 
         # Semi-naive rounds: seed each rule occurrence with the last delta.
@@ -228,11 +259,41 @@ class Engine:
                     delta.extend(
                         self._apply_rule(
                             rule,
-                            seed_predicate=occurrence,
-                            seed_facts=delta_by_predicate[predicate],
+                            occurrence,
+                            delta_by_predicate[predicate],
+                            rule_metrics,
                         )
                     )
             self.stats.iterations += 1
+            if span is not None:
+                span.append("delta_sizes", len(delta))
+        self._finish_stratum_span(stratum, span, rule_metrics)
+
+    def _finish_stratum_span(
+        self, stratum: Stratum, span, rule_metrics: dict[int, list] | None
+    ) -> None:
+        """Attach per-rule child spans and aggregate-state sizes."""
+        if span is None or rule_metrics is None:
+            return
+        for rule in stratum.rules:
+            metrics = rule_metrics.get(id(rule))
+            if metrics is None:
+                continue
+            elapsed, applications, firings, derived = metrics
+            label = rule.label or str(rule)
+            if len(label) > 70:
+                label = label[:67] + "..."
+            child = span.child(f"rule:{label}")
+            child.set("applications", applications)
+            child.set("firings", firings)
+            child.set("derived", derived)
+            child.finish(duration=elapsed)
+        if self._aggregate_states:
+            span.set("aggregate_groups", len(self._aggregate_states))
+            span.set(
+                "aggregate_contributions",
+                sum(len(s.contributions) for s in self._aggregate_states.values()),
+            )
 
     def _check_iteration_budget(self) -> None:
         if self.stats.iterations >= self.max_iterations:
@@ -249,13 +310,35 @@ class Engine:
         rule: Rule,
         seed_predicate: int | None,
         seed_facts: list[FactValues] | None,
+        rule_metrics: dict[int, list] | None = None,
     ) -> list[Fact]:
         """Fire ``rule`` and return the newly derived facts.
 
         ``seed_predicate`` selects a positive-atom occurrence forced to
         range over ``seed_facts`` (the semi-naive delta) instead of the
-        whole relation.
+        whole relation.  ``rule_metrics`` (tracing only) accumulates
+        per-rule [wall seconds, applications, firings, derived facts].
         """
+        if rule_metrics is not None:
+            started = time.perf_counter()
+            firings_before = self.stats.rule_firings
+            new_facts = self._apply_rule_inner(rule, seed_predicate, seed_facts)
+            metrics = rule_metrics.get(id(rule))
+            if metrics is None:
+                metrics = rule_metrics[id(rule)] = [0.0, 0, 0, 0]
+            metrics[0] += time.perf_counter() - started
+            metrics[1] += 1
+            metrics[2] += self.stats.rule_firings - firings_before
+            metrics[3] += len(new_facts)
+            return new_facts
+        return self._apply_rule_inner(rule, seed_predicate, seed_facts)
+
+    def _apply_rule_inner(
+        self,
+        rule: Rule,
+        seed_predicate: int | None,
+        seed_facts: list[FactValues] | None,
+    ) -> list[Fact]:
         new_facts: list[Fact] = []
         literals = list(rule.body)
 
@@ -302,15 +385,86 @@ class Engine:
 
         When a seed is given, the seed atom is matched first (over the
         delta), then the remaining literals in their original order — safe
-        because moving an atom earlier can only increase boundness.
+        because moving an atom earlier can only increase boundness.  The
+        seed atom ranges over raw delta facts with no index pattern, so
+        its complex terms (Skolem terms / expressions, normally folded
+        into the pattern) must be checked here: positions evaluable from
+        the seed atom's own variables are checked immediately, the rest
+        are deferred until the full binding is known.
         """
         if seed_literal_index is None:
-            order = list(range(len(literals)))
-        else:
-            order = [seed_literal_index] + [
-                index for index in range(len(literals)) if index != seed_literal_index
-            ]
-        yield from self._match_from(rule, literals, order, 0, {}, seed_literal_index, seed_facts, trace)
+            yield from self._match_from(
+                rule, literals, list(range(len(literals))), 0, {}, trace
+            )
+            return
+
+        seed_literal = literals[seed_literal_index]
+        rest_order = [
+            index for index in range(len(literals)) if index != seed_literal_index
+        ]
+        complex_entries = [
+            (position, payload)
+            for position, kind, payload in self._atom_plan(seed_literal)
+            if kind == "complex"
+        ]
+        for values in seed_facts or ():
+            extension = self._bind_atom(seed_literal, values, {})
+            if extension is None:
+                continue
+            deferred: list[tuple[Any, Any]] = []
+            if complex_entries and not self._check_complex_terms(
+                seed_literal, complex_entries, values, extension, deferred
+            ):
+                continue
+            if self.provenance_enabled:
+                trace.append((seed_literal.predicate, values))
+            for binding in self._match_from(
+                rule, literals, rest_order, 0, extension, trace
+            ):
+                if deferred and not self._deferred_hold(seed_literal, deferred, binding):
+                    continue
+                yield binding
+            if self.provenance_enabled:
+                trace.pop()
+
+    def _check_complex_terms(
+        self,
+        atom: Atom,
+        entries: list[tuple[int, Any]],
+        values: FactValues,
+        binding: Binding,
+        deferred: list[tuple[Any, Any]],
+    ) -> bool:
+        """Check a seed fact against the atom's complex-term positions.
+
+        Terms not yet evaluable (their variables are bound by literals
+        matched after the seed) land in ``deferred`` as (term, expected
+        value) pairs for :meth:`_deferred_hold`.
+        """
+        for position, term in entries:
+            try:
+                value = evaluate(term, binding, self.functions)
+            except EvaluationError:
+                deferred.append((term, values[position]))
+                continue
+            if value != values[position]:
+                return False
+        return True
+
+    def _deferred_hold(
+        self, atom: Atom, deferred: list[tuple[Any, Any]], binding: Binding
+    ) -> bool:
+        for term, expected in deferred:
+            try:
+                value = evaluate(term, binding, self.functions)
+            except EvaluationError:
+                raise EvaluationError(
+                    f"body atom {atom} has a complex term {term} "
+                    "with unbound variables"
+                ) from None
+            if value != expected:
+                return False
+        return True
 
     def _match_from(
         self,
@@ -319,32 +473,23 @@ class Engine:
         order: list[int],
         depth: int,
         binding: Binding,
-        seed_literal_index: int | None,
-        seed_facts: list[FactValues] | None,
         trace: list[Fact],
     ) -> Iterator[Binding]:
         if depth == len(order):
             yield binding
             return
-        literal_index = order[depth]
-        literal = literals[literal_index]
+        literal = literals[order[depth]]
 
         if isinstance(literal, Atom):
-            if literal_index == seed_literal_index and seed_facts is not None:
-                candidates: Iterator[FactValues] = iter(seed_facts)
-                pattern = None
-            else:
-                pattern = self._atom_pattern(literal, binding)
-                candidates = self.database.match(literal.predicate, pattern)
-            for values in candidates:
+            pattern = self._atom_pattern(literal, binding)
+            for values in self.database.match(literal.predicate, pattern):
                 extension = self._bind_atom(literal, values, binding)
                 if extension is None:
                     continue
                 if self.provenance_enabled:
                     trace.append((literal.predicate, values))
                 yield from self._match_from(
-                    rule, literals, order, depth + 1, extension,
-                    seed_literal_index, seed_facts, trace,
+                    rule, literals, order, depth + 1, extension, trace
                 )
                 if self.provenance_enabled:
                     trace.pop()
@@ -354,8 +499,7 @@ class Engine:
             pattern = self._atom_pattern(literal.atom, binding)
             if next(iter(self.database.match(literal.atom.predicate, pattern)), None) is None:
                 yield from self._match_from(
-                    rule, literals, order, depth + 1, binding,
-                    seed_literal_index, seed_facts, trace,
+                    rule, literals, order, depth + 1, binding, trace
                 )
             return
 
@@ -364,8 +508,7 @@ class Engine:
             rhs = evaluate(literal.rhs, binding, self.functions)
             if compare(literal.op, lhs, rhs):
                 yield from self._match_from(
-                    rule, literals, order, depth + 1, binding,
-                    seed_literal_index, seed_facts, trace,
+                    rule, literals, order, depth + 1, binding, trace
                 )
             return
 
@@ -375,15 +518,13 @@ class Engine:
             if name in binding:
                 if binding[name] == value:
                     yield from self._match_from(
-                        rule, literals, order, depth + 1, binding,
-                        seed_literal_index, seed_facts, trace,
+                        rule, literals, order, depth + 1, binding, trace
                     )
                 return
             extension = dict(binding)
             extension[name] = value
             yield from self._match_from(
-                rule, literals, order, depth + 1, extension,
-                seed_literal_index, seed_facts, trace,
+                rule, literals, order, depth + 1, extension, trace
             )
             return
 
@@ -397,8 +538,7 @@ class Engine:
             extension = dict(binding)
             extension[literal.variable.name] = total
             yield from self._match_from(
-                rule, literals, order, depth + 1, extension,
-                seed_literal_index, seed_facts, trace,
+                rule, literals, order, depth + 1, extension, trace
             )
             return
 
@@ -465,7 +605,9 @@ class Engine:
             elif kind == "const":
                 if payload != value:
                     return None
-            # complex terms were folded into the pattern already
+            # complex terms are folded into the index pattern on the
+            # non-seed path; the seed path checks them in _join (see
+            # _check_complex_terms), since seed facts bypass the pattern
         return extension if extension is not None else dict(binding)
 
     def _aggregate_skippable(self, rule: Rule, aggregate: Aggregate) -> bool:

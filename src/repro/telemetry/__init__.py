@@ -1,0 +1,11 @@
+"""Engine/pipeline telemetry: hierarchical spans, counters, JSON export.
+
+Instrumented components (``datalog.Engine``, ``core.KnowledgeGraph``,
+``core.ReasoningPipeline``, ``core.VadaLink``, the CLI) accept an
+optional :class:`Tracer`; when none is given they use the zero-cost
+:data:`NULL_TRACER` and tracing adds no measurable overhead.
+"""
+
+from .tracer import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = ["NULL_TRACER", "NullTracer", "Span", "Tracer"]

@@ -113,3 +113,58 @@ class TestExportDot:
         assert main(["export-dot", str(extract), str(output), "--augment"]) == 0
         content = output.read_text()
         assert "forestgreen" in content or "magenta" in content or "red" in content
+
+
+class TestProfileFlags:
+    def test_profile_prints_span_tree(self, extract, capsys):
+        assert main(["--profile", "control", str(extract)]) == 0
+        err = capsys.readouterr().err
+        assert "repro control" in err
+        assert "control.procedural" in err
+        assert "pairs=" in err
+
+    def test_profile_json_emits_consumable_tree(self, extract, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        output = tmp_path / "augmented.json"
+        assert main([
+            "--profile-json", str(trace_path),
+            "augment", str(extract), str(output),
+        ]) == 0
+        payload = json.loads(trace_path.read_text())
+        assert payload["name"] == "repro augment"
+
+        def walk(node):
+            yield node
+            for child in node.get("children", []):
+                yield from walk(child)
+
+        names = [node["name"] for node in walk(payload)]
+        assert "pipeline.augment" in names
+        assert "engine.run" in names
+        assert any(name.startswith("stratum[") for name in names)
+        assert any(name.startswith("rule:") for name in names)
+        for node in walk(payload):
+            assert node["duration_s"] >= 0.0
+        run = next(n for n in walk(payload) if n["name"] == "engine.run")
+        assert run["attributes"]["facts_derived"] >= 0
+
+    def test_reason_profile_covers_engine(self, extract, tmp_path, capsys):
+        program = tmp_path / "closure.vada"
+        program.write_text(
+            "own(X, Y, W, R) -> reach(X, Y).\n"
+            "reach(X, Z), own(Z, Y, W, R) -> reach(X, Y).\n"
+        )
+        trace_path = tmp_path / "reason.json"
+        assert main([
+            "--profile", "--profile-json", str(trace_path),
+            "reason", str(extract), str(program), "--query", "reach",
+        ]) == 0
+        err = capsys.readouterr().err
+        assert "engine.run" in err
+        payload = json.loads(trace_path.read_text())
+        assert payload["children"][0]["name"] == "engine.run"
+
+    def test_no_profile_flag_stays_silent(self, extract, capsys):
+        assert main(["control", str(extract)]) == 0
+        err = capsys.readouterr().err
+        assert "control.procedural" not in err

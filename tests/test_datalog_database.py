@@ -91,3 +91,42 @@ class TestBulk:
     def test_repr(self):
         db = Database([("p", (1,))])
         assert "p" in repr(db)
+
+
+class TestFactsIsolation:
+    """``facts()`` hands out a copy: callers cannot corrupt the store."""
+
+    def test_mutating_returned_list_does_not_corrupt_contains(self):
+        db = Database([("p", (1,)), ("p", (2,))])
+        rows = db.facts("p")
+        rows.append((3,))
+        rows.remove((1,))
+        assert db.contains("p", (1,))
+        assert not db.contains("p", (3,))
+        assert db.count("p") == 2
+
+    def test_mutating_returned_list_does_not_corrupt_match(self):
+        db = Database([("p", (1, "a")), ("p", (2, "b"))])
+        assert list(db.match("p", {0: 1})) == [(1, "a")]  # builds the index
+        db.facts("p").clear()
+        assert list(db.match("p", {0: 1})) == [(1, "a")]
+        assert sorted(db.match("p", {})) == [(1, "a"), (2, "b")]
+
+    def test_missing_predicate_returns_fresh_list(self):
+        db = Database()
+        rows = db.facts("absent")
+        rows.append((1,))
+        assert db.count("absent") == 0
+        assert db.facts("absent") == []
+
+    def test_copy_rebuilds_sets_from_rows(self):
+        db = Database([("p", (1,)), ("q", (2,))])
+        db.remove("q", (2,))  # leaves an empty predicate entry behind
+        clone = db.copy()
+        assert clone.count() == 1
+        assert clone.contains("p", (1,))
+        assert not clone.contains("q", (2,))
+        # clone indexes are built independently of the original's
+        assert list(clone.match("p", {0: 1})) == [(1,)]
+        clone.add("p", (5,))
+        assert not db.contains("p", (5,))

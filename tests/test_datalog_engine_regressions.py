@@ -1,0 +1,157 @@
+"""Regression tests for semi-naive seed unification and aggregate pruning.
+
+Both bugs were engine-internal: naive evaluation was always correct, so
+each test pins the semi-naive result against the naive one (or against
+counters proving the wasted work is gone).
+"""
+
+import pytest
+
+from repro.datalog import Database, Engine, parse_program, solve
+
+
+def _run(program_text, facts, seminaive=True, provenance=False):
+    engine = Engine(
+        parse_program(program_text),
+        Database(list(facts)),
+        seminaive=seminaive,
+        provenance=provenance,
+    )
+    engine.run()
+    return engine
+
+
+class TestSeedComplexTerms:
+    """A semi-naive seed fact must satisfy the atom's complex terms.
+
+    ``_bind_atom`` skips complex-term positions because the index pattern
+    normally pre-filters them — but the seed atom ranges over raw delta
+    facts with no pattern, so before the fix a violating seed fact
+    unified anyway and derived unsound facts.
+    """
+
+    #: p facts are tagged with #g; the third rule demands an #h tag that
+    #: no sound derivation ever produces.  The rule is recursive through
+    #: p, so delta facts seed the complex-term atom directly.
+    PROGRAM = """
+    seed(X) -> p(X, #g(X)).
+    p(X, Y) -> p(Y, X).
+    seed(X), p(X, #h(X)) -> marked(X), p(X, X).
+    """
+
+    def test_violating_seed_fact_is_rejected(self):
+        semi = _run(self.PROGRAM, [("seed", ("a",))])
+        assert semi.query("marked") == []
+
+    def test_matches_naive_evaluation(self):
+        facts = [("seed", ("a",)), ("seed", ("b",))]
+        semi = _run(self.PROGRAM, facts)
+        naive = _run(self.PROGRAM, facts, seminaive=False)
+        assert set(semi.database.all_facts()) == set(naive.database.all_facts())
+
+    def test_satisfying_seed_fact_still_unifies(self):
+        # same shape but checking the tag that *is* produced: the
+        # complex-term filter must reject only violating facts
+        program = """
+        seed(X) -> p(X, #g(X)).
+        p(X, Y) -> p(Y, X).
+        seed(X), p(X, #g(X)) -> marked(X), p(X, X).
+        """
+        semi = _run(program, [("seed", ("a",))])
+        naive = _run(program, [("seed", ("a",))], seminaive=False)
+        assert sorted(semi.query("marked")) == [("a",)]
+        assert set(semi.database.all_facts()) == set(naive.database.all_facts())
+
+    def test_deferred_check_when_variables_bind_after_seed(self):
+        # the seed atom p2(#g(X)) holds only a complex term; X is bound
+        # by a literal matched *after* the seed, so the check must be
+        # deferred until the binding is complete.  Before the fix the
+        # violating delta fact p2("b"-less tag) yielded win("b").
+        program = """
+        tagged(X) -> p2(#g(X)), p2(X).
+        start(X), p2(#g(X)) -> win(X), p2("sink").
+        """
+        facts = [("start", ("a",)), ("start", ("b",)), ("tagged", ("a",))]
+        semi = _run(program, facts)
+        naive = _run(program, facts, seminaive=False)
+        assert sorted(semi.query("win")) == [("a",)]
+        assert set(semi.database.all_facts()) == set(naive.database.all_facts())
+
+    def test_arithmetic_complex_term_in_recursive_body(self):
+        # expression (not Skolem) complex term: count down through n(X+1)
+        program = """
+        top(X) -> n(X).
+        n(X), X > 0, Y = X - 1 -> n(Y).
+        top(T), n(T + 1) -> overflow(T).
+        """
+        semi = _run(program, [("top", (3,))])
+        naive = _run(program, [("top", (3,))], seminaive=False)
+        assert semi.query("overflow") == []
+        assert set(semi.database.all_facts()) == set(naive.database.all_facts())
+
+    def test_provenance_survives_seed_complex_filtering(self):
+        semi = _run(self.PROGRAM, [("seed", ("a",))], provenance=True)
+        # every derived fact still has a derivation record
+        for fact in semi.database.all_facts():
+            if fact[0] == "seed":
+                continue
+            assert fact in semi.provenance
+
+
+class TestMcountPruning:
+    """``mcount`` must report improvement only for new contributor keys.
+
+    Before the fix a contributor re-appearing with a *larger* value
+    reported ``improved=True`` although the count was unchanged, which
+    defeated ``_aggregate_skippable`` pruning and re-fired the rule tail.
+    """
+
+    def test_rule_firings_do_not_grow_on_repeated_contributions(self):
+        engine = solve(
+            "obs(G, Z, W), T = mcount(W, <Z>) -> size(G, T).",
+            [("obs", ("g", "z", 1)), ("obs", ("g", "z", 2)), ("obs", ("g", "z", 3))],
+        )
+        assert sorted(engine.query("size")) == [("g", 1)]
+        # one firing for the first contribution; the two repeats (same
+        # contributor, growing value) are pruned before the head
+        assert engine.stats.rule_firings == 1
+
+    def test_new_contributors_still_improve(self):
+        engine = solve(
+            "obs(G, Z, W), T = mcount(W, <Z>) -> size(G, T).",
+            [("obs", ("g", "z1", 5)), ("obs", ("g", "z2", 1)), ("obs", ("g", "z3", 2))],
+        )
+        assert max(t for _, t in engine.query("size")) == 3
+
+    def test_count_unchanged_by_growing_values(self):
+        # distinct contributors first, then the same contributors again
+        # at larger values: the count stays put and no extra facts appear
+        facts = [("obs", ("g", "z1", 1)), ("obs", ("g", "z2", 1)),
+                 ("obs", ("g", "z1", 9)), ("obs", ("g", "z2", 9))]
+        engine = solve("obs(G, Z, W), T = mcount(W, <Z>) -> size(G, T).", facts)
+        assert max(t for _, t in engine.query("size")) == 2
+        assert engine.stats.rule_firings == 2
+
+    def test_recursive_mcount_matches_naive(self):
+        program = """
+        edge(X, Y) -> reach(X, Y).
+        reach(X, Z), edge(Z, Y) -> reach(X, Y).
+        reach(X, Y), T = mcount(<Y>) -> fanout(X, T).
+        """
+        facts = [("edge", (1, 2)), ("edge", (2, 3)), ("edge", (3, 1)),
+                 ("edge", (1, 3))]
+        semi = Engine(parse_program(program), Database(list(facts)))
+        semi.run()
+        naive = Engine(parse_program(program), Database(list(facts)), seminaive=False)
+        naive.run()
+        assert set(semi.database.all_facts()) == set(naive.database.all_facts())
+
+    def test_msum_still_improves_on_growing_contribution(self):
+        # the monotone-replacement semantics of the other aggregates is
+        # untouched: a growing msum contribution must still re-fire
+        engine = solve(
+            "obs(G, Z, W), T = msum(W, <Z>) -> total(G, T).",
+            [("obs", ("g", "z", 1)), ("obs", ("g", "z", 5))],
+        )
+        assert max(t for _, t in engine.query("total")) == pytest.approx(5)
+        assert engine.stats.rule_firings == 2
