@@ -1,0 +1,135 @@
+"""Planned+compiled vs textual-order engine — the perf trajectory bench.
+
+Runs the two hottest declarative workloads of the reproduction (the
+close-links program over scale-free ownership pyramids and the family
+control program over superdense extracts) at three synthetic sizes each,
+with the join planner + compiled evaluators on and off, asserts the two
+result databases are identical, and writes ``BENCH_engine.json``.
+
+Standalone on purpose (argparse, not pytest): CI's smoke job runs
+``python benchmarks/bench_engine_planner.py --smoke`` and archives the
+JSON as a per-PR artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.workloads import density_scenario, ownership_pyramid  # noqa: E402
+from repro.core import (  # noqa: E402
+    KnowledgeGraph,
+    close_link_program,
+    family_control_program,
+    input_mapping,
+)
+from repro.datalog.engine import Engine  # noqa: E402
+from repro.graph.relational import to_facts  # noqa: E402
+
+#: (program name, size label, graph builder, program text, with families)
+CLOSE_LINK_SIZES = (16, 28, 40)
+FAMILY_CONTROL_SIZES = (150, 300, 500)
+
+
+def _workloads(smoke: bool):
+    close_sizes = CLOSE_LINK_SIZES[:1] if smoke else CLOSE_LINK_SIZES
+    family_sizes = FAMILY_CONTROL_SIZES[:1] if smoke else FAMILY_CONTROL_SIZES
+    for companies in close_sizes:
+        yield (
+            "close-links",
+            f"pyramid-{companies}",
+            ownership_pyramid(companies, m=3, seed=7),
+            close_link_program(0.2),
+            False,
+        )
+    for persons in family_sizes:
+        graph, _truth = density_scenario("superdense", persons, seed=7)
+        yield (
+            "family-control",
+            f"superdense-{persons}",
+            graph,
+            family_control_program(0.5),
+            True,
+        )
+
+
+def _program_for(graph, body: str, families: bool):
+    kg = KnowledgeGraph(graph)
+    kg.add_rules("map", input_mapping(families))
+    kg.add_rules("task", body)
+    return kg.program()
+
+
+def _run(program, graph, plan: bool):
+    started = time.perf_counter()
+    engine = Engine(program, to_facts(graph), plan=plan)
+    engine.run()
+    return engine, time.perf_counter() - started
+
+
+def run_benchmark(smoke: bool) -> dict:
+    rows = []
+    for name, size, graph, body, families in _workloads(smoke):
+        program = _program_for(graph, body, families)
+        planned_engine, planned_s = _run(program, graph, plan=True)
+        unplanned_engine, unplanned_s = _run(program, graph, plan=False)
+        identical = set(planned_engine.database.all_facts()) == set(
+            unplanned_engine.database.all_facts()
+        )
+        row = {
+            "program": name,
+            "size": size,
+            "facts_total": planned_engine.database.count(),
+            "rule_firings": planned_engine.stats.rule_firings,
+            "planned_s": round(planned_s, 4),
+            "unplanned_s": round(unplanned_s, 4),
+            "speedup": round(unplanned_s / planned_s, 2) if planned_s else None,
+            "identical_results": identical,
+        }
+        rows.append(row)
+        print(
+            f"{name:>15} {size:<16} planned={planned_s:8.3f}s "
+            f"unplanned={unplanned_s:8.3f}s speedup={row['speedup']:6.2f}x "
+            f"identical={identical}"
+        )
+        if not identical:
+            raise SystemExit(
+                f"FATAL: planned and unplanned databases differ on {name}/{size}"
+            )
+    return {"mode": "smoke" if smoke else "full", "workloads": rows}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output", type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_engine.json",
+        help="where to write the JSON results",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="smallest size of each workload only (the CI smoke job)",
+    )
+    args = parser.parse_args(argv)
+    payload = run_benchmark(args.smoke)
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"# wrote {args.output}")
+    if not args.smoke:
+        largest_close = [
+            row for row in payload["workloads"] if row["program"] == "close-links"
+        ][-1]
+        if largest_close["speedup"] < 1.5:
+            raise SystemExit(
+                f"FATAL: close-links speedup at largest size is "
+                f"{largest_close['speedup']}x (< 1.5x target)"
+            )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

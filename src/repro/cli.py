@@ -92,6 +92,9 @@ def build_parser() -> argparse.ArgumentParser:
     reason.add_argument("program", type=Path)
     reason.add_argument("--query", required=True,
                         help="predicate whose derived facts to print")
+    reason.add_argument("--no-plan", action="store_true",
+                        help="disable the join planner / compiled evaluators "
+                             "(textual-order interpretation)")
 
     export = commands.add_parser("export-dot",
                                  help="render the (optionally augmented) graph as Graphviz DOT")
@@ -247,7 +250,9 @@ def _export_dot(args: argparse.Namespace) -> int:
 def _reason(args: argparse.Namespace) -> int:
     graph = read_company_csv(args.directory)
     program = parse_program(args.program.read_text())
-    engine = Engine(program, to_facts(graph), tracer=_tracer_of(args))
+    engine = Engine(
+        program, to_facts(graph), tracer=_tracer_of(args), plan=not args.no_plan
+    )
     engine.run()
     rows = engine.query(args.query)
     for values in rows:

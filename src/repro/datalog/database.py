@@ -5,6 +5,23 @@ the engine probe :meth:`Database.match` with a partially bound pattern; the
 store builds (and caches) a hash index over the bound positions the first
 time a given binding shape is used for a predicate, so repeated joins run
 at dictionary-lookup speed.
+
+The join planner and the compiled rule evaluators
+(:mod:`repro.datalog.planner` / :mod:`repro.datalog.compiled`) lean on two
+extra guarantees this module provides:
+
+* **index stability** — once built, the dict returned by
+  :meth:`index_for` (and its bucket lists) is updated *in place* by
+  :meth:`add` and :meth:`remove`, never replaced, so compiled evaluators
+  may capture it once and probe it across semi-naive rounds;
+* **cheap statistics** — :meth:`cardinality` and :meth:`distinct_count`
+  expose the per-predicate row counts and per-index key counts the
+  planner's selectivity estimates are built from.
+
+Predicates may mix arities under one name (the engine stores ``link/3``
+and ``link/4`` together); an index over positions a short tuple does not
+have simply skips that tuple — it could never match a pattern binding
+that position anyway.
 """
 
 from __future__ import annotations
@@ -15,6 +32,9 @@ from typing import Iterable, Iterator
 FactValues = tuple
 Fact = tuple[str, FactValues]
 
+#: positions-tuple -> {key values -> [value tuples]}
+_PredicateIndexes = dict[tuple[int, ...], dict[tuple, list[FactValues]]]
+
 
 class Database:
     """A mutable set of facts grouped by predicate name."""
@@ -24,8 +44,9 @@ class Database:
         self._facts: dict[str, list[FactValues]] = defaultdict(list)
         # predicate -> set of value tuples (dedup)
         self._sets: dict[str, set[FactValues]] = defaultdict(set)
-        # (predicate, bound-positions) -> {key values -> [value tuples]}
-        self._indexes: dict[tuple[str, tuple[int, ...]], dict[tuple, list[FactValues]]] = {}
+        # predicate -> its cached positional indexes (kept per predicate so
+        # ``add`` only maintains the indexes of the predicate it touches)
+        self._indexes: dict[str, _PredicateIndexes] = {}
         for predicate, values in facts:
             self.add(predicate, values)
 
@@ -40,10 +61,13 @@ class Database:
             return False
         existing.add(values)
         self._facts[predicate].append(values)
-        for (indexed_predicate, positions), index in self._indexes.items():
-            if indexed_predicate == predicate:
-                key = tuple(values[p] for p in positions)
-                index.setdefault(key, []).append(values)
+        indexes = self._indexes.get(predicate)
+        if indexes:
+            width = len(values)
+            for positions, index in indexes.items():
+                if positions[-1] < width:
+                    key = tuple(values[p] for p in positions)
+                    index.setdefault(key, []).append(values)
         return True
 
     def add_all(self, facts: Iterable[Fact]) -> int:
@@ -57,16 +81,29 @@ class Database:
     def remove(self, predicate: str, values: FactValues) -> bool:
         """Remove one fact; returns True when it was present.
 
-        Removal invalidates cached indexes for the predicate (removal is
-        rare — the engine never removes during fixpoint evaluation).
+        Cached indexes survive a removal: the tuple is deleted from each
+        affected index bucket in place, so index dicts captured by
+        compiled evaluators (and the work spent building them) are not
+        thrown away.
         """
         existing = self._sets.get(predicate)
         if existing is None or values not in existing:
             return False
         existing.remove(values)
         self._facts[predicate].remove(values)
-        for key in [k for k in self._indexes if k[0] == predicate]:
-            del self._indexes[key]
+        indexes = self._indexes.get(predicate)
+        if indexes:
+            width = len(values)
+            for positions, index in indexes.items():
+                if positions[-1] >= width:
+                    continue
+                key = tuple(values[p] for p in positions)
+                bucket = index.get(key)
+                if bucket is None:
+                    continue
+                bucket.remove(values)
+                if not bucket:
+                    del index[key]
         return True
 
     # ------------------------------------------------------------------
@@ -82,10 +119,19 @@ class Database:
 
         Returns a fresh list: mutating it cannot desynchronise the store's
         insertion-order lists, dedup sets and cached indexes.  Internal
-        consumers iterate via :meth:`match`, which keeps the zero-copy
-        fast path.
+        consumers on hot paths use :meth:`iter_facts` instead.
         """
         return list(self._facts.get(predicate, ()))
+
+    def iter_facts(self, predicate: str) -> Iterator[FactValues]:
+        """Iterate the facts of ``predicate`` without copying.
+
+        The iterator walks the live insertion-order list, so the caller
+        must not mutate the database while consuming it.  The engine's
+        join loops qualify: derivations are buffered and flushed only
+        after each rule application's scan completes.
+        """
+        return iter(self._facts.get(predicate, ()))
 
     def predicates(self) -> list[str]:
         return [predicate for predicate, rows in self._facts.items() if rows]
@@ -102,22 +148,65 @@ class Database:
         if not pattern:
             return iter(rows)
         positions = tuple(sorted(pattern))
-        index = self._index_for(predicate, positions)
+        index = self.index_for(predicate, positions)
         key = tuple(pattern[p] for p in positions)
         return iter(index.get(key, ()))
 
-    def _index_for(
+    def index_for(
         self, predicate: str, positions: tuple[int, ...]
     ) -> dict[tuple, list[FactValues]]:
-        cache_key = (predicate, positions)
-        index = self._indexes.get(cache_key)
+        """The live hash index of ``predicate`` over ``positions``.
+
+        Builds the index on first use (this doubles as the planner's
+        pre-warm hook) and returns the *live* dict: subsequent ``add`` /
+        ``remove`` calls update it in place, so holding a reference stays
+        valid for the lifetime of this database.  ``positions`` must be
+        sorted ascending.
+        """
+        indexes = self._indexes.get(predicate)
+        if indexes is None:
+            indexes = self._indexes[predicate] = {}
+        index = indexes.get(positions)
         if index is None:
             index = {}
+            max_position = positions[-1]
             for values in self._facts.get(predicate, ()):
-                key = tuple(values[p] for p in positions)
-                index.setdefault(key, []).append(values)
-            self._indexes[cache_key] = index
+                if max_position < len(values):
+                    key = tuple(values[p] for p in positions)
+                    index.setdefault(key, []).append(values)
+            indexes[positions] = index
         return index
+
+    # ------------------------------------------------------------------
+    # planner statistics
+    # ------------------------------------------------------------------
+
+    def cardinality(self, predicate: str) -> int:
+        """Current number of facts of ``predicate`` (0 when absent)."""
+        rows = self._facts.get(predicate)
+        return len(rows) if rows is not None else 0
+
+    def distinct_count(self, predicate: str, positions: tuple[int, ...]) -> int | None:
+        """Number of distinct keys in the cached index over ``positions``.
+
+        Returns None when that index has not been built yet — the planner
+        treats this as "no statistics" rather than forcing an index build
+        for every candidate join order it merely considers.
+        """
+        index = self._indexes.get(predicate, {}).get(positions)
+        return len(index) if index is not None else None
+
+    # ------------------------------------------------------------------
+    # internal live views (compiled-evaluator capture points)
+    # ------------------------------------------------------------------
+
+    def live_rows(self, predicate: str) -> list[FactValues]:
+        """The live insertion-order row list (internal; do not mutate)."""
+        return self._facts[predicate]
+
+    def live_set(self, predicate: str) -> set[FactValues]:
+        """The live dedup set (internal; do not mutate)."""
+        return self._sets[predicate]
 
     # ------------------------------------------------------------------
     # bulk access / misc

@@ -29,11 +29,16 @@ from typing import Any, Iterator
 from ..telemetry import NULL_TRACER
 from .atoms import Aggregate, Assignment, Atom, Comparison, Negation
 from .builtins import Binding, FunctionRegistry, compare, evaluate
+from .compiled import CompilationFallback, compile_rule
 from .database import Database, Fact, FactValues
 from .errors import EvaluationError
+from .planner import order_sensitive_predicates, plan_rule
 from .rules import Program, Rule
 from .stratify import Stratum, stratify
 from .terms import Constant, Null, Variable, skolem
+
+#: cache sentinel: (rule, seed) pair not compiled yet
+_COMPILE_MISS = object()
 
 
 @dataclass
@@ -120,6 +125,7 @@ class Engine:
         max_iterations: int = 1_000_000,
         seminaive: bool = True,
         tracer=None,
+        plan: bool = True,
     ):
         self.program = program
         self.database = database if database is not None else Database()
@@ -129,6 +135,15 @@ class Engine:
         self.max_iterations = max_iterations
         self.seminaive = seminaive
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        # plan=False preserves the textual-order interpreted path (used by
+        # the ablation benchmarks); provenance implies it, since compiled
+        # evaluators do not record body-fact traces
+        self.plan_enabled = plan and not provenance
+        # (rule id, seed literal index) -> CompiledRule, or None once a
+        # CompilationFallback proved the pair structurally uncompilable
+        self._compiled_cache: dict[tuple[int, int | None], Any] = {}
+        self._plan_fallbacks: dict[tuple[int, int | None], str] = {}
+        self._order_sensitive: set[str] | None = None
         self.stats = EngineStats()
         self._aggregate_states: dict[tuple, _AggregateState] = {}
         self._group_vars_cache: dict[tuple, tuple[str, ...]] = {}
@@ -160,6 +175,8 @@ class Engine:
                         self._evaluate_stratum(stratum, span)
                 else:
                     self._evaluate_stratum(stratum)
+            if self.tracer.enabled and self._compiled_cache:
+                self._emit_plan_spans(run_span)
             run_span.set("iterations", self.stats.iterations)
             run_span.set("rule_firings", self.stats.rule_firings)
             run_span.set("facts_derived", self.stats.facts_derived)
@@ -250,9 +267,10 @@ class Engine:
                 delta_by_predicate.setdefault(predicate, []).append(values)
             delta = []
             for rule in stratum.rules:
-                body_predicates = [atom.predicate for atom in rule.positive_atoms()]
+                body = rule.body
                 seen_positions: set[int] = set()
-                for occurrence, predicate in enumerate(body_predicates):
+                for occurrence, literal_index in enumerate(rule.positive_positions()):
+                    predicate = body[literal_index].predicate
                     if predicate not in delta_by_predicate or occurrence in seen_positions:
                         continue
                     seen_positions.add(occurrence)
@@ -339,15 +357,17 @@ class Engine:
         seed_predicate: int | None,
         seed_facts: list[FactValues] | None,
     ) -> list[Fact]:
-        new_facts: list[Fact] = []
-        literals = list(rule.body)
-
-        positive_positions = [
-            index for index, literal in enumerate(literals) if isinstance(literal, Atom)
-        ]
         seed_literal_index: int | None = None
         if seed_predicate is not None:
-            seed_literal_index = positive_positions[seed_predicate]
+            seed_literal_index = rule.positive_positions()[seed_predicate]
+
+        if self.plan_enabled:
+            compiled = self._compiled_for(rule, seed_literal_index)
+            if compiled is not None:
+                return self._apply_compiled(compiled, seed_facts)
+
+        new_facts: list[Fact] = []
+        literals = list(rule.body)
 
         # Buffer derivations and flush after the join: the rule must see the
         # database as of the start of this application, not facts it is
@@ -372,6 +392,104 @@ class Engine:
                 if self.provenance_enabled and fact not in self.provenance:
                     self.provenance[fact] = Derivation(rule, trace_snapshot)
         return new_facts
+
+    # ------------------------------------------------------------------
+    # planned / compiled evaluation
+    # ------------------------------------------------------------------
+
+    def _compiled_for(self, rule: Rule, seed_literal_index: int | None):
+        """The cached compiled evaluator for (rule, seed occurrence).
+
+        Compiles on first use, re-plans when the database's cardinality
+        snapshot drifts past the planner's threshold (keeping the closure
+        chain when the fresh plan picks the same order), and returns None
+        — permanently — for rules the lowering proved uncompilable.
+        """
+        key = (id(rule), seed_literal_index)
+        cached = self._compiled_cache.get(key, _COMPILE_MISS)
+        if cached is None:
+            return None
+        if cached is not _COMPILE_MISS and not cached.plan.stale(self.database):
+            return cached
+        plan = plan_rule(
+            rule, seed_literal_index, self.database, reorder=self._may_reorder(rule)
+        )
+        if cached is not _COMPILE_MISS:
+            same_shape = plan.order == cached.plan.order and all(
+                fresh.probe_positions == old.probe_positions
+                for fresh, old in zip(plan.steps, cached.plan.steps)
+            )
+            cached.replans += 1
+            if same_shape:
+                cached.plan = plan  # adopt the new cardinality snapshot
+                return cached
+        try:
+            compiled = compile_rule(self, rule, plan, counting=self.tracer.enabled)
+        except CompilationFallback as fallback:
+            self._plan_fallbacks[key] = str(fallback)
+            self._compiled_cache[key] = None
+            return None
+        if cached is not _COMPILE_MISS:
+            compiled.replans = cached.replans
+        self._compiled_cache[key] = compiled
+        return compiled
+
+    def _may_reorder(self, rule: Rule) -> bool:
+        """Atom reordering is allowed only when the rule's emission order
+        cannot reach a monotone aggregate (whose intermediate totals are
+        sensitive to contribution order across semi-naive rounds)."""
+        if self._order_sensitive is None:
+            self._order_sensitive = order_sensitive_predicates(self.program)
+        return not (rule.head_predicates() & self._order_sensitive)
+
+    def _apply_compiled(self, compiled, seed_facts: list[FactValues] | None) -> list[Fact]:
+        derived, firings = compiled.execute(seed_facts)
+        self.stats.rule_firings += firings
+        new_facts: list[Fact] = []
+        add = self.database.add
+        for fact in derived:
+            if add(fact[0], fact[1]):
+                new_facts.append(fact)
+        self.stats.facts_derived += len(new_facts)
+        return new_facts
+
+    def _emit_plan_spans(self, run_span) -> None:
+        """EXPLAIN: one child span per (rule, seed occurrence) plan.
+
+        ``estimated_rows`` is the planner's per-application estimate for
+        each step; ``actual_rows`` counts bindings that survived the step
+        summed over the whole run.
+        """
+        rules_by_id = {id(rule): rule for rule in self.program.rules}
+        parent = run_span.child("planner")
+        compiled_rules = 0
+        for (rule_id, seed_index), compiled in self._compiled_cache.items():
+            rule = rules_by_id.get(rule_id)
+            label = (rule.label or str(rule)) if rule is not None else hex(rule_id)
+            if len(label) > 70:
+                label = label[:67] + "..."
+            suffix = "" if seed_index is None else f" seed@{seed_index}"
+            child = parent.child(f"plan:{label}{suffix}")
+            if compiled is None:
+                child.set(
+                    "fallback",
+                    self._plan_fallbacks.get((rule_id, seed_index), "interpreted"),
+                )
+            else:
+                compiled_rules += 1
+                plan = compiled.plan
+                child.set("order", plan.describe())
+                child.set(
+                    "estimated_rows",
+                    [round(step.estimated_rows, 1) for step in plan.steps],
+                )
+                if compiled.counts is not None:
+                    child.set("actual_rows", list(compiled.counts))
+                if compiled.replans:
+                    child.set("replans", compiled.replans)
+            child.finish(duration=0.0)
+        parent.set("compiled_rules", compiled_rules)
+        parent.finish(duration=0.0)
 
     def _join(
         self,

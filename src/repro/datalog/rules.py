@@ -47,6 +47,23 @@ class Rule:
             if isinstance(literal, Atom):
                 yield literal
 
+    def positive_positions(self) -> tuple[int, ...]:
+        """Body indexes of the positive atoms.
+
+        Cached on the instance: the semi-naive engine consults this for
+        every rule on every round to map delta predicates onto seed
+        occurrences.
+        """
+        cached = self.__dict__.get("_positive_positions")
+        if cached is None:
+            cached = tuple(
+                index
+                for index, literal in enumerate(self.body)
+                if isinstance(literal, Atom)
+            )
+            object.__setattr__(self, "_positive_positions", cached)
+        return cached
+
     def negated_atoms(self) -> Iterator[Negation]:
         for literal in self.body:
             if isinstance(literal, Negation):

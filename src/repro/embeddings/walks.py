@@ -13,16 +13,35 @@ Low ``q`` favours exploration (structural equivalence), low ``p`` keeps
 the walk local (homophily).  Walks treat the graph as undirected — the
 standard choice for ownership networks, where influence flows both ways
 along a shareholding for similarity purposes.
+
+Sampling uses per-node cumulative-weight tables binary-searched with
+``bisect`` instead of a linear scan per step.  The tables accumulate
+weights in the same left-to-right order the scan summed them, and each
+step still draws exactly one ``random()``, so walks are bit-identical to
+the historical implementation under a fixed seed.
 """
 
 from __future__ import annotations
 
 import random
+from bisect import bisect_left
+from itertools import accumulate
 from typing import Hashable, Sequence
 
 from ..graph.property_graph import PropertyGraph
 
 NodeId = Hashable
+
+#: node -> (neighbor ids, weights, cumulative weights, total weight),
+#: all aligned; the node2vec transition tables of one adjacency
+_Table = tuple[tuple, tuple, list, float]
+
+
+def _neighbor_sort_key(item: tuple[NodeId, float]) -> str:
+    node = item[0]
+    # identical ordering to sorting by str(node), without allocating a
+    # fresh string per comparison for the (ubiquitous) string-id case
+    return node if type(node) is str else str(node)
 
 
 def build_adjacency(
@@ -40,7 +59,7 @@ def build_adjacency(
         adjacency[edge.target][edge.source] = (
             adjacency[edge.target].get(edge.source, 0.0) + weight
         )
-    return {node: sorted(neighbors.items(), key=lambda kv: str(kv[0]))
+    return {node: sorted(neighbors.items(), key=_neighbor_sort_key)
             for node, neighbors in adjacency.items()}
 
 
@@ -60,27 +79,39 @@ class RandomWalker:
         self.p = p
         self.q = q
         self._rng = random.Random(seed)
+        self._tables: dict[NodeId, _Table] = {}
+        for node, neighbors in adjacency.items():
+            ids = tuple(neighbor for neighbor, _ in neighbors)
+            weights = tuple(weight for _, weight in neighbors)
+            self._tables[node] = (
+                ids, weights, list(accumulate(weights)), sum(weights)
+            )
         self._neighbor_sets: dict[NodeId, set[NodeId]] = {
-            node: {neighbor for neighbor, _ in neighbors}
-            for node, neighbors in adjacency.items()
+            node: set(table[0]) for node, table in self._tables.items()
         }
+        # with p == q == 1 every bias factor is w / 1.0 == w exactly, so
+        # the unbiased tables already hold the biased distribution
+        self._unbiased = p == 1.0 and q == 1.0
+        # (previous, current) -> (ids, biased cumulative, biased total);
+        # grows with the distinct directed steps actually walked
+        self._biased_tables: dict[tuple[NodeId, NodeId], tuple[tuple, list, float]] = {}
 
     def walk(self, start: NodeId, length: int) -> list[NodeId]:
         """One biased walk of at most ``length`` nodes starting at ``start``."""
         walk = [start]
         if length <= 1:
             return walk
-        neighbors = self.adjacency.get(start, ())
-        if not neighbors:
+        table = self._tables.get(start)
+        if table is None or not table[0]:
             return walk
-        current = self._weighted_choice(neighbors)
+        current = self._sample(table[0], table[2], table[3])
         walk.append(current)
         while len(walk) < length:
-            neighbors = self.adjacency.get(current, ())
-            if not neighbors:
+            table = self._tables.get(current)
+            if table is None or not table[0]:
                 break
             previous = walk[-2]
-            current = self._biased_choice(previous, current, neighbors)
+            current = self._biased_sample(previous, current, table)
             walk.append(current)
         return walk
 
@@ -98,39 +129,37 @@ class RandomWalker:
 
     # ------------------------------------------------------------------
 
-    def _weighted_choice(self, neighbors: Sequence[tuple[NodeId, float]]) -> NodeId:
-        total = sum(weight for _, weight in neighbors)
+    def _sample(self, ids: tuple, cumulative: list, total: float) -> NodeId:
         threshold = self._rng.random() * total
-        cumulative = 0.0
-        for node, weight in neighbors:
-            cumulative += weight
-            if cumulative >= threshold:
-                return node
-        return neighbors[-1][0]
+        # leftmost index with cumulative[i] >= threshold: exactly the
+        # first-crossing the historical linear scan returned
+        index = bisect_left(cumulative, threshold)
+        if index >= len(ids):
+            index = len(ids) - 1
+        return ids[index]
 
-    def _biased_choice(
-        self,
-        previous: NodeId,
-        current: NodeId,
-        neighbors: Sequence[tuple[NodeId, float]],
+    def _biased_sample(
+        self, previous: NodeId, current: NodeId, table: _Table
     ) -> NodeId:
-        previous_neighbors = self._neighbor_sets.get(previous, set())
-        weights: list[float] = []
-        for node, weight in neighbors:
-            if node == previous:
-                weights.append(weight / self.p)
-            elif node in previous_neighbors:
-                weights.append(weight)
-            else:
-                weights.append(weight / self.q)
-        total = sum(weights)
-        threshold = self._rng.random() * total
-        cumulative = 0.0
-        for (node, _), biased in zip(neighbors, weights):
-            cumulative += biased
-            if cumulative >= threshold:
-                return node
-        return neighbors[-1][0]
+        if self._unbiased:
+            return self._sample(table[0], table[2], table[3])
+        key = (previous, current)
+        cached = self._biased_tables.get(key)
+        if cached is None:
+            ids, weights, _, _ = table
+            previous_neighbors = self._neighbor_sets.get(previous, set())
+            p, q = self.p, self.q
+            biased: list[float] = []
+            for node, weight in zip(ids, weights):
+                if node == previous:
+                    biased.append(weight / p)
+                elif node in previous_neighbors:
+                    biased.append(weight)
+                else:
+                    biased.append(weight / q)
+            cached = (ids, list(accumulate(biased)), sum(biased))
+            self._biased_tables[key] = cached
+        return self._sample(*cached)
 
 
 def generate_walks(

@@ -124,7 +124,7 @@ def company_graph_from_facts(
     """
     graph = CompanyGraph()
     for relation in schema.node_relations:
-        for values in database.facts(relation.predicate):
+        for values in database.iter_facts(relation.predicate):
             node_id = values[0]
             properties = {
                 name: value
@@ -138,7 +138,7 @@ def company_graph_from_facts(
             else:
                 graph.add_node(node_id, relation.label, **properties)
     for relation in schema.edge_relations:
-        for values in database.facts(relation.predicate):
+        for values in database.iter_facts(relation.predicate):
             source, target = values[0], values[1]
             properties = {
                 name: value

@@ -93,6 +93,74 @@ class TestBulk:
         assert "p" in repr(db)
 
 
+class TestIndexStability:
+    """Compiled evaluators capture index dicts once and probe them across
+    semi-naive rounds: add/remove must update those dicts in place."""
+
+    def test_remove_updates_index_in_place(self):
+        db = Database([("p", (1, "a")), ("p", (1, "b")), ("p", (2, "c"))])
+        index = db.index_for("p", (0,))
+        assert db.remove("p", (1, "a"))
+        # same dict object, bucket shrunk in place
+        assert db.index_for("p", (0,)) is index
+        assert index[(1,)] == [(1, "b")]
+
+    def test_remove_drops_empty_bucket(self):
+        db = Database([("p", (1, "a"))])
+        index = db.index_for("p", (0,))
+        db.remove("p", (1, "a"))
+        assert (1,) not in index
+        db.add("p", (1, "z"))
+        assert index[(1,)] == [(1, "z")]
+
+    def test_add_updates_captured_index(self):
+        db = Database([("p", (1, "a"))])
+        index = db.index_for("p", (1,))
+        db.add("p", (2, "a"))
+        assert sorted(index[("a",)]) == [(1, "a"), (2, "a")]
+
+    def test_mixed_arity_remove_skips_short_tuples(self):
+        db = Database([("link", (1, 2)), ("link", (1, 2, 3))])
+        index = db.index_for("link", (2,))  # only link/3 participates
+        assert index == {(3,): [(1, 2, 3)]}
+        assert db.remove("link", (1, 2))  # must not KeyError on the index
+        assert db.remove("link", (1, 2, 3))
+        assert index == {}
+
+    def test_remove_keeps_live_set_and_rows_in_sync(self):
+        db = Database([("p", (1,)), ("p", (2,))])
+        rows = db.live_rows("p")
+        members = db.live_set("p")
+        db.remove("p", (1,))
+        assert rows == [(2,)]
+        assert members == {(2,)}
+
+    def test_distinct_count_reports_only_built_indexes(self):
+        db = Database([("p", (1, "a")), ("p", (2, "a"))])
+        assert db.distinct_count("p", (0,)) is None
+        db.index_for("p", (0,))
+        assert db.distinct_count("p", (0,)) == 2
+        assert db.distinct_count("p", (1,)) is None
+
+
+class TestIterFacts:
+    def test_iter_facts_is_a_live_view(self):
+        db = Database([("p", (1,))])
+        iterator = db.iter_facts("p")
+        db.add("p", (2,))
+        assert list(iterator) == [(1,), (2,)]
+
+    def test_iter_facts_missing_predicate(self):
+        db = Database()
+        assert list(db.iter_facts("absent")) == []
+        # must not create an empty entry as a side effect
+        assert db.predicates() == []
+
+    def test_iter_facts_matches_facts_copy(self):
+        db = Database([("p", (1,)), ("p", (2,))])
+        assert list(db.iter_facts("p")) == db.facts("p")
+
+
 class TestFactsIsolation:
     """``facts()`` hands out a copy: callers cannot corrupt the store."""
 

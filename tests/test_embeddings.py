@@ -93,6 +93,103 @@ class TestWalks:
             RandomWalker({}, q=-1.0)
 
 
+class _LinearScanWalker:
+    """The historical per-step linear-scan sampler, kept as an oracle.
+
+    :class:`RandomWalker` replaced this with precomputed cumulative-weight
+    tables and ``bisect``; the guarantee is that under a fixed seed the
+    walks are bit-identical (same left-to-right accumulation order, one
+    ``random()`` per step).
+    """
+
+    def __init__(self, adjacency, p=1.0, q=1.0, seed=0):
+        import random as _random
+
+        self.adjacency = adjacency
+        self.p = p
+        self.q = q
+        self._rng = _random.Random(seed)
+        self._neighbor_sets = {
+            node: {neighbor for neighbor, _ in neighbors}
+            for node, neighbors in adjacency.items()
+        }
+
+    def walk(self, start, length):
+        walk = [start]
+        if length <= 1:
+            return walk
+        neighbors = self.adjacency.get(start, ())
+        if not neighbors:
+            return walk
+        weights = [weight for _, weight in neighbors]
+        current = self._choose(neighbors, weights)
+        walk.append(current)
+        while len(walk) < length:
+            neighbors = self.adjacency.get(current, ())
+            if not neighbors:
+                break
+            previous = walk[-2]
+            previous_neighbors = self._neighbor_sets.get(previous, set())
+            weights = []
+            for node, weight in neighbors:
+                if node == previous:
+                    weights.append(weight / self.p)
+                elif node in previous_neighbors:
+                    weights.append(weight)
+                else:
+                    weights.append(weight / self.q)
+            current = self._choose(neighbors, weights)
+            walk.append(current)
+        return walk
+
+    def walks(self, nodes, num_walks, length):
+        all_walks = []
+        starts = list(nodes)
+        for _ in range(num_walks):
+            self._rng.shuffle(starts)
+            for start in starts:
+                all_walks.append(self.walk(start, length))
+        return all_walks
+
+    def _choose(self, neighbors, weights):
+        threshold = self._rng.random() * sum(weights)
+        cumulative = 0.0
+        for (node, _), weight in zip(neighbors, weights):
+            cumulative += weight
+            if cumulative >= threshold:
+                return node
+        return neighbors[-1][0]
+
+
+class TestWalkerOracle:
+    """Cumulative-table sampling is bit-identical to the linear scan."""
+
+    @pytest.mark.parametrize("p,q", [(1.0, 1.0), (0.25, 4.0), (2.0, 0.5)])
+    @pytest.mark.parametrize("seed", [0, 7, 123])
+    def test_identical_walks_under_fixed_seed(self, p, q, seed):
+        adjacency = build_adjacency(two_cliques())
+        fast = RandomWalker(adjacency, p=p, q=q, seed=seed)
+        oracle = _LinearScanWalker(adjacency, p=p, q=q, seed=seed)
+        nodes = list(adjacency)
+        assert fast.walks(nodes, 4, 12) == oracle.walks(nodes, 4, 12)
+
+    def test_identical_on_weighted_mixed_id_graph(self):
+        graph = PropertyGraph()
+        for node in ("a", "b", 1, 2, 3):
+            graph.add_node(node)
+        graph.add_edge("a", "b", w=0.3)
+        graph.add_edge("a", 1, w=2.5)
+        graph.add_edge("b", 2, w=0.1)
+        graph.add_edge(1, 2, w=1.0)
+        graph.add_edge(2, 3, w=4.0)
+        graph.add_edge(3, "a", w=0.7)
+        adjacency = build_adjacency(graph)
+        fast = RandomWalker(adjacency, p=0.5, q=2.0, seed=99)
+        oracle = _LinearScanWalker(adjacency, p=0.5, q=2.0, seed=99)
+        nodes = list(adjacency)
+        assert fast.walks(nodes, 5, 10) == oracle.walks(nodes, 5, 10)
+
+
 class TestSkipGram:
     def test_clique_members_more_similar_than_strangers(self):
         graph = two_cliques()
