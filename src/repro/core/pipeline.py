@@ -158,6 +158,7 @@ class ReasoningPipeline:
                         config.first_level_clusters,
                         config.node2vec,
                         feature_properties=config.embedding_features,
+                        tracer=self.tracer,
                     )
             else:
                 assignment = {node: 0 for node in self.graph.node_ids()}
@@ -195,6 +196,7 @@ class ReasoningPipeline:
                 config.first_level_clusters,
                 config.node2vec,
                 feature_properties=config.embedding_features,
+                tracer=self.tracer,
             )
         else:
             assignment = {node: 0 for node in self.graph.node_ids()}

@@ -22,6 +22,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from ..embeddings.incremental import IncrementalEmbedder
 from ..embeddings.node2vec import Node2VecConfig, embed_and_cluster
 from ..graph.property_graph import Edge, Node, PropertyGraph
 from ..telemetry import NULL_TRACER
@@ -50,6 +51,12 @@ class VadaLinkConfig:
     blocking: BlockingScheme = field(default_factory=BlockingScheme.default)
     max_rounds: int = 3
     recursive: bool = True  # re-embed after each round that added edges
+    #: warm re-embedding between rounds: cache adjacency/walks/model/centroids
+    #: and recompute only the dirty region around the round's new edges;
+    #: False falls back to full from-scratch re-embedding every round
+    incremental: bool = True
+    #: radius (structural hops) of the dirty region around a new edge
+    dirty_hops: int = 2
 
 
 @dataclass
@@ -115,15 +122,37 @@ class VadaLink:
             else:
                 scheme_groups.append((scheme, [rule]))
 
+        embedder: IncrementalEmbedder | None = None
+        if (
+            config.incremental
+            and config.use_embeddings
+            and config.first_level_clusters > 1
+        ):
+            embedder = IncrementalEmbedder(
+                config.first_level_clusters,
+                config.node2vec,
+                feature_properties=config.embedding_features,
+                dirty_hops=config.dirty_hops,
+                tracer=self.tracer,
+            )
+
+        round_new_edges: list[Edge] | None = None
         changed = True
         while changed and rounds < config.max_rounds:
             changed = False
             rounds += 1
             with self.tracer.span(f"augment.round[{rounds}]") as round_span:
-                with self.tracer.span("embed_cluster"):
-                    clusters = self._first_level_clusters(augmented)
+                with self.tracer.span(
+                    "embed_cluster", warm=round_new_edges is not None
+                ):
+                    clusters = self._first_level_clusters(
+                        augmented, embedder, round_new_edges
+                    )
                 round_comparisons = comparisons
                 round_edges = len(new_edges)
+                # a pair sharing several block keys (multi-pass blocking)
+                # is decided at most once per (rule, round)
+                seen_pairs: set[tuple] = set()
                 with self.tracer.span("candidate_generation"):
                     for scheme, rules in scheme_groups:
                         for cluster_nodes in clusters.values():
@@ -133,13 +162,14 @@ class VadaLink:
                                     continue
                                 added, compared = self._augment_block(
                                     augmented, rules, block_nodes, existing,
-                                    new_edges, edges_by_class,
+                                    new_edges, edges_by_class, seen_pairs,
                                 )
                                 comparisons += compared
                                 if added:
                                     changed = True
                 round_span.set("comparisons", comparisons - round_comparisons)
                 round_span.set("new_edges", len(new_edges) - round_edges)
+            round_new_edges = new_edges[round_edges:]
             if changed:
                 for rule in self.candidate_rules:
                     rule.invalidate()
@@ -157,17 +187,28 @@ class VadaLink:
 
     # ------------------------------------------------------------------
 
-    def _first_level_clusters(self, graph: PropertyGraph) -> dict[int, list[Node]]:
+    def _first_level_clusters(
+        self,
+        graph: PropertyGraph,
+        embedder: IncrementalEmbedder | None = None,
+        new_edges: list[Edge] | None = None,
+    ) -> dict[int, list[Node]]:
         """``GraphEmbedClust``: node2vec + k-means, or one cluster when off."""
         config = self.config
         if not config.use_embeddings or config.first_level_clusters <= 1:
             return {0: list(graph.nodes())}
-        assignment = embed_and_cluster(
-            graph,
-            config.first_level_clusters,
-            config.node2vec,
-            feature_properties=config.embedding_features,
-        )
+        if embedder is not None:
+            assignment = embedder.embed(graph, new_edges=new_edges)
+        else:
+            # the incremental=False escape hatch: full re-embedding, the
+            # exact seed code path
+            assignment = embed_and_cluster(
+                graph,
+                config.first_level_clusters,
+                config.node2vec,
+                feature_properties=config.embedding_features,
+                tracer=self.tracer,
+            )
         clusters: dict[int, list[Node]] = {}
         for node in graph.nodes():
             clusters.setdefault(assignment.get(node.id, 0), []).append(node)
@@ -181,6 +222,7 @@ class VadaLink:
         existing: set[tuple],
         new_edges: list[Edge],
         edges_by_class: dict[str, int],
+        seen_pairs: set[tuple],
     ) -> tuple[bool, int]:
         """Candidate evaluation over all ordered pairs of one block."""
         added = False
@@ -193,6 +235,10 @@ class VadaLink:
                     key = (left.id, right.id, rule.link_class)
                     if key in existing:
                         continue
+                    pair = (id(rule), left.id, right.id)
+                    if pair in seen_pairs:
+                        continue
+                    seen_pairs.add(pair)
                     compared += 1
                     decision = rule.decide(graph, left, right)
                     if decision is None:

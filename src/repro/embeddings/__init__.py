@@ -1,12 +1,14 @@
 """node2vec embeddings and clustering — the paper's first-level grouping."""
 
+from .incremental import IncrementalEmbedder
 from .kmeans import cluster_inertia, kmeans
 from .node2vec import (Node2Vec, Node2VecConfig, embed_and_cluster,
                        feature_token_adjacency)
-from .skipgram import SkipGramModel, train_skipgram
+from .skipgram import SkipGramModel, train_skipgram, update_skipgram
 from .walks import RandomWalker, build_adjacency, generate_walks
 
 __all__ = [
+    "IncrementalEmbedder",
     "Node2Vec",
     "Node2VecConfig",
     "RandomWalker",
@@ -18,4 +20,5 @@ __all__ = [
     "generate_walks",
     "kmeans",
     "train_skipgram",
+    "update_skipgram",
 ]

@@ -16,18 +16,29 @@ def kmeans(
     max_iterations: int = 100,
     seed: int = 0,
     tolerance: float = 1e-6,
+    initial_centroids: np.ndarray | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Cluster ``points`` (n x d) into ``k`` groups.
 
     Returns (labels, centroids).  Deterministic for a fixed seed.
-    ``k`` is clamped to the number of points.
+    ``k`` is clamped to the number of points.  ``initial_centroids``
+    warm-starts Lloyd iteration from a previous solution (used by the
+    incremental re-embedding rounds) instead of k-means++ seeding; it is
+    ignored unless its shape matches the clamped ``k`` and the points'
+    dimensionality.
     """
     n = len(points)
     if n == 0:
         return np.array([], dtype=int), np.empty((0, points.shape[1] if points.ndim == 2 else 0))
     k = max(1, min(k, n))
     rng = np.random.default_rng(seed)
-    centroids = _kmeanspp_init(points, k, rng)
+    if (
+        initial_centroids is not None
+        and initial_centroids.shape == (k, points.shape[1])
+    ):
+        centroids = np.asarray(initial_centroids, dtype=points.dtype).copy()
+    else:
+        centroids = _kmeanspp_init(points, k, rng)
 
     labels = np.zeros(n, dtype=int)
     for _ in range(max_iterations):

@@ -13,6 +13,7 @@ from typing import Hashable
 import numpy as np
 
 from ..graph.property_graph import PropertyGraph
+from ..telemetry import NULL_TRACER
 from .kmeans import kmeans
 from .skipgram import SkipGramModel, train_skipgram
 from .walks import RandomWalker, build_adjacency
@@ -34,6 +35,11 @@ class Node2VecConfig:
     epochs: int = 2
     learning_rate: float = 0.025
     seed: int = 0
+    #: None keeps the historical sequential sampler; any integer switches
+    #: to the deterministic per-(node, walk-index) kernel, sharding start
+    #: nodes over that many processes (output is bit-identical for every
+    #: worker count, so 1 is the no-pool oracle setting)
+    workers: int | None = None
 
 
 class Node2Vec:
@@ -48,7 +54,10 @@ class Node2Vec:
         config = self.config
         adjacency = build_adjacency(graph, weight_property)
         walker = RandomWalker(adjacency, p=config.p, q=config.q, seed=config.seed)
-        walks = walker.walks(list(adjacency), config.num_walks, config.walk_length)
+        walks = walker.walks(
+            list(adjacency), config.num_walks, config.walk_length,
+            workers=config.workers,
+        )
         self.model = train_skipgram(
             walks,
             dimensions=config.dimensions,
@@ -64,14 +73,7 @@ class Node2Vec:
         """Stack the vectors of ``nodes``; isolated/unseen nodes get zeros."""
         if self.model is None:
             raise RuntimeError("call fit() before requesting embeddings")
-        dimensions = self.config.dimensions
-        rows = []
-        for node in nodes:
-            if node in self.model.index:
-                rows.append(self.model.vector(node))
-            else:
-                rows.append(np.zeros(dimensions))
-        return np.array(rows)
+        return _stack_vectors(self.model, nodes, self.config.dimensions)
 
 
 def feature_token_adjacency(
@@ -113,12 +115,27 @@ def feature_token_adjacency(
     }
 
 
+def _stack_vectors(
+    model: SkipGramModel, nodes: list[NodeId], dimensions: int
+) -> np.ndarray:
+    """Stack node vectors into one float32 matrix; unseen nodes get zero
+    rows of the same dtype (a float64 zero row would upcast everything)."""
+    if not nodes:
+        return np.zeros((0, dimensions), dtype=np.float32)
+    matrix = np.zeros((len(nodes), dimensions), dtype=np.float32)
+    for row, node in enumerate(nodes):
+        if node in model.index:
+            matrix[row] = model.vector(node)
+    return matrix
+
+
 def embed_and_cluster(
     graph: PropertyGraph,
     clusters: int,
     config: Node2VecConfig | None = None,
     weight_property: str = "w",
     feature_properties: "tuple[str, ...] | dict[str, float]" = (),
+    tracer=None,
 ) -> dict[NodeId, int]:
     """The ``#GraphEmbedClust`` primitive: node -> first-level cluster id.
 
@@ -127,16 +144,25 @@ def embed_and_cluster(
     vectors into ``clusters`` groups.  With ``clusters <= 1`` every node
     maps to cluster 0 (the paper's "no cluster mode").
     """
+    tracer = tracer if tracer is not None else NULL_TRACER
     nodes = list(graph.node_ids())
     if clusters <= 1 or len(nodes) <= 1:
         return {node: 0 for node in nodes}
     config = config if config is not None else Node2VecConfig()
-    if feature_properties:
-        adjacency = feature_token_adjacency(graph, feature_properties, weight_property)
-    else:
-        adjacency = build_adjacency(graph, weight_property)
+    with tracer.span("embed.adjacency"):
+        if feature_properties:
+            adjacency = feature_token_adjacency(
+                graph, feature_properties, weight_property
+            )
+        else:
+            adjacency = build_adjacency(graph, weight_property)
     walker = RandomWalker(adjacency, p=config.p, q=config.q, seed=config.seed)
-    walks = walker.walks(list(adjacency), config.num_walks, config.walk_length)
+    with tracer.span("embed.walks", workers=config.workers or "serial") as span:
+        walks = walker.walks(
+            list(adjacency), config.num_walks, config.walk_length,
+            workers=config.workers,
+        )
+        span.set("walks", len(walks))
     model = train_skipgram(
         walks,
         dimensions=config.dimensions,
@@ -145,13 +171,9 @@ def embed_and_cluster(
         epochs=config.epochs,
         learning_rate=config.learning_rate,
         seed=config.seed,
+        tracer=tracer,
     )
-    rows = []
-    for node in nodes:
-        if node in model.index:
-            rows.append(model.vector(node))
-        else:
-            rows.append(np.zeros(config.dimensions))
-    matrix = np.array(rows)
-    labels, _ = kmeans(matrix, clusters, seed=config.seed)
+    matrix = _stack_vectors(model, nodes, config.dimensions)
+    with tracer.span("embed.kmeans", clusters=clusters):
+        labels, _ = kmeans(matrix, clusters, seed=config.seed)
     return {node: int(label) for node, label in zip(nodes, labels)}

@@ -9,13 +9,24 @@ standard SGNS objective
 using per-pair SGD updates with vectorised negative batches.  gensim is
 not available offline; at the graph sizes of the experiments this numpy
 implementation is entirely adequate.
+
+The (center, context) pair corpus is materialised with numpy offset
+slices over one padded walk matrix — column ``t`` against column
+``t + offset`` for every window offset — instead of a Python triple
+loop, and each training epoch gathers its shuffled view of the corpus
+once instead of fancy-indexing every batch.  :func:`update_skipgram`
+continues training an existing model on a *partial* corpus (the dirty
+walks of an incremental re-embedding round), warm-starting from the
+vectors already learned.
 """
 
 from __future__ import annotations
 
-from typing import Hashable, Sequence
+from typing import Hashable, Mapping, Sequence
 
 import numpy as np
+
+from ..telemetry import NULL_TRACER
 
 NodeId = Hashable
 
@@ -43,6 +54,38 @@ class SkipGramModel:
     def vectors(self) -> dict[NodeId, np.ndarray]:
         return {node: self.input_vectors[i] for node, i in self.index.items()}
 
+    def warm_start_from(self, other: "SkipGramModel") -> int:
+        """Copy both vector rows of every shared node from ``other``.
+
+        Returns the number of warm rows; nodes absent from ``other`` keep
+        their fresh random initialisation.
+        """
+        warmed = 0
+        for node, i in self.index.items():
+            j = other.index.get(node)
+            if j is not None:
+                self.input_vectors[i] = other.input_vectors[j]
+                self.output_vectors[i] = other.output_vectors[j]
+                warmed += 1
+        return warmed
+
+    def extend_vocabulary(self, nodes: Sequence[NodeId], seed: int = 0) -> None:
+        """Append fresh rows for ``nodes`` not yet in the vocabulary."""
+        fresh = [node for node in nodes if node not in self.index]
+        if not fresh:
+            return
+        dimensions = self.input_vectors.shape[1]
+        rng = np.random.default_rng([seed, len(self.vocabulary)])
+        scale = 0.5 / dimensions
+        grown = rng.uniform(-scale, scale, (len(fresh), dimensions)).astype(np.float32)
+        self.input_vectors = np.vstack([self.input_vectors, grown])
+        self.output_vectors = np.vstack(
+            [self.output_vectors, np.zeros((len(fresh), dimensions), dtype=np.float32)]
+        )
+        for node in fresh:
+            self.index[node] = len(self.vocabulary)
+            self.vocabulary.append(node)
+
     def similarity(self, a: NodeId, b: NodeId) -> float:
         """Cosine similarity between two node vectors."""
         va, vb = self.vector(a), self.vector(b)
@@ -64,79 +107,90 @@ class SkipGramModel:
         return [(self.vocabulary[i], float(scores[i])) for i in best]
 
 
-def train_skipgram(
-    walks: Sequence[Sequence[NodeId]],
-    dimensions: int = 32,
-    window: int = 5,
-    negative: int = 5,
-    epochs: int = 2,
-    learning_rate: float = 0.025,
-    min_learning_rate: float = 0.0001,
-    seed: int = 0,
-    max_pairs: int | None = 2_000_000,
-) -> SkipGramModel:
-    """Train SGNS over ``walks`` and return the model.
+def _walk_matrix(
+    walks: Sequence[Sequence[NodeId]], index: Mapping[NodeId, int]
+) -> np.ndarray:
+    """Walks as one int matrix padded with -1 (padding is always a suffix)."""
+    if not walks:
+        return np.empty((0, 0), dtype=np.int64)
+    longest = max(len(walk) for walk in walks)
+    matrix = np.full((len(walks), longest), -1, dtype=np.int64)
+    for row, walk in enumerate(walks):
+        if walk:
+            matrix[row, : len(walk)] = [index[node] for node in walk]
+    return matrix
 
-    Negative samples are drawn from the unigram distribution raised to
-    3/4, as in the original word2vec.  Deterministic for a fixed seed.
-    ``max_pairs`` bounds the training-pair corpus (uniform subsample) so
-    dense graphs cannot blow the training budget.
+
+def _pair_corpus(matrix: np.ndarray, window: int) -> np.ndarray:
+    """All (center, context) id pairs within ``window`` of each other.
+
+    Column ``t`` of the padded walk matrix against column ``t + offset``
+    yields every ordered pair at distance ``offset`` at once; both
+    directions are emitted, matching the symmetric window of the
+    historical per-position loop (same multiset of pairs).
     """
-    counts: dict[NodeId, int] = {}
-    for walk in walks:
-        for node in walk:
-            counts[node] = counts.get(node, 0) + 1
-    vocabulary = sorted(counts, key=str)
-    if not vocabulary:
-        return SkipGramModel([], dimensions, seed)
-    model = SkipGramModel(vocabulary, dimensions, seed)
-    index = model.index
+    if matrix.size == 0:
+        return np.empty((0, 2), dtype=np.int64)
+    pieces: list[np.ndarray] = []
+    for offset in range(1, window + 1):
+        if offset >= matrix.shape[1]:
+            break
+        left = matrix[:, :-offset]
+        right = matrix[:, offset:]
+        valid = right >= 0  # -1 is a suffix, so the left element is valid too
+        if not valid.any():
+            continue
+        forward = left[valid]
+        backward = right[valid]
+        pieces.append(np.stack([forward, backward], axis=1))
+        pieces.append(np.stack([backward, forward], axis=1))
+    if not pieces:
+        return np.empty((0, 2), dtype=np.int64)
+    return np.concatenate(pieces, axis=0)
 
-    frequencies = np.array([counts[node] for node in vocabulary], dtype=float)
-    noise = frequencies ** 0.75
+
+def _noise_cdf(frequencies: np.ndarray) -> np.ndarray:
+    """Unigram^(3/4) negative-sampling distribution as an inverse CDF."""
+    noise = frequencies.astype(np.float64) ** 0.75
     noise /= noise.sum()
+    cdf = np.cumsum(noise)
+    cdf[-1] = 1.0
+    return cdf
 
-    rng = np.random.default_rng(seed + 1)
 
-    # materialise training pairs once (walk corpora here are modest)
-    pairs: list[tuple[int, int]] = []
-    for walk in walks:
-        ids = [index[node] for node in walk]
-        for position, center in enumerate(ids):
-            lo = max(0, position - window)
-            hi = min(len(ids), position + window + 1)
-            for context_position in range(lo, hi):
-                if context_position != position:
-                    pairs.append((center, ids[context_position]))
-    if not pairs:
-        return model
-
-    pair_array = np.array(pairs, dtype=np.int64)
-    if max_pairs is not None and len(pair_array) > max_pairs:
-        keep = rng.choice(len(pair_array), size=max_pairs, replace=False)
-        pair_array = pair_array[keep]
+def _train_pairs(
+    model: SkipGramModel,
+    pair_array: np.ndarray,
+    noise_cdf: np.ndarray,
+    rng: np.random.Generator,
+    negative: int,
+    epochs: int,
+    learning_rate: float,
+    min_learning_rate: float,
+) -> None:
+    """The SGD loop shared by cold training and incremental updates."""
     n_pairs = len(pair_array)
+    if n_pairs == 0:
+        return
     # batch roughly one occurrence per vocabulary entry: bigger batches pile
     # duplicate stale-gradient updates on the same vector and diverge on
     # small graphs, smaller ones waste vectorisation on large graphs
-    batch_size = int(min(4096, max(64, len(vocabulary))))
-    dimensions_ = model.input_vectors.shape[1]
+    batch_size = int(min(4096, max(64, len(model.vocabulary))))
+    dimensions = model.input_vectors.shape[1]
     total_batches = epochs * ((n_pairs + batch_size - 1) // batch_size)
     batch_index = 0
     input_vectors = model.input_vectors
     output_vectors = model.output_vectors
-    # inverse-CDF negative sampling (much faster than rng.choice with p)
-    noise_cdf = np.cumsum(noise)
-    noise_cdf[-1] = 1.0
     for _ in range(epochs):
-        order = rng.permutation(n_pairs)
+        # one gather per epoch: batches below are contiguous views of this
+        shuffled = pair_array[rng.permutation(n_pairs)]
         for start in range(0, n_pairs, batch_size):
             alpha = max(
                 min_learning_rate,
                 learning_rate * (1.0 - batch_index / max(1, total_batches)),
             )
             batch_index += 1
-            batch = pair_array[order[start:start + batch_size]]
+            batch = shuffled[start:start + batch_size]
             centers = batch[:, 0]
             contexts = batch[:, 1]
             negatives_batch = np.searchsorted(
@@ -165,6 +219,114 @@ def train_skipgram(
             np.add.at(
                 output_vectors,
                 negatives_batch.reshape(-1),
-                -alpha * grad_u_neg.reshape(-1, dimensions_),
+                -alpha * grad_u_neg.reshape(-1, dimensions),
             )
+
+
+def train_skipgram(
+    walks: Sequence[Sequence[NodeId]],
+    dimensions: int = 32,
+    window: int = 5,
+    negative: int = 5,
+    epochs: int = 2,
+    learning_rate: float = 0.025,
+    min_learning_rate: float = 0.0001,
+    seed: int = 0,
+    max_pairs: int | None = 2_000_000,
+    warm_start: SkipGramModel | None = None,
+    tracer=None,
+) -> SkipGramModel:
+    """Train SGNS over ``walks`` and return the model.
+
+    Negative samples are drawn from the unigram distribution raised to
+    3/4, as in the original word2vec.  Deterministic for a fixed seed.
+    ``max_pairs`` bounds the training-pair corpus (uniform subsample) so
+    dense graphs cannot blow the training budget.  ``warm_start`` copies
+    the vectors of every node shared with a previously trained model
+    before training (fresh nodes keep their random initialisation).
+    """
+    tracer = tracer if tracer is not None else NULL_TRACER
+    vocabulary_set: set[NodeId] = set()
+    for walk in walks:
+        vocabulary_set.update(walk)
+    vocabulary = sorted(vocabulary_set, key=str)
+    if not vocabulary:
+        return SkipGramModel([], dimensions, seed)
+    model = SkipGramModel(vocabulary, dimensions, seed)
+    if warm_start is not None:
+        model.warm_start_from(warm_start)
+
+    with tracer.span("sgns.corpus") as span:
+        matrix = _walk_matrix(walks, model.index)
+        frequencies = np.bincount(
+            matrix[matrix >= 0].ravel(), minlength=len(vocabulary)
+        )
+        pair_array = _pair_corpus(matrix, window)
+        span.set("pairs", int(len(pair_array)))
+    if not len(pair_array):
+        return model
+
+    rng = np.random.default_rng(seed + 1)
+    if max_pairs is not None and len(pair_array) > max_pairs:
+        keep = rng.choice(len(pair_array), size=max_pairs, replace=False)
+        pair_array = pair_array[keep]
+    with tracer.span("sgns.train", pairs=int(len(pair_array)), epochs=epochs):
+        _train_pairs(
+            model, pair_array, _noise_cdf(frequencies), rng,
+            negative, epochs, learning_rate, min_learning_rate,
+        )
+    return model
+
+
+def update_skipgram(
+    model: SkipGramModel,
+    walks: Sequence[Sequence[NodeId]],
+    counts: Mapping[NodeId, int],
+    window: int = 5,
+    negative: int = 5,
+    epochs: int = 2,
+    learning_rate: float = 0.025,
+    min_learning_rate: float = 0.0001,
+    seed: int = 0,
+    max_pairs: int | None = 2_000_000,
+    tracer=None,
+) -> SkipGramModel:
+    """Continue training ``model`` on a partial walk corpus, in place.
+
+    The incremental half of the re-embedding fast path: ``walks`` are
+    only the re-sampled (dirty-region) walks of the round, while
+    ``counts`` are the node frequencies of the *full* cached walk set,
+    so the negative-sampling distribution stays global.  Nodes unseen by
+    the model get fresh rows; everyone else trains from where the
+    previous round left off.
+    """
+    tracer = tracer if tracer is not None else NULL_TRACER
+    fresh: set[NodeId] = set()
+    for walk in walks:
+        for node in walk:
+            if node not in model.index:
+                fresh.add(node)
+    model.extend_vocabulary(sorted(fresh, key=str), seed)
+    if not model.vocabulary:
+        return model
+
+    with tracer.span("sgns.corpus", incremental=True) as span:
+        matrix = _walk_matrix(walks, model.index)
+        pair_array = _pair_corpus(matrix, window)
+        span.set("pairs", int(len(pair_array)))
+    if not len(pair_array):
+        return model
+
+    frequencies = np.array(
+        [max(1, counts.get(node, 0)) for node in model.vocabulary], dtype=np.float64
+    )
+    rng = np.random.default_rng(seed + 1)
+    if max_pairs is not None and len(pair_array) > max_pairs:
+        keep = rng.choice(len(pair_array), size=max_pairs, replace=False)
+        pair_array = pair_array[keep]
+    with tracer.span("sgns.train", pairs=int(len(pair_array)), incremental=True):
+        _train_pairs(
+            model, pair_array, _noise_cdf(frequencies), rng,
+            negative, epochs, learning_rate, min_learning_rate,
+        )
     return model

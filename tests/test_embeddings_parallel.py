@@ -1,0 +1,364 @@
+"""Tests for the fast-path ``#GraphEmbedClust`` stack: the deterministic
+parallel walk kernel, warm-startable SGNS/k-means, and the incremental
+re-embedder behind ``VadaLinkConfig(incremental=True)``."""
+
+import numpy as np
+import pytest
+
+from repro.core.blocking import BlockingScheme
+from repro.core.vadalink import VadaLink, VadaLinkConfig
+from repro.embeddings import (
+    IncrementalEmbedder,
+    Node2Vec,
+    Node2VecConfig,
+    RandomWalker,
+    build_adjacency,
+    embed_and_cluster,
+    kmeans,
+    train_skipgram,
+    update_skipgram,
+)
+from repro.embeddings.skipgram import SkipGramModel
+from repro.graph import CompanyGraph, PropertyGraph
+
+
+def ring_graph(n: int = 12, spokes: bool = True) -> PropertyGraph:
+    """A ring with a few chords plus isolated nodes — mixed degrees."""
+    graph = PropertyGraph()
+    for i in range(n):
+        graph.add_node(i)
+    for i in range(n):
+        graph.add_edge(i, (i + 1) % n, w=1.0 + (i % 3))
+    if spokes:
+        for i in range(0, n, 4):
+            graph.add_edge(i, (i + n // 2) % n, w=0.5)
+    graph.add_node("isolated-a")
+    graph.add_node("isolated-b")
+    return graph
+
+
+def small_company_graph(persons: int = 24) -> CompanyGraph:
+    graph = CompanyGraph()
+    surnames = ("Rossi", "Verdi", "Bianchi")
+    for i in range(persons):
+        graph.add_person(f"p{i}", surname=surnames[i % 3], address=f"street {i % 5}")
+    for i in range(persons // 2):
+        graph.add_company(f"c{i}")
+        graph.add_shareholding(f"p{i}", f"c{i}", 0.6)
+        graph.add_shareholding(f"p{(i + 1) % persons}", f"c{i}", 0.4)
+    return graph
+
+
+class TestParallelWalkKernel:
+    @pytest.mark.parametrize("workers", [2, 3, 4, 7])
+    def test_worker_count_never_changes_walks(self, workers):
+        adjacency = build_adjacency(ring_graph())
+        nodes = list(adjacency)
+        oracle = RandomWalker(adjacency, seed=5).walks(nodes, 4, 10, workers=1)
+        sharded = RandomWalker(adjacency, seed=5).walks(
+            nodes, 4, 10, workers=workers
+        )
+        assert oracle == sharded
+
+    def test_biased_kernel_worker_invariant(self):
+        adjacency = build_adjacency(ring_graph())
+        nodes = list(adjacency)
+        oracle = RandomWalker(adjacency, p=0.5, q=2.0, seed=5).walks(
+            nodes, 3, 8, workers=1
+        )
+        sharded = RandomWalker(adjacency, p=0.5, q=2.0, seed=5).walks(
+            nodes, 3, 8, workers=4
+        )
+        assert oracle == sharded
+
+    def test_walks_independent_of_other_starts(self):
+        # each (node, walk index) owns its stream: a subset of starts
+        # reproduces exactly its slice of the full run
+        adjacency = build_adjacency(ring_graph())
+        nodes = list(adjacency)
+        full = RandomWalker(adjacency, seed=5).walks(nodes, 3, 10, workers=1)
+        subset = nodes[4:7]
+        partial = RandomWalker(adjacency, seed=5).walks(subset, 3, 10, workers=1)
+        offset = 4 * 3
+        assert partial == full[offset:offset + len(subset) * 3]
+
+    def test_lockstep_matches_per_walk_reference(self):
+        # the unbiased lockstep path must agree with the scalar
+        # (node, index)-seeded kernel it vectorises
+        adjacency = build_adjacency(ring_graph())
+        nodes = list(adjacency)
+        walker = RandomWalker(adjacency, seed=9)
+        lockstep = walker.walks(nodes, 3, 12, workers=1)
+        reference = [
+            RandomWalker(adjacency, seed=9)._seeded_walk(node, index, 12)
+            for node in nodes
+            for index in range(3)
+        ]
+        assert lockstep == reference
+
+    def test_isolated_and_unknown_starts_yield_singletons(self):
+        adjacency = build_adjacency(ring_graph())
+        walker = RandomWalker(adjacency, seed=1)
+        walks = walker.walks(["isolated-a", "missing", 0], 2, 6, workers=2)
+        assert walks[0] == ["isolated-a"]
+        assert walks[2] == ["missing"]
+        assert len(walks[4]) == 6
+
+    def test_node_major_order(self):
+        adjacency = build_adjacency(ring_graph(spokes=False))
+        nodes = list(adjacency)
+        walks = RandomWalker(adjacency, seed=2).walks(nodes, 3, 5, workers=1)
+        assert len(walks) == len(nodes) * 3
+        for position, node in enumerate(nodes):
+            for index in range(3):
+                assert walks[position * 3 + index][0] == node
+
+    def test_workers_must_be_positive(self):
+        adjacency = build_adjacency(ring_graph())
+        with pytest.raises(ValueError):
+            RandomWalker(adjacency, seed=1).walks([0], 1, 5, workers=0)
+
+    def test_legacy_path_untouched_by_kernel(self):
+        # workers=None must keep drawing from the shared shuffled RNG,
+        # unaffected by the deterministic kernel living alongside it
+        adjacency = build_adjacency(ring_graph())
+        nodes = list(adjacency)
+        first = RandomWalker(adjacency, seed=3).walks(nodes, 2, 8)
+        second = RandomWalker(adjacency, seed=3).walks(nodes, 2, 8)
+        assert first == second
+        assert first != RandomWalker(adjacency, seed=4).walks(nodes, 2, 8)
+
+
+class TestEmbedClusterParallel:
+    def test_embed_and_cluster_bit_identical_across_workers(self):
+        graph = small_company_graph()
+        assignments = [
+            embed_and_cluster(
+                graph, 4,
+                Node2VecConfig(
+                    dimensions=12, walk_length=8, num_walks=3, epochs=1,
+                    window=3, seed=0, workers=workers,
+                ),
+                feature_properties=("surname",),
+            )
+            for workers in (1, 2, 4)
+        ]
+        assert assignments[0] == assignments[1] == assignments[2]
+
+    def test_embedding_matrix_stays_float32(self):
+        graph = small_company_graph()
+        node2vec = Node2Vec(
+            Node2VecConfig(dimensions=8, walk_length=6, num_walks=2, epochs=1)
+        )
+        node2vec.fit(graph)
+        matrix = node2vec.embedding_matrix(["p0", "never-seen-node"])
+        assert matrix.dtype == np.float32
+        assert np.any(matrix[0] != 0.0)
+        assert np.all(matrix[1] == 0.0)
+
+
+class TestWarmStarts:
+    def test_kmeans_accepts_initial_centroids(self):
+        rng = np.random.default_rng(0)
+        points = np.vstack([
+            rng.normal(0.0, 0.1, (20, 3)), rng.normal(5.0, 0.1, (20, 3)),
+        ]).astype(np.float32)
+        labels, centroids = kmeans(points, 2, seed=0)
+        relabels, recentroids = kmeans(points, 2, seed=0, initial_centroids=centroids)
+        assert np.array_equal(labels, relabels)
+        assert np.allclose(centroids, recentroids)
+
+    def test_kmeans_ignores_mismatched_centroids(self):
+        points = np.random.default_rng(1).normal(size=(10, 3)).astype(np.float32)
+        wrong = np.zeros((5, 2), dtype=np.float32)
+        labels, _ = kmeans(points, 3, seed=0, initial_centroids=wrong)
+        assert len(labels) == 10
+
+    def test_skipgram_warm_start_copies_shared_rows(self):
+        walks = [["a", "b", "c", "a"], ["b", "c", "a", "b"]] * 4
+        first = train_skipgram(walks, dimensions=8, epochs=1, seed=0)
+        second = SkipGramModel(["a", "b", "c", "d"], 8, seed=1)
+        copied = second.warm_start_from(first)
+        assert copied == 3
+        assert np.array_equal(second.vector("a"), first.vector("a"))
+
+    def test_update_skipgram_extends_vocabulary(self):
+        walks = [["a", "b", "c", "a"], ["b", "c", "a", "b"]] * 4
+        model = train_skipgram(walks, dimensions=8, epochs=1, seed=0)
+        counts = {"a": 8, "b": 8, "c": 8, "d": 4}
+        update_skipgram(
+            model, [["c", "d", "c", "d"]] * 4, counts=counts,
+            window=2, negative=2, epochs=1,
+            learning_rate=0.025, seed=0,
+        )
+        assert "d" in model.index
+        assert model.vector("d").dtype == np.float32
+
+
+class TestIncrementalEmbedder:
+    def test_cold_round_matches_full_recompute(self):
+        graph = small_company_graph()
+        config = Node2VecConfig(
+            dimensions=12, walk_length=8, num_walks=3, epochs=1, window=3,
+            seed=0, workers=1,
+        )
+        embedder = IncrementalEmbedder(4, config, feature_properties=("surname",))
+        cold = embedder.embed(graph)
+        full = embed_and_cluster(
+            graph, 4, config, feature_properties=("surname",)
+        )
+        assert cold == full
+        assert embedder.cold_rounds == 1 and embedder.warm_rounds == 0
+
+    def test_warm_round_covers_every_node(self):
+        graph = small_company_graph()
+        config = Node2VecConfig(
+            dimensions=12, walk_length=8, num_walks=3, epochs=1, window=3,
+            seed=0, workers=1,
+        )
+        embedder = IncrementalEmbedder(4, config, feature_properties=("surname",))
+        embedder.embed(graph)
+        edge = graph.add_edge("p0", "p5", "same_family")
+        warm = embedder.embed(graph, new_edges=[edge])
+        assert set(warm) == set(graph.node_ids())
+        assert embedder.warm_rounds == 1
+        assert all(0 <= label < 4 for label in warm.values())
+
+    def test_new_node_in_warm_round_gets_embedded(self):
+        graph = small_company_graph()
+        config = Node2VecConfig(
+            dimensions=12, walk_length=8, num_walks=3, epochs=1, window=3,
+            seed=0, workers=1,
+        )
+        embedder = IncrementalEmbedder(4, config)
+        embedder.embed(graph)
+        graph.add_person("p-new", surname="Nuovo")
+        edge = graph.add_edge("p-new", "p0", "same_family")
+        warm = embedder.embed(graph, new_edges=[edge])
+        assert "p-new" in warm
+
+    def test_reset_forces_cold_round(self):
+        graph = small_company_graph()
+        embedder = IncrementalEmbedder(
+            3, Node2VecConfig(dimensions=8, walk_length=6, num_walks=2, epochs=1)
+        )
+        embedder.embed(graph)
+        embedder.reset()
+        edge = graph.add_edge("p0", "p1", "same_family")
+        embedder.embed(graph, new_edges=[edge])
+        assert embedder.cold_rounds == 2
+
+
+class _SurnameRule:
+    """Links persons sharing a surname — adds edges in round one, which
+    makes round two re-embed (warm under ``incremental=True``)."""
+
+    link_class = "same_family"
+    blocking = None
+
+    def accepts(self, left, right):
+        return left.label == "P" and right.label == "P"
+
+    def decide(self, graph, left, right):
+        if left.properties.get("surname") == right.properties.get("surname"):
+            return {"probability": 1.0}
+        return None
+
+    def invalidate(self):
+        pass
+
+
+class TestVadaLinkIncremental:
+    def _graph(self):
+        return small_company_graph(persons=12)
+
+    def _config(self, incremental: bool) -> VadaLinkConfig:
+        return VadaLinkConfig(
+            first_level_clusters=3,
+            node2vec=Node2VecConfig(
+                dimensions=12, walk_length=8, num_walks=3, epochs=1, window=3,
+                seed=0, workers=1,
+            ),
+            embedding_features=("surname",),
+            max_rounds=2,
+            incremental=incremental,
+        )
+
+    def test_fallback_matches_seed_first_level_clustering(self):
+        # incremental=False must reproduce the seed behaviour: the
+        # from-scratch embed_and_cluster assignment every round
+        graph = self._graph()
+        link = VadaLink([_SurnameRule()], self._config(incremental=False))
+        clusters = link._first_level_clusters(graph)
+        config = self._config(incremental=False)
+        expected = embed_and_cluster(
+            graph,
+            config.first_level_clusters,
+            config.node2vec,
+            feature_properties=config.embedding_features,
+        )
+        for label, members in clusters.items():
+            for node in members:
+                assert expected[node.id] == label
+
+    def test_incremental_and_fallback_agree_on_first_round(self):
+        graph = self._graph()
+        incremental = VadaLink([_SurnameRule()], self._config(incremental=True))
+        fallback = VadaLink([_SurnameRule()], self._config(incremental=False))
+        config = VadaLinkConfig()
+        assert config.incremental is True  # the documented default
+        result_inc = incremental.augment(graph)
+        result_full = fallback.augment(graph)
+        # both run the loop to completion and link the same universe of
+        # nodes (round >= 2 embeddings may legitimately differ)
+        assert result_inc.rounds >= 1 and result_full.rounds >= 1
+        assert {e.label for e in result_inc.new_edges} == \
+            {e.label for e in result_full.new_edges}
+
+
+class _CountingRule:
+    """Accepts every (P, P) pair and counts decide() calls per pair."""
+
+    link_class = "same_family"
+    blocking = None
+
+    def __init__(self):
+        self.decided: dict[tuple, int] = {}
+
+    def accepts(self, left, right):
+        return left.label == "P" and right.label == "P"
+
+    def decide(self, graph, left, right):
+        key = (left.id, right.id)
+        self.decided[key] = self.decided.get(key, 0) + 1
+        return None  # never link: every pair stays eligible all round
+
+    def invalidate(self):
+        pass
+
+
+class TestBlockDedup:
+    def test_overlapping_blocks_decide_each_pair_once(self):
+        # multi-pass blocking puts a pair in several blocks; the round
+        # must still evaluate it at most once per rule
+        graph = CompanyGraph()
+        for i in range(6):
+            graph.add_person(f"p{i}", surname="Rossi", address="same street")
+        rule = _CountingRule()
+        scheme = BlockingScheme({
+            "P": lambda node: [
+                ("surname", node.properties.get("surname")),
+                ("address", node.properties.get("address")),
+            ]
+        })
+        link = VadaLink(
+            [rule],
+            VadaLinkConfig(
+                use_embeddings=False, blocking=scheme, max_rounds=1,
+            ),
+        )
+        result = link.augment(graph)
+        assert rule.decided  # pairs were evaluated
+        assert max(rule.decided.values()) == 1
+        # every ordered pair exactly once: n * (n - 1) comparisons
+        assert result.comparisons == 6 * 5
