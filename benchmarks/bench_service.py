@@ -1,0 +1,273 @@
+"""Reasoning-service bench — throughput, cache economics, swap pause.
+
+Drives a real ``repro.service`` server over real sockets (keep-alive
+HTTP/1.1 clients on an asyncio loop) and reports three sections:
+
+* **throughput** — a mixed read workload (``/control``, ``/close-links``,
+  ``/ubo``, ``/neighbors``, ``/stats``) over concurrent connections:
+  req/s, p50/p99 latency, and the LRU hit rate;
+* **cold_vs_hot** — ``/close-links`` at never-repeated thresholds (every
+  request a full computation) vs one threshold repeated (every request
+  an LRU hit); the hot p50 must be >= 10x lower than the cold p50;
+* **mutation** — a ``POST /mutations`` batch with readers hammering
+  ``/control`` throughout the re-augmentation: reader p99 during the
+  rebuild, the snapshot-swap pause, and the versions readers observed
+  (only the old one, then only the new one — never a half state).
+
+Standalone on purpose (argparse, not pytest): CI's smoke job runs
+``python benchmarks/bench_service.py --smoke`` and archives
+``BENCH_service.json`` as a per-PR artifact.  The full run enforces the
+PR's acceptance floor: hot p50 >= 10x lower than cold p50.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.workloads import realworld_like  # noqa: E402
+from repro.service import ServiceConfig, build_service  # noqa: E402
+
+#: (persons, total requests, connections) per mode
+SCALES = {"smoke": (150, 300, 8), "full": (500, 2000, 16)}
+#: never-repeated close-link thresholds of the cold section (count per mode)
+COLD_QUERIES = {"smoke": 15, "full": 40}
+#: repeats of the single hot threshold
+HOT_QUERIES = {"smoke": 150, "full": 400}
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+
+async def _request(reader, writer, method: str, path: str, body: bytes = b""):
+    """One request on a kept-alive connection; returns (status, payload)."""
+    head = f"{method} {path} HTTP/1.1\r\nHost: bench\r\n"
+    if body:
+        head += f"Content-Length: {len(body)}\r\n"
+    writer.write((head + "\r\n").encode() + body)
+    await writer.drain()
+    header = await reader.readuntil(b"\r\n\r\n")
+    length = 0
+    for line in header.split(b"\r\n"):
+        if line.lower().startswith(b"content-length:"):
+            length = int(line.split(b":")[1])
+    payload = json.loads(await reader.readexactly(length)) if length else None
+    return int(header.split()[1]), payload
+
+
+async def _drive(port: int, paths: list[str], connections: int) -> list[float]:
+    """Spread ``paths`` over ``connections`` keep-alive clients; latencies."""
+    latencies: list[float] = []
+
+    async def worker(chunk: list[str]) -> None:
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        try:
+            for path in chunk:
+                started = time.perf_counter()
+                status, _ = await _request(reader, writer, "GET", path)
+                latencies.append(time.perf_counter() - started)
+                if status != 200:
+                    raise SystemExit(f"FATAL: {path} answered {status}")
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    chunks = [paths[i::connections] for i in range(connections)]
+    await asyncio.gather(*(worker(chunk) for chunk in chunks if chunk))
+    return latencies
+
+
+def _mixed_paths(service, total: int) -> list[str]:
+    graph = service.manager.current.graph
+    companies = [node.id for node in graph.companies()][:20]
+    persons = [node.id for node in graph.persons()][:10]
+    rotation = (
+        ["/control", "/control?threshold=0.4", "/close-links", "/stats", "/family"]
+        + [f"/ubo/{c}" for c in companies[:8]]
+        + [f"/neighbors/{p}?depth=2" for p in persons[:5]]
+    )
+    return [rotation[i % len(rotation)] for i in range(total)]
+
+
+async def _bench_throughput(service, total: int, connections: int) -> dict:
+    paths = _mixed_paths(service, total)
+    hits_before = service.cache.lru.hits
+    misses_before = service.cache.lru.misses
+    started = time.perf_counter()
+    latencies = await _drive(service.port, paths, connections)
+    wall_s = time.perf_counter() - started
+    hits = service.cache.lru.hits - hits_before
+    misses = service.cache.lru.misses - misses_before
+    return {
+        "requests": len(latencies),
+        "connections": connections,
+        "wall_s": round(wall_s, 4),
+        "req_per_s": round(len(latencies) / wall_s, 1),
+        "p50_ms": round(_percentile(latencies, 0.50) * 1000, 3),
+        "p99_ms": round(_percentile(latencies, 0.99) * 1000, 3),
+        "cache_hit_rate": round(hits / max(1, hits + misses), 4),
+    }
+
+
+async def _bench_cold_vs_hot(service, cold_n: int, hot_n: int) -> dict:
+    # cold: every threshold distinct -> every request computes; the low
+    # range is where the path enumeration is genuinely expensive
+    cold_paths = [
+        f"/close-links?threshold={0.05 + 0.25 * i / cold_n:.6f}"
+        for i in range(cold_n)
+    ]
+    cold = await _drive(service.port, cold_paths, 1)
+    # hot: one threshold repeated -> one computation, then LRU hits
+    hot_paths = ["/close-links?threshold=0.45"] * hot_n
+    hot = await _drive(service.port, hot_paths, 1)
+    cold_p50 = _percentile(cold, 0.50)
+    hot_p50 = _percentile(hot[1:], 0.50)  # drop the one cold fill
+    return {
+        "cold_requests": len(cold),
+        "hot_requests": len(hot),
+        "cold_p50_ms": round(cold_p50 * 1000, 3),
+        "hot_p50_ms": round(hot_p50 * 1000, 3),
+        "hot_speedup": round(cold_p50 / hot_p50, 1) if hot_p50 else None,
+    }
+
+
+async def _bench_mutation(service) -> dict:
+    graph = service.manager.current.graph
+    owner = next(graph.companies()).id
+    deltas = [
+        {"op": "add_company", "id": "BENCHCO", "properties": {"name": "BenchCo"}},
+        {"op": "add_shareholding", "owner": owner, "company": "BENCHCO", "share": 0.8},
+    ]
+    versions: list[int] = []
+    reader_latencies: list[float] = []
+    done = asyncio.Event()
+
+    async def reader_loop() -> None:
+        reader, writer = await asyncio.open_connection("127.0.0.1", service.port)
+        try:
+            while not done.is_set():
+                started = time.perf_counter()
+                _status, payload = await _request(reader, writer, "GET", "/control")
+                reader_latencies.append(time.perf_counter() - started)
+                versions.append(payload["version"])
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    readers = [asyncio.create_task(reader_loop()) for _ in range(4)]
+    await asyncio.sleep(0.05)  # readers warmed up on the old version
+    body = json.dumps({"deltas": deltas}).encode()
+    conn_reader, conn_writer = await asyncio.open_connection("127.0.0.1", service.port)
+    started = time.perf_counter()
+    status, published = await _request(
+        conn_reader, conn_writer, "POST", "/mutations?wait=1", body
+    )
+    mutation_s = time.perf_counter() - started
+    conn_writer.close()
+    await conn_writer.wait_closed()
+    if status != 200:
+        raise SystemExit(f"FATAL: mutation answered {status}: {published}")
+    await asyncio.sleep(0.05)  # readers observe the new version
+    done.set()
+    await asyncio.gather(*readers)
+
+    observed = sorted(set(versions))
+    old, new = published["version"] - 1, published["version"]
+    if any(v not in (old, new) for v in observed):
+        raise SystemExit(f"FATAL: readers observed versions {observed}")
+    if versions != sorted(versions):
+        raise SystemExit("FATAL: a reader regressed to an older version")
+    return {
+        "published_version": new,
+        "mutation_wall_s": round(mutation_s, 4),
+        "rebuild_s": round(service.updater.last_rebuild_s, 4),
+        "swap_pause_ms": round(service.manager.last_swap_pause_s * 1000, 4),
+        "reader_requests_during": len(reader_latencies),
+        "reader_p99_ms": round(_percentile(reader_latencies, 0.99) * 1000, 3),
+        "versions_observed": observed,
+    }
+
+
+def run_benchmark(smoke: bool) -> dict:
+    mode = "smoke" if smoke else "full"
+    persons, total, connections = SCALES[mode]
+    graph, _truth = realworld_like(persons, seed=7)
+    service = build_service(graph, config=ServiceConfig(port=0))
+
+    async def main() -> dict:
+        await service.start()
+        sections = {
+            "throughput": await _bench_throughput(service, total, connections),
+            "cold_vs_hot": await _bench_cold_vs_hot(
+                service, COLD_QUERIES[mode], HOT_QUERIES[mode]
+            ),
+            "mutation": await _bench_mutation(service),
+        }
+        await service.stop()
+        return sections
+
+    sections = asyncio.run(main())
+    payload = {
+        "mode": mode,
+        "graph": {"nodes": graph.node_count, "edges": graph.edge_count},
+        **sections,
+    }
+    t, c, m = payload["throughput"], payload["cold_vs_hot"], payload["mutation"]
+    print(
+        f"{'throughput':>12} {t['req_per_s']:8.1f} req/s  "
+        f"p50={t['p50_ms']:.2f}ms p99={t['p99_ms']:.2f}ms "
+        f"hit_rate={t['cache_hit_rate']:.2%}"
+    )
+    print(
+        f"{'cold_vs_hot':>12} cold_p50={c['cold_p50_ms']:.2f}ms "
+        f"hot_p50={c['hot_p50_ms']:.2f}ms speedup={c['hot_speedup']}x"
+    )
+    print(
+        f"{'mutation':>12} rebuild={m['rebuild_s']:.2f}s "
+        f"swap_pause={m['swap_pause_ms']:.3f}ms "
+        f"reader_p99={m['reader_p99_ms']:.2f}ms versions={m['versions_observed']}"
+    )
+    return payload
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output", type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_service.json",
+        help="where to write the JSON results",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small graph and request counts (the CI smoke job)",
+    )
+    args = parser.parse_args(argv)
+    payload = run_benchmark(args.smoke)
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"# wrote {args.output}")
+    if not args.smoke:
+        speedup = payload["cold_vs_hot"]["hot_speedup"]
+        if speedup is None or speedup < 10.0:
+            raise SystemExit(
+                f"FATAL: cache-hit p50 is only {speedup}x lower than the "
+                f"cold p50 (< 10x target)"
+            )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

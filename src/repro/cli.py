@@ -12,7 +12,12 @@ shareholdings.csv):
 * ``ubo``         — ultimate beneficial owners per company;
 * ``augment``     — run the whole pipeline, write the augmented KG JSON;
 * ``reason``      — run a Vadalog program file against the extract;
-* ``export-dot``  — render the (optionally augmented) graph as Graphviz DOT.
+* ``export-dot``  — render the (optionally augmented) graph as Graphviz DOT;
+* ``serve``       — the asyncio HTTP reasoning API over versioned snapshots.
+
+Every command exits nonzero with a one-line ``error: ...`` message (no
+traceback) on bad input paths, unreadable extracts, malformed programs,
+or unusable ports.
 """
 
 from __future__ import annotations
@@ -25,6 +30,8 @@ from pathlib import Path
 from .core.pipeline import PipelineConfig, ReasoningPipeline
 from .datagen.company_generator import CompanySpec, generate_company_graph
 from .datalog.engine import Engine
+from .datalog.errors import DatalogError
+from .graph.property_graph import GraphError
 from .datalog.parser import parse_program
 from .graph.io import read_company_csv, save_json, write_company_csv
 from .graph.metrics import profile
@@ -33,6 +40,10 @@ from .linkage.training import persons_of, train_classifiers
 from .ownership.close_links import close_link_pairs
 from .ownership.control import control_closure, controlled_by
 from .ownership.ubo import all_beneficial_owners
+
+
+class CLIError(Exception):
+    """A user-facing error: printed as one line, exit status 2."""
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -102,6 +113,25 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("output", type=Path)
     export.add_argument("--augment", action="store_true",
                         help="run the pipeline first and include predicted edges")
+
+    serve = commands.add_parser(
+        "serve", help="asyncio HTTP reasoning API over versioned KG snapshots"
+    )
+    serve.add_argument("directory", type=Path)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8707,
+                       help="TCP port (0 picks a free one)")
+    serve.add_argument("--clusters", type=int, default=1,
+                       help="first-level clusters (>1 enables the warm "
+                            "incremental embedder between snapshots)")
+    serve.add_argument("--no-augment", action="store_true",
+                       help="skip personal-link detection; serve ownership "
+                            "analytics over the extensional graph only")
+    serve.add_argument("--max-concurrency", type=int, default=32)
+    serve.add_argument("--max-queue", type=int, default=128)
+    serve.add_argument("--request-timeout", type=float, default=30.0,
+                       help="per-request deadline in seconds (exceeded -> 504)")
+    serve.add_argument("--cache-capacity", type=int, default=1024)
     return parser
 
 
@@ -261,6 +291,58 @@ def _reason(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .service import ServiceConfig, SnapshotConfig, build_service
+
+    if not 0 <= args.port <= 65535:
+        raise CLIError(f"port must be in 0..65535, got {args.port}")
+    if not args.directory.is_dir():
+        raise CLIError(f"extract directory not found: {args.directory}")
+    graph = read_company_csv(args.directory)
+    classifiers = None
+    truth_path = args.directory / "ground_truth.json"
+    if truth_path.exists():
+        classifiers = train_classifiers(persons_of(graph), _load_truth_links(truth_path))
+    snapshot_config = SnapshotConfig(
+        augment=not args.no_augment,
+        first_level_clusters=args.clusters,
+        use_embeddings=args.clusters > 1,
+    )
+    service_config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        max_concurrency=args.max_concurrency,
+        max_queue=args.max_queue,
+        request_timeout_s=args.request_timeout,
+        cache_capacity=args.cache_capacity,
+    )
+    service = build_service(
+        graph,
+        config=service_config,
+        snapshot_config=snapshot_config,
+        classifiers=classifiers,
+        tracer=_tracer_of(args),
+    )
+
+    def ready(svc) -> None:
+        snapshot = svc.manager.current
+        print(
+            f"serving snapshot v{snapshot.version} "
+            f"({graph.node_count} nodes, {graph.edge_count} edges, "
+            f"built in {snapshot.built_s:.2f}s) "
+            f"on http://{args.host}:{svc.port}",
+            flush=True,
+        )
+
+    try:
+        asyncio.run(service.run(ready=ready))
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    return 0
+
+
 _HANDLERS = {
     "generate": _generate,
     "profile": _profile,
@@ -271,6 +353,7 @@ _HANDLERS = {
     "augment": _augment,
     "reason": _reason,
     "export-dot": _export_dot,
+    "serve": _serve,
 }
 
 
@@ -282,7 +365,11 @@ def main(argv: list[str] | None = None) -> int:
 
         tracer = Tracer(f"repro {args.command}")
     args.tracer = tracer
-    status = _HANDLERS[args.command](args)
+    try:
+        status = _HANDLERS[args.command](args)
+    except (CLIError, OSError, json.JSONDecodeError, DatalogError, GraphError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if tracer is not None:
         tracer.finish()
         if args.profile:

@@ -79,10 +79,16 @@ class ReasoningPipeline:
         config: PipelineConfig | None = None,
         classifiers: Sequence[BayesianLinkClassifier] | None = None,
         tracer=None,
+        cluster_assignment: "dict[NodeId, int] | None" = None,
     ):
         self.graph = graph
         self.config = config if config is not None else PipelineConfig()
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: first-level cluster assignment computed outside the pipeline
+        #: (e.g. by a warm :class:`~repro.embeddings.IncrementalEmbedder`
+        #: between snapshot builds); when set it replaces the internal
+        #: ``embed_and_cluster`` call in :meth:`compute_blocks`
+        self.cluster_assignment = cluster_assignment
         if classifiers is None:
             classifiers = default_classifiers()
         self.classifiers = {c.link_class: c for c in classifiers}
@@ -149,7 +155,9 @@ class ReasoningPipeline:
         """(first-level cluster, second-level block, skolem node id) triples."""
         config = self.config
         with self.tracer.span("pipeline.blocking") as span:
-            if config.use_embeddings and config.first_level_clusters > 1:
+            if self.cluster_assignment is not None:
+                assignment = self.cluster_assignment
+            elif config.use_embeddings and config.first_level_clusters > 1:
                 with self.tracer.span(
                     "embed_cluster", clusters=config.first_level_clusters
                 ):

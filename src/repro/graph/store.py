@@ -13,7 +13,11 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Any, Iterator
 
-from .property_graph import Edge, Node, NodeId, PropertyGraph
+from .property_graph import Edge, EdgeId, Node, NodeId, PropertyGraph
+
+#: Distinct sentinel for "the property was not set at all" — ``None`` is a
+#: legitimate property value and must keep its own index bucket.
+_MISSING = object()
 
 
 class GraphStore:
@@ -47,14 +51,24 @@ class GraphStore:
 
     def set_property(self, node_id: NodeId, name: str, value: Any) -> None:
         node = self.graph.node(node_id)
-        old = node.properties.get(name)
+        old = node.properties.get(name, _MISSING)
         node.properties[name] = value
         for (index_label, prop), index in self._property_indexes.items():
             if prop != name or index_label not in (None, node.label):
                 continue
-            if old in index:
+            if old is not _MISSING and old in index:
                 index[old].discard(node_id)
             index.setdefault(value, set()).add(node_id)
+
+    def remove_edge(self, edge_id: EdgeId) -> Edge:
+        """Remove and return an edge; raises :class:`GraphError` if absent.
+
+        Edges do not participate in the node property indexes, so the
+        adjacency bookkeeping in :meth:`PropertyGraph.remove_edge` is the
+        whole story — this exists so the write surface is symmetric
+        (``create_edge`` / ``remove_edge``) for the mutation delta path.
+        """
+        return self.graph.remove_edge(edge_id)
 
     def delete_node(self, node_id: NodeId) -> None:
         node = self.graph.remove_node(node_id)
@@ -88,7 +102,9 @@ class GraphStore:
         """Nodes matching a label and exact property equalities.
 
         Uses a property index when one criterion is indexed; otherwise
-        scans the label partition.
+        scans the label partition.  A criterion value of ``None`` matches
+        only properties explicitly set to ``None``, never missing ones —
+        the same semantics on the indexed and the scanning path.
         """
         candidate_ids: set[NodeId] | None = None
         for prop, value in criteria.items():
@@ -109,7 +125,10 @@ class GraphStore:
             node = self.graph.node(node_id)
             if label is not None and node.label != label:
                 continue
-            if all(node.properties.get(p) == v for p, v in criteria.items()):
+            if all(
+                p in node.properties and node.properties[p] == v
+                for p, v in criteria.items()
+            ):
                 yield node
 
     def match_edges(

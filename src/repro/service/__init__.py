@@ -1,0 +1,48 @@
+"""The reasoning API of Section 5 — serving the KG to applications.
+
+The paper's architecture interposes a reasoning layer between the stored
+ownership knowledge graph and the enterprise applications that query it;
+the Vadalog System paper frames the same layer as *reasoning as a
+service*.  This package is that layer for the reproduction: a
+dependency-free asyncio HTTP JSON API over immutable, versioned KG
+snapshots.
+
+* :mod:`~repro.service.snapshot` — read-optimized snapshots (augmented
+  graph, control closure, close links, UBO indexes, property indexes),
+  identified by a monotonically increasing version and swapped
+  atomically so readers never block;
+* :mod:`~repro.service.cache` — bounded LRU keyed by
+  ``(snapshot_version, endpoint, params)`` with single-flight
+  coalescing and a micro-batcher for point lookups;
+* :mod:`~repro.service.server` — the stdlib asyncio HTTP/1.1 server
+  with admission control (concurrency semaphore, bounded queue -> 429,
+  per-request deadline -> 504) and ``/metrics`` telemetry export;
+* :mod:`~repro.service.updates` — the ``POST /mutations`` path: deltas
+  against a staging graph, background re-augmentation through the warm
+  :class:`~repro.embeddings.IncrementalEmbedder`, atomic publish of the
+  next snapshot version while the old one keeps serving.
+"""
+
+from .cache import LRUCache, MicroBatcher, ReasoningCache, SingleFlight
+from .server import HttpError, Metrics, ReasoningService, ServiceConfig, build_service
+from .snapshot import Snapshot, SnapshotBuilder, SnapshotConfig, SnapshotManager
+from .updates import GraphUpdater, MutationError, apply_deltas
+
+__all__ = [
+    "GraphUpdater",
+    "HttpError",
+    "LRUCache",
+    "Metrics",
+    "MicroBatcher",
+    "MutationError",
+    "ReasoningCache",
+    "ReasoningService",
+    "ServiceConfig",
+    "SingleFlight",
+    "Snapshot",
+    "SnapshotBuilder",
+    "SnapshotConfig",
+    "SnapshotManager",
+    "apply_deltas",
+    "build_service",
+]

@@ -1,0 +1,227 @@
+"""Caching primitives for the reasoning service.
+
+Three cooperating pieces, all event-loop local (no thread locks — every
+mutation happens on the loop; the heavy computations themselves run in
+executor threads but their *registration* is loop-side):
+
+* :class:`LRUCache` — a bounded mapping with hit/miss/eviction counters.
+  Keys include the snapshot version, so entries for superseded versions
+  age out naturally instead of needing invalidation.
+* :class:`SingleFlight` — coalesces concurrent identical computations:
+  the first caller becomes the leader and actually computes; followers
+  await the leader's future.  N concurrent identical requests trigger
+  exactly one underlying computation.
+* :class:`MicroBatcher` — point lookups arriving within a short window
+  are flushed as one batch to a batch function that can share work
+  across keys (e.g. the per-person integrated-ownership solves behind
+  ``/ubo/{id}``).
+
+:class:`ReasoningCache` composes the first two into the read-through
+cache the server uses for whole-relation endpoints.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import OrderedDict
+from typing import Any, Awaitable, Callable, Hashable
+
+#: Distinct "no cached value" marker (``None`` is a valid cached value).
+_UNSET = object()
+
+
+class LRUCache:
+    """A bounded least-recently-used mapping with instrumentation."""
+
+    def __init__(self, capacity: int = 1024):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.misses += 1
+            return default
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "capacity": self.capacity,
+            "size": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+class SingleFlight:
+    """Coalesce concurrent calls with the same key into one computation."""
+
+    def __init__(self) -> None:
+        self._inflight: dict[Hashable, asyncio.Future] = {}
+        self.leaders = 0
+        self.coalesced = 0
+
+    def inflight(self) -> int:
+        return len(self._inflight)
+
+    async def run(
+        self, key: Hashable, supplier: Callable[[], Awaitable[Any]]
+    ) -> Any:
+        """Run ``supplier`` once per concurrent ``key``; share the result."""
+        existing = self._inflight.get(key)
+        if existing is not None:
+            self.coalesced += 1
+            return await asyncio.shield(existing)
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._inflight[key] = future
+        self.leaders += 1
+        try:
+            result = await supplier()
+        except BaseException as exc:
+            future.set_exception(exc)
+            future.exception()  # mark retrieved even with no followers
+            raise
+        else:
+            future.set_result(result)
+            return result
+        finally:
+            del self._inflight[key]
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "leaders": self.leaders,
+            "coalesced": self.coalesced,
+            "inflight": len(self._inflight),
+        }
+
+
+class ReasoningCache:
+    """Read-through LRU with single-flight fill.
+
+    ``get_or_compute`` returns the cached value when present; otherwise
+    exactly one of the concurrent callers computes, stores, and shares
+    the result.  ``computations`` counts actual underlying computations.
+    """
+
+    def __init__(self, capacity: int = 1024):
+        self.lru = LRUCache(capacity)
+        self.flight = SingleFlight()
+
+    @property
+    def computations(self) -> int:
+        return self.flight.leaders
+
+    async def get_or_compute(
+        self, key: Hashable, compute: Callable[[], Awaitable[Any]]
+    ) -> Any:
+        value = self.lru.get(key, _UNSET)
+        if value is not _UNSET:
+            return value
+
+        async def fill() -> Any:
+            result = await compute()
+            self.lru.put(key, result)
+            return result
+
+        return await self.flight.run(key, fill)
+
+    def stats(self) -> dict[str, Any]:
+        return {**self.lru.stats(), **self.flight.stats()}
+
+
+class MicroBatcher:
+    """Flush point lookups arriving within ``max_delay_s`` as one batch.
+
+    ``batch_fn`` is an async callable taking a list of distinct keys and
+    returning ``{key: value}``.  Duplicate concurrent keys are coalesced
+    onto the same future, so a batch never computes a key twice.  A batch
+    is flushed early once ``max_batch`` distinct keys are pending.
+    """
+
+    def __init__(
+        self,
+        batch_fn: Callable[[list[Hashable]], Awaitable[dict[Hashable, Any]]],
+        max_batch: int = 16,
+        max_delay_s: float = 0.002,
+    ):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self._batch_fn = batch_fn
+        self.max_batch = max_batch
+        self.max_delay_s = max_delay_s
+        self._pending: dict[Hashable, list[asyncio.Future]] = {}
+        self._flush_handle: asyncio.TimerHandle | None = None
+        self.requests = 0
+        self.batches = 0
+        self.batched_keys = 0
+
+    async def submit(self, key: Hashable) -> Any:
+        self.requests += 1
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._pending.setdefault(key, []).append(future)
+        if len(self._pending) >= self.max_batch:
+            self._flush_pending(loop)
+        elif self._flush_handle is None:
+            self._flush_handle = loop.call_later(self.max_delay_s, self._flush_pending, loop)
+        return await future
+
+    def _flush_pending(self, loop: asyncio.AbstractEventLoop) -> None:
+        if self._flush_handle is not None:
+            self._flush_handle.cancel()
+            self._flush_handle = None
+        pending, self._pending = self._pending, {}
+        if pending:
+            loop.create_task(self._run_batch(pending))
+
+    async def _run_batch(
+        self, pending: dict[Hashable, list[asyncio.Future]]
+    ) -> None:
+        self.batches += 1
+        self.batched_keys += len(pending)
+        try:
+            results = await self._batch_fn(list(pending))
+        except BaseException as exc:  # propagate to every waiter
+            for futures in pending.values():
+                for future in futures:
+                    if not future.done():
+                        future.set_exception(exc)
+            return
+        for key, futures in pending.items():
+            value = results.get(key)
+            for future in futures:
+                if not future.done():
+                    future.set_result(value)
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "requests": self.requests,
+            "batches": self.batches,
+            "batched_keys": self.batched_keys,
+            "pending": len(self._pending),
+        }

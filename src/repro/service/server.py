@@ -1,0 +1,579 @@
+"""Dependency-free asyncio HTTP/1.1 JSON server over KG snapshots.
+
+The serving path, per request::
+
+    accept -> admission control -> route -> LRU -> single-flight /
+    micro-batch -> snapshot read (executor thread) -> JSON
+
+Admission control keeps the event loop honest under overload: at most
+``max_concurrency`` requests execute at once (semaphore); up to
+``max_queue`` more may wait; anything beyond is rejected immediately
+with **429**.  Every admitted request runs under a deadline
+(``request_timeout_s``); expiry returns **504** while the executor
+thread finishes in the background (its result still lands in the cache
+for the next caller).  ``/healthz`` and ``/metrics`` bypass admission so
+the service stays observable while saturated.
+
+Endpoints
+---------
+
+========================  ====================================================
+``GET /control``          control pairs; ``?source=&threshold=``
+``GET /close-links``      close-link pairs; ``?threshold=``
+``GET /ubo/{id}``         beneficial owners of a company; ``?threshold=``
+``GET /family``           detected personal links
+``GET /neighbors/{id}``   a node with its incident edges; ``?depth=&label=``
+``GET /stats``            snapshot statistics
+``GET /healthz``          liveness + served snapshot version
+``GET /metrics``          counters, latency histograms, cache + updater stats
+``POST /mutations``       apply deltas, re-augment in background; ``?wait=1``
+========================  ====================================================
+
+Every read carries the snapshot version it was answered from, so clients
+can observe exactly when a mutation's new version starts serving.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import bisect
+import json
+import time
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+from ..graph.company_graph import COMPANY, CompanyGraph
+from ..graph.property_graph import GraphError
+from ..linkage.bayes import BayesianLinkClassifier
+from ..telemetry import NULL_TRACER
+from .cache import MicroBatcher, ReasoningCache
+from .snapshot import (
+    Snapshot,
+    SnapshotBuilder,
+    SnapshotConfig,
+    SnapshotManager,
+    snapshot_key,
+)
+from .updates import GraphUpdater, MutationError
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+#: Endpoint names used for routing and as metrics keys.
+_ENDPOINTS = (
+    "control",
+    "close-links",
+    "ubo",
+    "family",
+    "neighbors",
+    "stats",
+    "healthz",
+    "metrics",
+    "mutations",
+)
+
+
+@dataclass
+class ServiceConfig:
+    """Admission-control and caching knobs of the server."""
+
+    host: str = "127.0.0.1"
+    port: int = 8707
+    #: requests executing at once; more wait on the semaphore
+    max_concurrency: int = 32
+    #: requests allowed to wait; beyond this the server answers 429
+    max_queue: int = 128
+    #: per-request deadline; expiry answers 504
+    request_timeout_s: float = 30.0
+    cache_capacity: int = 1024
+    #: micro-batching of point lookups (/ubo, /neighbors)
+    batch_max: int = 16
+    batch_delay_s: float = 0.002
+    max_body_bytes: int = 1 << 20
+
+
+class HttpError(Exception):
+    """An error with a definite HTTP status, rendered as a JSON body."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class Metrics:
+    """In-process counters exported at ``/metrics``.
+
+    Latencies land in fixed buckets (milliseconds, cumulative-friendly
+    layout: ``counts[i]`` is the number of requests whose latency fell in
+    ``(BUCKETS_MS[i-1], BUCKETS_MS[i]]``, with a final overflow bucket).
+    """
+
+    BUCKETS_MS = (1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0)
+
+    def __init__(self) -> None:
+        self.started_at = time.time()
+        self.requests: dict[str, int] = defaultdict(int)
+        self.statuses: dict[str, int] = defaultdict(int)
+        self.latency_sum_s: dict[str, float] = defaultdict(float)
+        self.histogram: dict[str, list[int]] = {}
+        self.in_flight = 0
+        self.queued = 0
+        self.rejected_429 = 0
+        self.timeouts_504 = 0
+
+    def observe(self, endpoint: str, seconds: float, status: int) -> None:
+        self.requests[endpoint] += 1
+        self.statuses[f"{status // 100}xx"] += 1
+        self.latency_sum_s[endpoint] += seconds
+        counts = self.histogram.setdefault(endpoint, [0] * (len(self.BUCKETS_MS) + 1))
+        counts[bisect.bisect_left(self.BUCKETS_MS, seconds * 1000.0)] += 1
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "uptime_s": round(time.time() - self.started_at, 3),
+            "in_flight": self.in_flight,
+            "queued": self.queued,
+            "rejected_429": self.rejected_429,
+            "timeouts_504": self.timeouts_504,
+            "requests": dict(self.requests),
+            "statuses": dict(self.statuses),
+            "latency_sum_s": {k: round(v, 6) for k, v in self.latency_sum_s.items()},
+            "latency_buckets_ms": list(self.BUCKETS_MS),
+            "latency_histogram": {k: list(v) for k, v in self.histogram.items()},
+        }
+
+
+class ReasoningService:
+    """The HTTP reasoning API over a :class:`SnapshotManager`."""
+
+    def __init__(
+        self,
+        manager: SnapshotManager,
+        builder: SnapshotBuilder | None = None,
+        base_graph: CompanyGraph | None = None,
+        config: ServiceConfig | None = None,
+        tracer=None,
+    ):
+        self.manager = manager
+        self.config = config if config is not None else ServiceConfig()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = Metrics()
+        self.cache = ReasoningCache(self.config.cache_capacity)
+        self._semaphore = asyncio.Semaphore(self.config.max_concurrency)
+        self.updater: GraphUpdater | None = None
+        if builder is not None and base_graph is not None:
+            self.updater = GraphUpdater(manager, builder, base_graph, tracer=self.tracer)
+        self._ubo_batcher = MicroBatcher(
+            self._ubo_batch, self.config.batch_max, self.config.batch_delay_s
+        )
+        self._neighbors_batcher = MicroBatcher(
+            self._neighbors_batch, self.config.batch_max, self.config.batch_delay_s
+        )
+        self._server: asyncio.AbstractServer | None = None
+        self.port: int | None = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> asyncio.AbstractServer:
+        """Bind and start accepting; resolves ``self.port`` (for port 0)."""
+        self._server = await asyncio.start_server(
+            self.handle_connection, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self._server
+
+    async def run(self, ready: Callable[["ReasoningService"], None] | None = None) -> None:
+        server = await self.start()
+        if ready is not None:
+            ready(self)
+        async with server:
+            await server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # ------------------------------------------------------------------
+    # connection handling (HTTP/1.1, keep-alive)
+    # ------------------------------------------------------------------
+
+    async def handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await self._read_request(reader)
+                except HttpError as exc:
+                    await self._write(writer, exc.status, {"error": exc.message}, False)
+                    break
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    break
+                if request is None:
+                    break
+                method, target, headers, body = request
+                keep_alive = headers.get("connection", "keep-alive").lower() != "close"
+                split = urlsplit(target)
+                query = dict(parse_qsl(split.query))
+                started = time.perf_counter()
+                endpoint, status, payload = await self.handle_request(
+                    method, split.path, query, body
+                )
+                self.metrics.observe(endpoint, time.perf_counter() - started, status)
+                await self._write(writer, status, payload, keep_alive)
+                if not keep_alive:
+                    break
+        except ConnectionError:
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, dict[str, str], bytes] | None:
+        line = await reader.readline()
+        if not line or not line.strip():
+            return None
+        parts = line.decode("latin-1").strip().split(" ")
+        if len(parts) != 3:
+            raise HttpError(400, "malformed request line")
+        method, target, _version = parts
+        headers: dict[str, str] = {}
+        while True:
+            header = await reader.readline()
+            if header in (b"\r\n", b"\n", b""):
+                break
+            name, sep, value = header.decode("latin-1").partition(":")
+            if sep:
+                headers[name.strip().lower()] = value.strip()
+        body = b""
+        length_header = headers.get("content-length")
+        if length_header:
+            try:
+                length = int(length_header)
+            except ValueError:
+                raise HttpError(400, "bad Content-Length") from None
+            if length < 0 or length > self.config.max_body_bytes:
+                raise HttpError(413, f"body exceeds {self.config.max_body_bytes} bytes")
+            if length:
+                body = await reader.readexactly(length)
+        return method.upper(), target, headers, body
+
+    async def _write(
+        self, writer: asyncio.StreamWriter, status: int, payload: Any, keep_alive: bool
+    ) -> None:
+        body = json.dumps(payload, default=str).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            "\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # request handling: admission -> routing -> payload
+    # ------------------------------------------------------------------
+
+    async def handle_request(
+        self, method: str, path: str, query: dict[str, str], body: bytes
+    ) -> tuple[str, int, Any]:
+        """Returns ``(endpoint, status, json_payload)`` — also the entry
+        point the tests and the benchmark drive directly."""
+        endpoint = self._endpoint_name(path)
+        with self.tracer.span(f"http.{endpoint}"):
+            try:
+                if endpoint in ("healthz", "metrics"):
+                    # observability must answer even when saturated
+                    status, payload = await self._dispatch(method, path, query, body)
+                else:
+                    status, payload = await self._admitted(method, path, query, body)
+            except HttpError as exc:
+                status, payload = exc.status, {"error": exc.message}
+            except MutationError as exc:
+                status, payload = 400, {"error": str(exc)}
+            except GraphError as exc:
+                status, payload = 404, {"error": str(exc)}
+            except Exception as exc:  # never leak a traceback to the socket
+                status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+        return endpoint, status, payload
+
+    def _endpoint_name(self, path: str) -> str:
+        head = path.strip("/").split("/", 1)[0]
+        return head if head in _ENDPOINTS else "unknown"
+
+    async def _admitted(
+        self, method: str, path: str, query: dict[str, str], body: bytes
+    ) -> tuple[int, Any]:
+        metrics = self.metrics
+        config = self.config
+        if (
+            metrics.in_flight >= config.max_concurrency
+            and metrics.queued >= config.max_queue
+        ):
+            metrics.rejected_429 += 1
+            return 429, {
+                "error": "server saturated",
+                "in_flight": metrics.in_flight,
+                "queued": metrics.queued,
+            }
+        metrics.queued += 1
+        try:
+            await self._semaphore.acquire()
+        finally:
+            metrics.queued -= 1
+        metrics.in_flight += 1
+        try:
+            return await asyncio.wait_for(
+                self._dispatch(method, path, query, body), config.request_timeout_s
+            )
+        except asyncio.TimeoutError:
+            metrics.timeouts_504 += 1
+            return 504, {
+                "error": "deadline exceeded",
+                "timeout_s": config.request_timeout_s,
+            }
+        finally:
+            metrics.in_flight -= 1
+            self._semaphore.release()
+
+    async def _dispatch(
+        self, method: str, path: str, query: dict[str, str], body: bytes
+    ) -> tuple[int, Any]:
+        segments = [unquote(s) for s in path.strip("/").split("/") if s]
+        if not segments:
+            raise HttpError(404, "no such endpoint; see /stats for the surface")
+        head, rest = segments[0], segments[1:]
+        if head == "control" and not rest:
+            self._require(method, "GET")
+            return 200, await self._control(query)
+        if head == "close-links" and not rest:
+            self._require(method, "GET")
+            return 200, await self._close_links(query)
+        if head == "ubo" and len(rest) == 1:
+            self._require(method, "GET")
+            return 200, await self._ubo(rest[0], query)
+        if head == "family" and not rest:
+            self._require(method, "GET")
+            return 200, await self._family()
+        if head == "neighbors" and len(rest) == 1:
+            self._require(method, "GET")
+            return 200, await self._neighbors(rest[0], query)
+        if head == "stats" and not rest:
+            self._require(method, "GET")
+            return 200, await self._stats()
+        if head == "healthz" and not rest:
+            self._require(method, "GET")
+            return 200, self._healthz()
+        if head == "metrics" and not rest:
+            self._require(method, "GET")
+            return 200, self._metrics_payload()
+        if head == "mutations" and not rest:
+            self._require(method, "POST")
+            return await self._mutations(query, body)
+        raise HttpError(404, f"no such endpoint: /{'/'.join(segments)}")
+
+    @staticmethod
+    def _require(method: str, expected: str) -> None:
+        if method != expected:
+            raise HttpError(405, f"use {expected}")
+
+    # ------------------------------------------------------------------
+    # endpoint implementations
+    # ------------------------------------------------------------------
+
+    async def _cached(self, key: Any, fn: Callable[[], Any]) -> Any:
+        """LRU -> single-flight -> executor; ``fn`` is a sync snapshot read."""
+        loop = asyncio.get_running_loop()
+
+        async def compute() -> Any:
+            return await loop.run_in_executor(None, fn)
+
+        return await self.cache.get_or_compute(key, compute)
+
+    async def _control(self, query: dict[str, str]) -> Any:
+        source = query.get("source")
+        threshold = _float_param(query, "threshold")
+        snapshot = self.manager.current
+        key = snapshot_key(snapshot.version, "control", (source, threshold))
+        return await self._cached(key, lambda: snapshot.control_payload(source, threshold))
+
+    async def _close_links(self, query: dict[str, str]) -> Any:
+        threshold = _float_param(query, "threshold")
+        snapshot = self.manager.current
+        key = snapshot_key(snapshot.version, "close-links", (threshold,))
+        return await self._cached(key, lambda: snapshot.close_links_payload(threshold))
+
+    async def _family(self) -> Any:
+        snapshot = self.manager.current
+        key = snapshot_key(snapshot.version, "family", ())
+        return await self._cached(key, snapshot.family_payload)
+
+    async def _stats(self) -> Any:
+        snapshot = self.manager.current
+        key = snapshot_key(snapshot.version, "stats", ())
+        return await self._cached(key, snapshot.stats_payload)
+
+    async def _ubo(self, company: str, query: dict[str, str]) -> Any:
+        threshold = _float_param(query, "threshold")
+        snapshot = self.manager.current
+        if not snapshot.graph.has_node(company):
+            raise HttpError(404, f"unknown node: {company}")
+        if snapshot.graph.node(company).label != COMPANY:
+            raise HttpError(400, f"{company} is not a company")
+        key = snapshot_key(snapshot.version, "ubo", (company, threshold))
+
+        async def compute() -> Any:
+            return await self._ubo_batcher.submit((snapshot, company, threshold))
+
+        return await self.cache.get_or_compute(key, compute)
+
+    async def _neighbors(self, node_id: str, query: dict[str, str]) -> Any:
+        depth = _int_param(query, "depth", default=1, low=1, high=8)
+        label = query.get("label")
+        snapshot = self.manager.current
+        if not snapshot.augmented.has_node(node_id):
+            raise HttpError(404, f"unknown node: {node_id}")
+        key = snapshot_key(snapshot.version, "neighbors", (node_id, depth, label))
+
+        async def compute() -> Any:
+            return await self._neighbors_batcher.submit((snapshot, node_id, depth, label))
+
+        return await self.cache.get_or_compute(key, compute)
+
+    def _healthz(self) -> Any:
+        return {
+            "status": "ok",
+            "version": self.manager.version,
+            "uptime_s": round(time.time() - self.metrics.started_at, 3),
+            "rebuild_in_progress": (
+                self.updater.rebuild_in_progress if self.updater else False
+            ),
+        }
+
+    def _metrics_payload(self) -> Any:
+        payload = self.metrics.to_dict()
+        payload["cache"] = self.cache.stats()
+        payload["batchers"] = {
+            "ubo": self._ubo_batcher.stats(),
+            "neighbors": self._neighbors_batcher.stats(),
+        }
+        payload["snapshot"] = {
+            "version": self.manager.version,
+            "swaps": self.manager.swaps,
+            "last_swap_pause_s": round(self.manager.last_swap_pause_s, 6),
+        }
+        if self.updater is not None:
+            payload["updater"] = self.updater.stats()
+        return payload
+
+    async def _mutations(self, query: dict[str, str], body: bytes) -> tuple[int, Any]:
+        if self.updater is None:
+            raise HttpError(503, "mutations disabled: service started without a builder")
+        try:
+            payload = json.loads(body.decode("utf-8") or "{}")
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise HttpError(400, f"bad JSON body: {exc}") from None
+        deltas = payload.get("deltas") if isinstance(payload, dict) else None
+        if not isinstance(deltas, list):
+            raise HttpError(400, 'body must be {"deltas": [...]}')
+        wait = query.get("wait", "").lower() in ("1", "true", "yes")
+        result = await self.updater.apply(deltas, wait=wait)
+        return (200 if wait else 202), result
+
+    # ------------------------------------------------------------------
+    # micro-batch functions (shared work across point lookups)
+    # ------------------------------------------------------------------
+
+    async def _ubo_batch(self, keys: list[Any]) -> dict[Any, Any]:
+        return await asyncio.get_running_loop().run_in_executor(
+            None, self._ubo_batch_sync, keys
+        )
+
+    @staticmethod
+    def _ubo_batch_sync(keys: list[Any]) -> dict[Any, Any]:
+        groups: dict[tuple[Snapshot, float | None], list[str]] = {}
+        for snapshot, company, threshold in keys:
+            groups.setdefault((snapshot, threshold), []).append(company)
+        results: dict[Any, Any] = {}
+        for (snapshot, threshold), companies in groups.items():
+            payloads = snapshot.ubo_payloads(companies, threshold)
+            for company in companies:
+                results[(snapshot, company, threshold)] = payloads[company]
+        return results
+
+    async def _neighbors_batch(self, keys: list[Any]) -> dict[Any, Any]:
+        return await asyncio.get_running_loop().run_in_executor(
+            None, self._neighbors_batch_sync, keys
+        )
+
+    @staticmethod
+    def _neighbors_batch_sync(keys: list[Any]) -> dict[Any, Any]:
+        return {
+            key: key[0].neighbors_payload(key[1], depth=key[2], label=key[3])
+            for key in keys
+        }
+
+
+def build_service(
+    graph: CompanyGraph,
+    config: ServiceConfig | None = None,
+    snapshot_config: SnapshotConfig | None = None,
+    classifiers: Sequence[BayesianLinkClassifier] | None = None,
+    tracer=None,
+) -> ReasoningService:
+    """Build version 1 from ``graph``, publish it, and wire the service."""
+    builder = SnapshotBuilder(snapshot_config, classifiers=classifiers, tracer=tracer)
+    manager = SnapshotManager()
+    manager.publish(builder.build(graph))
+    return ReasoningService(
+        manager, builder=builder, base_graph=graph, config=config, tracer=tracer
+    )
+
+
+def _float_param(query: dict[str, str], name: str) -> float | None:
+    raw = query.get(name)
+    if raw is None or raw == "":
+        return None
+    try:
+        return float(raw)
+    except ValueError:
+        raise HttpError(400, f"bad {name!r}: {raw!r} is not a number") from None
+
+
+def _int_param(
+    query: dict[str, str], name: str, default: int, low: int, high: int
+) -> int:
+    raw = query.get(name)
+    if raw is None or raw == "":
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise HttpError(400, f"bad {name!r}: {raw!r} is not an integer") from None
+    if not low <= value <= high:
+        raise HttpError(400, f"bad {name!r}: must be in [{low}, {high}]")
+    return value

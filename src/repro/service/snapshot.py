@@ -1,0 +1,423 @@
+"""Versioned, read-optimized KG snapshots.
+
+A :class:`Snapshot` is the unit the service reads from: one immutable
+view of the company KG with everything the endpoints need precomputed —
+the augmentation pipeline's family links, the control closure
+(Definition 2.3), the close-link pairs (Definition 2.6), the beneficial-
+owner index, and a :class:`~repro.graph.GraphStore` with property
+indexes over the augmented graph.  Snapshots are identified by a
+monotonically increasing version; :class:`SnapshotManager` swaps the
+current snapshot with one reference assignment so readers never block
+and never observe a half-built state.
+
+:class:`SnapshotBuilder` owns the version counter and — when embeddings
+are enabled — a warm :class:`~repro.embeddings.IncrementalEmbedder`, so
+rebuilds triggered by small mutation deltas pay the dirty-region price
+instead of the full node2vec bill.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from ..core.pipeline import PipelineConfig, ReasoningPipeline
+from ..embeddings.incremental import IncrementalEmbedder
+from ..embeddings.node2vec import Node2VecConfig
+from ..graph.company_graph import CompanyGraph
+from ..graph.property_graph import Edge, NodeId
+from ..graph.store import GraphStore
+from ..linkage.bayes import BayesianLinkClassifier
+from ..ownership.close_links import CLOSE_LINK_THRESHOLD, close_link_pairs
+from ..ownership.control import CONTROL_THRESHOLD, control_closure, controlled_by
+from ..ownership.matrix import integrated_ownership_from
+from ..ownership.ubo import UBO_THRESHOLD, BeneficialOwner, all_beneficial_owners
+from ..telemetry import NULL_TRACER
+
+
+@dataclass
+class SnapshotConfig:
+    """What a snapshot precomputes and how the pipeline runs inside it."""
+
+    control_threshold: float = CONTROL_THRESHOLD
+    close_link_threshold: float = CLOSE_LINK_THRESHOLD
+    ubo_threshold: float = UBO_THRESHOLD
+    #: run personal-link detection and add the typed edges to the served
+    #: graph; False serves the extensional graph plus ownership analytics
+    augment: bool = True
+    first_level_clusters: int = 1
+    use_embeddings: bool = False
+    node2vec: Node2VecConfig = field(
+        default_factory=lambda: Node2VecConfig(
+            dimensions=16, walk_length=10, num_walks=4, epochs=1, window=3
+        )
+    )
+    embedding_features: "tuple[str, ...] | dict[str, float]" = field(
+        default_factory=lambda: {"surname": 1.0, "address": 3.0}
+    )
+    #: dirty-region radius of the warm embedder between snapshot builds
+    dirty_hops: int = 2
+    #: path-depth bound of the procedural close-link fallback on cycles
+    max_path_depth: int = 12
+    #: node properties indexed in the snapshot's :class:`GraphStore`
+    index_properties: tuple[str, ...] = ("name", "surname", "address")
+
+
+class Snapshot:
+    """One immutable, fully indexed view of the KG.
+
+    All mutating happens *before* the snapshot is handed to the manager;
+    afterwards every method is a read (custom-threshold queries compute
+    on private data and leave the snapshot untouched), so a snapshot can
+    be shared freely between the event loop and executor threads.
+    """
+
+    def __init__(
+        self,
+        version: int,
+        graph: CompanyGraph,
+        augmented: CompanyGraph,
+        store: GraphStore,
+        config: SnapshotConfig,
+        control: set[tuple[NodeId, NodeId]],
+        close_links: set[tuple[NodeId, NodeId]],
+        family_links: set[tuple[NodeId, NodeId, str]],
+        ubo: dict[NodeId, list[BeneficialOwner]],
+        built_s: float,
+        warm: bool = False,
+    ):
+        self.version = version
+        self.graph = graph
+        self.augmented = augmented
+        self.store = store
+        self.config = config
+        self.control = control
+        self.close_links = close_links
+        self.family_links = family_links
+        self.ubo = ubo
+        self.built_s = built_s
+        self.warm = warm
+        self.created_at = time.time()
+        self._control_by_source: dict[NodeId, list[NodeId]] = {}
+        for x, y in sorted(control, key=lambda p: (str(p[0]), str(p[1]))):
+            self._control_by_source.setdefault(x, []).append(y)
+
+    # ------------------------------------------------------------------
+    # endpoint payloads (all JSON-ready)
+    # ------------------------------------------------------------------
+
+    def control_payload(
+        self, source: NodeId | None = None, threshold: float | None = None
+    ) -> dict[str, Any]:
+        t = self.config.control_threshold if threshold is None else threshold
+        if t == self.config.control_threshold:
+            if source is not None:
+                pairs = [[source, y] for y in self._control_by_source.get(source, [])]
+            else:
+                pairs = sorted([x, y] for x, y in self.control)
+        elif source is not None:
+            pairs = sorted([source, y] for y in controlled_by(self.graph, source, t))
+        else:
+            pairs = sorted([x, y] for x, y in control_closure(self.graph, threshold=t))
+        return {
+            "version": self.version,
+            "threshold": t,
+            "source": source,
+            "count": len(pairs),
+            "pairs": pairs,
+        }
+
+    def close_links_payload(self, threshold: float | None = None) -> dict[str, Any]:
+        t = self.config.close_link_threshold if threshold is None else threshold
+        if t == self.config.close_link_threshold:
+            links = self.close_links
+        else:
+            links = close_link_pairs(self.graph, t, max_depth=self.config.max_path_depth)
+        pairs = sorted([x, y] for x, y in links if str(x) <= str(y))
+        return {
+            "version": self.version,
+            "threshold": t,
+            "count": len(pairs),
+            "pairs": pairs,
+        }
+
+    def family_payload(self) -> dict[str, Any]:
+        links = sorted([x, y, cls] for x, y, cls in self.family_links)
+        return {"version": self.version, "count": len(links), "links": links}
+
+    def ubo_payloads(
+        self, companies: Sequence[NodeId], threshold: float | None = None
+    ) -> dict[NodeId, dict[str, Any]]:
+        """Beneficial-owner payloads for a *batch* of companies.
+
+        At the snapshot's default threshold this reads the precomputed
+        index; at a custom threshold the per-person integrated-ownership
+        solves are shared across the whole batch — the reason the server
+        micro-batches ``/ubo/{id}`` point lookups.
+        """
+        t = self.config.ubo_threshold if threshold is None else threshold
+        if t == self.config.ubo_threshold:
+            owners_of = {c: self.ubo.get(c, []) for c in companies}
+        else:
+            wanted = set(companies)
+            owners_of = {c: [] for c in companies}
+            for person_node in self.graph.persons():
+                person = person_node.id
+                integrated = integrated_ownership_from(self.graph, person)
+                controlled = controlled_by(self.graph, person)
+                for company in wanted:
+                    share = integrated.get(company, 0.0)
+                    is_controller = company in controlled
+                    if share >= t or is_controller:
+                        owners_of[company].append(
+                            BeneficialOwner(person, company, share, is_controller)
+                        )
+            for company in wanted:
+                owners_of[company].sort(key=lambda o: (-o.integrated_share, str(o.person)))
+        return {
+            company: {
+                "version": self.version,
+                "company": company,
+                "threshold": t,
+                "owners": [
+                    {
+                        "person": owner.person,
+                        "integrated_share": round(owner.integrated_share, 6),
+                        "controls": owner.controls,
+                        "basis": owner.basis,
+                    }
+                    for owner in owners
+                ],
+            }
+            for company, owners in owners_of.items()
+        }
+
+    def neighbors_payload(
+        self, node_id: NodeId, depth: int = 1, label: str | None = None
+    ) -> dict[str, Any]:
+        """One node of the *augmented* graph with its incident edges."""
+        graph = self.augmented
+        node = graph.node(node_id)
+        out_edges = [
+            {"target": e.target, "label": e.label, "properties": dict(e.properties)}
+            for e in graph.out_edges(node_id, label)
+        ]
+        in_edges = [
+            {"source": e.source, "label": e.label, "properties": dict(e.properties)}
+            for e in graph.in_edges(node_id, label)
+        ]
+        payload: dict[str, Any] = {
+            "version": self.version,
+            "id": node_id,
+            "label": node.label,
+            "properties": dict(node.properties),
+            "out": out_edges,
+            "in": in_edges,
+        }
+        if depth > 1:
+            payload["reachable"] = sorted(
+                self.store.expand(node_id, label, depth), key=str
+            )
+        return payload
+
+    def stats_payload(self) -> dict[str, Any]:
+        graph, augmented = self.graph, self.augmented
+        return {
+            "version": self.version,
+            "warm_build": self.warm,
+            "built_s": round(self.built_s, 4),
+            "created_at": self.created_at,
+            "nodes": graph.node_count,
+            "edges": graph.edge_count,
+            "companies": sum(1 for _ in graph.companies()),
+            "persons": sum(1 for _ in graph.persons()),
+            "augmented_edges": augmented.edge_count - graph.edge_count,
+            "control_pairs": len(self.control),
+            "close_link_pairs": len(self.close_links),
+            "family_links": len(self.family_links),
+            "companies_with_ubo": len(self.ubo),
+            "indexed_properties": list(self.config.index_properties),
+        }
+
+
+class SnapshotBuilder:
+    """Builds successive snapshot versions from company graphs.
+
+    Holds the monotonically increasing version counter and the warm
+    embedder state; ``build`` is synchronous and CPU-bound by design —
+    the service runs it in an executor thread while the event loop keeps
+    serving the previous snapshot.  Calls must be serialized by the
+    caller (the updater holds a lock); the builder itself is not
+    re-entrant.
+    """
+
+    def __init__(
+        self,
+        config: SnapshotConfig | None = None,
+        classifiers: Sequence[BayesianLinkClassifier] | None = None,
+        tracer=None,
+    ):
+        self.config = config if config is not None else SnapshotConfig()
+        self.classifiers = classifiers
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._version = 0
+        self._embedder: IncrementalEmbedder | None = None
+        if self.config.use_embeddings and self.config.first_level_clusters > 1:
+            self._embedder = IncrementalEmbedder(
+                self.config.first_level_clusters,
+                self.config.node2vec,
+                feature_properties=self.config.embedding_features,
+                dirty_hops=self.config.dirty_hops,
+                tracer=self.tracer,
+            )
+
+    @property
+    def version(self) -> int:
+        """The last version built (0 before the first build)."""
+        return self._version
+
+    def build(
+        self,
+        graph: CompanyGraph,
+        new_edges: Sequence[Edge] | None = None,
+    ) -> Snapshot:
+        """Build the next snapshot version from ``graph``.
+
+        ``new_edges`` are the shareholding edges added since the previous
+        build; when provided (and embeddings are on) the warm embedder
+        re-embeds only the dirty region.  Pass ``None`` after removals —
+        the incremental path only models additions.
+        """
+        started = time.perf_counter()
+        version = self._version + 1
+        config = self.config
+        warm = bool(new_edges) and self._embedder is not None
+        with self.tracer.span("snapshot.build", version=version) as span:
+            assignment = None
+            if self._embedder is not None:
+                with self.tracer.span("snapshot.embed", warm=warm):
+                    assignment = self._embedder.embed(
+                        graph, new_edges=list(new_edges) if warm else None
+                    )
+
+            family_links: set[tuple[NodeId, NodeId, str]] = set()
+            if config.augment:
+                pipeline = ReasoningPipeline(
+                    graph,
+                    PipelineConfig(
+                        control_threshold=config.control_threshold,
+                        close_link_threshold=config.close_link_threshold,
+                        first_level_clusters=config.first_level_clusters,
+                        use_embeddings=config.use_embeddings,
+                        node2vec=config.node2vec,
+                        embedding_features=config.embedding_features,
+                        max_path_depth=config.max_path_depth,
+                    ),
+                    classifiers=self.classifiers,
+                    tracer=self.tracer,
+                    cluster_assignment=assignment,
+                )
+                family_links = pipeline.family_links()
+
+            with self.tracer.span("snapshot.control"):
+                control = set(control_closure(graph, threshold=config.control_threshold))
+            with self.tracer.span("snapshot.close_links"):
+                close = set(
+                    close_link_pairs(
+                        graph,
+                        config.close_link_threshold,
+                        max_depth=config.max_path_depth,
+                    )
+                )
+            with self.tracer.span("snapshot.ubo"):
+                ubo = all_beneficial_owners(graph, config.ubo_threshold)
+
+            with self.tracer.span("snapshot.materialise"):
+                augmented = graph.copy()
+
+                def add(x: NodeId, y: NodeId, label: str) -> None:
+                    if augmented.has_node(x) and augmented.has_node(y):
+                        augmented.add_edge(x, y, label)
+
+                for x, y, link_class in family_links:
+                    add(x, y, link_class)
+                for x, y in control:
+                    add(x, y, "control")
+                for x, y in close:
+                    add(x, y, "close_link")
+
+                store = GraphStore(augmented)
+                for prop in config.index_properties:
+                    store.ensure_index(prop)
+
+            span.set("control_pairs", len(control))
+            span.set("close_link_pairs", len(close))
+            span.set("family_links", len(family_links))
+
+        self._version = version
+        return Snapshot(
+            version=version,
+            graph=graph,
+            augmented=augmented,
+            store=store,
+            config=config,
+            control=control,
+            close_links=close,
+            family_links=family_links,
+            ubo=ubo,
+            built_s=time.perf_counter() - started,
+            warm=warm,
+        )
+
+
+class SnapshotManager:
+    """Holds the currently served snapshot; publish is an atomic swap.
+
+    Reads (``current``) are a single attribute load — safe from any
+    thread, never blocking.  ``publish`` enforces version monotonicity
+    under a lock (builds run in executor threads) and records how long
+    the swap itself took, which the benchmark reports as the
+    snapshot-swap pause.
+    """
+
+    def __init__(self, snapshot: Snapshot | None = None):
+        self._lock = threading.Lock()
+        self._current = snapshot
+        self.swaps = 0
+        self.last_swap_pause_s = 0.0
+
+    @property
+    def current(self) -> Snapshot:
+        snapshot = self._current
+        if snapshot is None:
+            raise RuntimeError("no snapshot published yet")
+        return snapshot
+
+    @property
+    def version(self) -> int:
+        snapshot = self._current
+        return 0 if snapshot is None else snapshot.version
+
+    def publish(self, snapshot: Snapshot) -> Snapshot:
+        """Atomically make ``snapshot`` the served version."""
+        with self._lock:
+            started = time.perf_counter()
+            current = self._current
+            if current is not None and snapshot.version <= current.version:
+                raise ValueError(
+                    f"snapshot version {snapshot.version} is not newer than "
+                    f"served version {current.version}"
+                )
+            self._current = snapshot
+            self.swaps += 1
+            self.last_swap_pause_s = time.perf_counter() - started
+        return snapshot
+
+
+def snapshot_key(
+    version: int, endpoint: str, params: Iterable[Any]
+) -> tuple[int, str, tuple[Any, ...]]:
+    """The canonical cache key: ``(snapshot_version, endpoint, params)``."""
+    return (version, endpoint, tuple(params))

@@ -1,0 +1,223 @@
+"""Live graph updates: deltas -> staging graph -> background re-augment.
+
+``POST /mutations`` lands here.  The updater keeps a *staging* copy of
+the company graph (the accumulated state of every accepted delta batch).
+Applying a batch is two phases:
+
+1. **validate + apply** (fast, on the event loop): the deltas run
+   against a copy of the staging graph; any malformed op raises
+   :class:`MutationError` and the whole batch is rejected — the staging
+   graph only advances on success;
+2. **rebuild + publish** (slow, in an executor thread): the snapshot
+   builder re-augments the new graph — warm incremental embedding when
+   the batch only *added* edges — and the manager publishes the next
+   version atomically.  The previous snapshot keeps serving reads the
+   whole time.
+
+Rebuilds are serialized by an asyncio lock; a second batch accepted
+during a rebuild simply queues its own rebuild, which starts from the
+staging state that already includes both batches.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any, Sequence
+
+from ..graph.company_graph import SHAREHOLDING, CompanyGraph
+from ..graph.property_graph import Edge, GraphError
+from ..telemetry import NULL_TRACER
+from .snapshot import SnapshotBuilder, SnapshotManager
+
+#: Delta operations accepted by :func:`apply_deltas`.
+SUPPORTED_OPS = (
+    "add_company",
+    "add_person",
+    "add_shareholding",
+    "remove_shareholding",
+    "remove_edge",
+    "remove_node",
+    "set_property",
+)
+
+
+class MutationError(ValueError):
+    """A malformed or inapplicable mutation delta (whole batch rejected)."""
+
+
+def apply_deltas(
+    graph: CompanyGraph, deltas: Sequence[dict[str, Any]]
+) -> tuple[list[Edge], bool]:
+    """Apply ``deltas`` to ``graph`` in place.
+
+    Returns ``(new_edges, removed_any)``: the shareholding edges added
+    (fed to the warm embedder) and whether anything was removed (removals
+    force a cold re-embed — the incremental path only models additions).
+    Raises :class:`MutationError` on the first bad op; callers apply to a
+    throwaway copy so a failed batch leaves no trace.
+    """
+    new_edges: list[Edge] = []
+    removed_any = False
+    for position, delta in enumerate(deltas):
+        if not isinstance(delta, dict):
+            raise MutationError(f"delta #{position} is not an object")
+        op = delta.get("op")
+        try:
+            if op == "add_company":
+                graph.add_company(_required(delta, "id"), **delta.get("properties", {}))
+            elif op == "add_person":
+                graph.add_person(_required(delta, "id"), **delta.get("properties", {}))
+            elif op == "add_shareholding":
+                edge = graph.add_shareholding(
+                    _required(delta, "owner"),
+                    _required(delta, "company"),
+                    float(_required(delta, "share")),
+                    **delta.get("properties", {}),
+                )
+                new_edges.append(edge)
+            elif op == "remove_shareholding":
+                owner = _required(delta, "owner")
+                company = _required(delta, "company")
+                edges = [
+                    e for e in graph.out_edges(owner, SHAREHOLDING)
+                    if e.target == company
+                ]
+                if not edges:
+                    raise MutationError(
+                        f"delta #{position}: no shareholding {owner!r} -> {company!r}"
+                    )
+                for edge in edges:
+                    graph.remove_edge(edge.id)
+                removed_any = True
+            elif op == "remove_edge":
+                graph.remove_edge(_required(delta, "id"))
+                removed_any = True
+            elif op == "remove_node":
+                graph.remove_node(_required(delta, "id"))
+                removed_any = True
+            elif op == "set_property":
+                node = graph.node(_required(delta, "id"))
+                node.properties[_required(delta, "name")] = delta.get("value")
+            else:
+                raise MutationError(
+                    f"delta #{position}: unknown op {op!r} "
+                    f"(supported: {', '.join(SUPPORTED_OPS)})"
+                )
+        except MutationError:
+            raise
+        except (GraphError, TypeError, ValueError) as exc:
+            raise MutationError(f"delta #{position} ({op}): {exc}") from exc
+    return new_edges, removed_any
+
+
+class GraphUpdater:
+    """Applies mutation batches and publishes new snapshot versions."""
+
+    def __init__(
+        self,
+        manager: SnapshotManager,
+        builder: SnapshotBuilder,
+        base_graph: CompanyGraph,
+        tracer=None,
+    ):
+        self._manager = manager
+        self._builder = builder
+        self._staging = base_graph.copy()
+        self._build_lock = asyncio.Lock()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.batches_accepted = 0
+        self.batches_rejected = 0
+        self.deltas_applied = 0
+        self.rebuilds = 0
+        self.rebuild_failures = 0
+        self.last_rebuild_s = 0.0
+        #: test / bench hook — artificial build slowdown (seconds)
+        self.build_delay_s = 0.0
+        self._rebuilding = 0
+
+    @property
+    def rebuild_in_progress(self) -> bool:
+        return self._rebuilding > 0
+
+    async def apply(
+        self, deltas: Sequence[dict[str, Any]], wait: bool = False
+    ) -> dict[str, Any]:
+        """Validate and accept one mutation batch.
+
+        Returns an ``accepted`` payload immediately (the rebuild runs in
+        the background) unless ``wait`` is true, in which case the reply
+        carries the newly published version.
+        """
+        if not deltas:
+            raise MutationError("empty delta batch")
+        candidate = self._staging.copy()
+        try:
+            new_edges, removed_any = apply_deltas(candidate, deltas)
+        except MutationError:
+            self.batches_rejected += 1
+            raise
+        self._staging = candidate
+        self.batches_accepted += 1
+        self.deltas_applied += len(deltas)
+        task = asyncio.get_running_loop().create_task(
+            self._rebuild(candidate, None if removed_any else new_edges)
+        )
+        if wait:
+            snapshot = await task
+            return {
+                "status": "published",
+                "applied": len(deltas),
+                "version": snapshot.version,
+                "build_s": round(snapshot.built_s, 4),
+                "warm_build": snapshot.warm,
+            }
+        return {
+            "status": "accepted",
+            "applied": len(deltas),
+            "serving_version": self._manager.version,
+            "next_version": self._builder.version + 1,
+        }
+
+    async def _rebuild(self, graph: CompanyGraph, new_edges: list[Edge] | None):
+        async with self._build_lock:
+            self._rebuilding += 1
+            started = time.perf_counter()
+            try:
+                snapshot = await asyncio.get_running_loop().run_in_executor(
+                    None, self._build_sync, graph, new_edges
+                )
+                self._manager.publish(snapshot)
+                self.rebuilds += 1
+                self.last_rebuild_s = time.perf_counter() - started
+                return snapshot
+            except BaseException:
+                self.rebuild_failures += 1
+                raise
+            finally:
+                self._rebuilding -= 1
+
+    def _build_sync(self, graph: CompanyGraph, new_edges: list[Edge] | None):
+        if self.build_delay_s:
+            time.sleep(self.build_delay_s)
+        return self._builder.build(graph, new_edges=new_edges)
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "batches_accepted": self.batches_accepted,
+            "batches_rejected": self.batches_rejected,
+            "deltas_applied": self.deltas_applied,
+            "rebuilds": self.rebuilds,
+            "rebuild_failures": self.rebuild_failures,
+            "rebuild_in_progress": self.rebuild_in_progress,
+            "last_rebuild_s": round(self.last_rebuild_s, 4),
+            "staging_nodes": self._staging.node_count,
+            "staging_edges": self._staging.edge_count,
+        }
+
+
+def _required(delta: dict[str, Any], key: str) -> Any:
+    value = delta.get(key)
+    if value is None:
+        raise MutationError(f"missing required field {key!r} for op {delta.get('op')!r}")
+    return value

@@ -115,6 +115,62 @@ class TestExportDot:
         assert "forestgreen" in content or "magenta" in content or "red" in content
 
 
+class TestErrorExitPaths:
+    """Bad input -> exit 2 with one ``error:`` line, never a traceback."""
+
+    def assert_one_line_error(self, capsys):
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "Traceback" not in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_missing_extract_directory(self, tmp_path, capsys):
+        missing = tmp_path / "nowhere"
+        assert main(["control", str(missing)]) == 2
+        self.assert_one_line_error(capsys)
+
+    def test_profile_missing_directory(self, tmp_path, capsys):
+        assert main(["profile", str(tmp_path / "gone")]) == 2
+        self.assert_one_line_error(capsys)
+
+    def test_reason_missing_program(self, extract, tmp_path, capsys):
+        assert main([
+            "reason", str(extract), str(tmp_path / "no.vada"), "--query", "q",
+        ]) == 2
+        self.assert_one_line_error(capsys)
+
+    def test_reason_malformed_program(self, extract, tmp_path, capsys):
+        program = tmp_path / "broken.vada"
+        program.write_text("this is not ( a rule\n")
+        assert main([
+            "reason", str(extract), str(program), "--query", "q",
+        ]) == 2
+        self.assert_one_line_error(capsys)
+
+    def test_serve_rejects_out_of_range_port(self, extract, capsys):
+        assert main(["serve", str(extract), "--port", "99999"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: port must be in 0..65535")
+        assert "Traceback" not in err
+
+    def test_serve_rejects_missing_directory(self, tmp_path, capsys):
+        assert main(["serve", str(tmp_path / "void"), "--port", "0"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: extract directory not found")
+        assert "Traceback" not in err
+
+    def test_serve_port_in_use(self, extract, capsys):
+        import socket
+
+        with socket.socket() as blocker:
+            blocker.bind(("127.0.0.1", 0))
+            port = blocker.getsockname()[1]
+            assert main([
+                "serve", str(extract), "--port", str(port), "--no-augment",
+            ]) == 2
+        self.assert_one_line_error(capsys)
+
+
 class TestProfileFlags:
     def test_profile_prints_span_tree(self, extract, capsys):
         assert main(["--profile", "control", str(extract)]) == 0

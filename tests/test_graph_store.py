@@ -52,6 +52,60 @@ class TestFind:
         assert {n.id for n in store.find_nodes(surname="Rossi")} == {"a", "b"}
 
 
+class TestSetPropertySentinel:
+    """The ``_MISSING`` sentinel: ``None`` is a value, not absence."""
+
+    def test_first_set_of_indexed_property(self, store):
+        store.ensure_index("nickname", "Person")
+        store.set_property("a", "nickname", "Red")
+        assert {n.id for n in store.find_nodes("Person", nickname="Red")} == {"a"}
+
+    def test_none_value_is_indexed(self, store):
+        store.ensure_index("nickname", "Person")
+        store.set_property("a", "nickname", None)
+        assert {n.id for n in store.find_nodes("Person", nickname=None)} == {"a"}
+
+    def test_overwriting_indexed_none_moves_buckets(self, store):
+        store.ensure_index("nickname", "Person")
+        store.set_property("a", "nickname", None)
+        store.set_property("a", "nickname", "Red")
+        assert list(store.find_nodes("Person", nickname=None)) == []
+        assert {n.id for n in store.find_nodes("Person", nickname="Red")} == {"a"}
+
+    def test_none_criterion_never_matches_missing(self, store):
+        # scanning path: b has no nickname at all
+        assert list(store.find_nodes("Person", nickname=None)) == []
+        # indexed path must agree
+        store.ensure_index("nickname", "Person")
+        assert list(store.find_nodes("Person", nickname=None)) == []
+
+    def test_label_scoped_index_ignores_other_labels(self, store):
+        store.ensure_index("city", "Person")
+        store.set_property("c", "city", "Napoli")  # a Company
+        assert {n.id for n in store.find_nodes(city="Napoli")} == {"c"}
+        assert list(store.find_nodes("Person", city="Napoli")) == []
+
+
+class TestRemoveEdge:
+    def test_remove_returns_edge(self, store):
+        edge = next(store.match_edges("owns", source="a"))
+        removed = store.remove_edge(edge.id)
+        assert removed.id == edge.id
+        assert list(store.match_edges("owns", source="a")) == []
+        assert sum(1 for _ in store.match_edges("owns")) == 1
+
+    def test_remove_unknown_edge_raises(self, store):
+        from repro.graph import GraphError
+
+        with pytest.raises(GraphError):
+            store.remove_edge("no-such-edge")
+
+    def test_expand_reflects_removal(self, store):
+        edge = next(store.match_edges("owns", source="a"))
+        store.remove_edge(edge.id)
+        assert store.expand("a") == set()
+
+
 class TestMatchEdges:
     def test_by_label(self, store):
         assert sum(1 for _ in store.match_edges("owns")) == 2

@@ -1,0 +1,114 @@
+"""Property-based tests: GraphStore vs a naive un-indexed oracle.
+
+Random interleavings of ``create_node`` / ``set_property`` /
+``delete_node`` / ``ensure_index`` / ``find_nodes`` run against both the
+indexed store and a plain-dict oracle that re-scans everything on every
+query.  Whatever the order of index creation relative to writes, every
+query must return exactly the oracle's answer — this pins down the
+``_MISSING`` sentinel semantics (``None`` is a value; a missing property
+matches nothing) on both the indexed and the scanning path.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import GraphStore
+
+NODE_IDS = ("n0", "n1", "n2", "n3", "n4")
+LABELS = (None, "P", "C")
+PROPS = ("p", "q")
+VALUES = (None, 0, 1, "v")
+
+node_ids = st.sampled_from(NODE_IDS)
+labels = st.sampled_from(LABELS)
+props = st.sampled_from(PROPS)
+values = st.sampled_from(VALUES)
+criteria = st.dictionaries(props, values, max_size=2)
+
+operations = st.one_of(
+    st.tuples(st.just("create"), node_ids, labels, criteria),
+    st.tuples(st.just("set"), node_ids, props, values),
+    st.tuples(st.just("delete"), node_ids),
+    st.tuples(st.just("index"), props, labels),
+    st.tuples(st.just("find"), labels, criteria),
+)
+
+
+class Oracle:
+    """The obviously-correct model: a dict, re-scanned on every query."""
+
+    def __init__(self):
+        self.nodes = {}  # id -> (label, properties)
+
+    def create(self, node_id, label, properties):
+        self.nodes[node_id] = (label, dict(properties))
+
+    def set(self, node_id, prop, value):
+        self.nodes[node_id][1][prop] = value
+
+    def delete(self, node_id):
+        del self.nodes[node_id]
+
+    def find(self, label, criteria):
+        return {
+            node_id
+            for node_id, (node_label, properties) in self.nodes.items()
+            if (label is None or node_label == label)
+            and all(p in properties and properties[p] == v for p, v in criteria.items())
+        }
+
+
+def run_interleaving(ops):
+    store = GraphStore()
+    oracle = Oracle()
+    for op in ops:
+        kind = op[0]
+        if kind == "create":
+            _, node_id, label, properties = op
+            if node_id in oracle.nodes:
+                continue  # duplicate create raises in both worlds; skip
+            store.create_node(node_id, label, **properties)
+            oracle.create(node_id, label, properties)
+        elif kind == "set":
+            _, node_id, prop, value = op
+            if node_id not in oracle.nodes:
+                continue
+            store.set_property(node_id, prop, value)
+            oracle.set(node_id, prop, value)
+        elif kind == "delete":
+            _, node_id = op
+            if node_id not in oracle.nodes:
+                continue
+            store.delete_node(node_id)
+            oracle.delete(node_id)
+        elif kind == "index":
+            _, prop, label = op
+            store.ensure_index(prop, label)
+        elif kind == "find":
+            _, label, criteria = op
+            got = {node.id for node in store.find_nodes(label, **criteria)}
+            assert got == oracle.find(label, criteria), (op, sorted(oracle.nodes))
+    return store, oracle
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(operations, max_size=40))
+def test_store_matches_oracle_under_random_interleavings(ops):
+    store, oracle = run_interleaving(ops)
+    # exhaustive final sweep: every (label, prop, value) query agrees
+    for label in LABELS:
+        for prop in PROPS:
+            for value in VALUES:
+                query = {prop: value}
+                got = {node.id for node in store.find_nodes(label, **query)}
+                assert got == oracle.find(label, query), (label, query)
+        assert {n.id for n in store.find_nodes(label)} == oracle.find(label, {})
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(operations, max_size=30), criteria)
+def test_two_criteria_queries_match_oracle(ops, query):
+    store, oracle = run_interleaving(ops)
+    for label in LABELS:
+        got = {node.id for node in store.find_nodes(label, **query)}
+        assert got == oracle.find(label, query), (label, query)

@@ -1,0 +1,235 @@
+"""Tests for the LRU cache, single-flight coalescing, and micro-batching."""
+
+import asyncio
+
+import pytest
+
+from repro.service import LRUCache, MicroBatcher, ReasoningCache, SingleFlight
+
+
+class TestLRUCache:
+    def test_put_get(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.hits == 1 and cache.misses == 0
+
+    def test_miss_counts(self):
+        cache = LRUCache(4)
+        assert cache.get("nope") is None
+        assert cache.misses == 1
+
+    def test_none_is_a_value(self):
+        cache = LRUCache(4)
+        cache.put("k", None)
+        assert cache.get("k", "default") is None
+        assert cache.hits == 1
+
+    def test_capacity_evicts_least_recent(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")          # refresh a
+        cache.put("c", 3)       # evicts b
+        assert "a" in cache and "c" in cache and "b" not in cache
+        assert cache.evictions == 1
+        assert len(cache) == 2
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+
+class TestSingleFlight:
+    def test_concurrent_identical_coalesce_to_one(self):
+        async def main():
+            flight = SingleFlight()
+            calls = 0
+
+            async def supplier():
+                nonlocal calls
+                calls += 1
+                await asyncio.sleep(0.02)
+                return "result"
+
+            results = await asyncio.gather(
+                *(flight.run("k", supplier) for _ in range(25))
+            )
+            return calls, results, flight
+
+        calls, results, flight = asyncio.run(main())
+        assert calls == 1
+        assert results == ["result"] * 25
+        assert flight.leaders == 1
+        assert flight.coalesced == 24
+
+    def test_distinct_keys_do_not_coalesce(self):
+        async def main():
+            flight = SingleFlight()
+            calls = []
+
+            def supplier(key):
+                async def run():
+                    calls.append(key)
+                    await asyncio.sleep(0.01)
+                    return key
+
+                return run
+
+            results = await asyncio.gather(
+                flight.run("a", supplier("a")), flight.run("b", supplier("b"))
+            )
+            return calls, results
+
+        calls, results = asyncio.run(main())
+        assert sorted(calls) == ["a", "b"]
+        assert results == ["a", "b"]
+
+    def test_exception_propagates_to_all_and_clears(self):
+        async def main():
+            flight = SingleFlight()
+
+            async def boom():
+                await asyncio.sleep(0.01)
+                raise RuntimeError("boom")
+
+            results = await asyncio.gather(
+                *(flight.run("k", boom) for _ in range(4)), return_exceptions=True
+            )
+            assert flight.inflight() == 0
+
+            async def fine():
+                return 42
+
+            # the key is reusable after a failure
+            assert await flight.run("k", fine) == 42
+            return results
+
+        results = asyncio.run(main())
+        assert all(isinstance(r, RuntimeError) for r in results)
+
+    def test_sequential_calls_recompute(self):
+        async def main():
+            flight = SingleFlight()
+            calls = 0
+
+            async def supplier():
+                nonlocal calls
+                calls += 1
+                return calls
+
+            first = await flight.run("k", supplier)
+            second = await flight.run("k", supplier)
+            return first, second
+
+        assert asyncio.run(main()) == (1, 2)
+
+
+class TestReasoningCache:
+    def test_read_through(self):
+        async def main():
+            cache = ReasoningCache(8)
+            calls = 0
+
+            async def compute():
+                nonlocal calls
+                calls += 1
+                return "value"
+
+            first = await cache.get_or_compute("k", compute)
+            second = await cache.get_or_compute("k", compute)
+            return calls, first, second, cache
+
+        calls, first, second, cache = asyncio.run(main())
+        assert calls == 1
+        assert first == second == "value"
+        assert cache.lru.hits == 1
+        assert cache.computations == 1
+
+    def test_concurrent_identical_single_computation(self):
+        async def main():
+            cache = ReasoningCache(8)
+            calls = 0
+
+            async def compute():
+                nonlocal calls
+                calls += 1
+                await asyncio.sleep(0.02)
+                return calls
+
+            results = await asyncio.gather(
+                *(cache.get_or_compute("k", compute) for _ in range(20))
+            )
+            return calls, results
+
+        calls, results = asyncio.run(main())
+        assert calls == 1
+        assert set(results) == {1}
+
+
+class TestMicroBatcher:
+    def test_window_coalesces_into_one_batch(self):
+        async def main():
+            batches = []
+
+            async def batch_fn(keys):
+                batches.append(sorted(keys))
+                return {k: k * 10 for k in keys}
+
+            batcher = MicroBatcher(batch_fn, max_batch=64, max_delay_s=0.02)
+            results = await asyncio.gather(*(batcher.submit(k) for k in range(6)))
+            return batches, results, batcher
+
+        batches, results, batcher = asyncio.run(main())
+        assert batches == [[0, 1, 2, 3, 4, 5]]
+        assert results == [0, 10, 20, 30, 40, 50]
+        assert batcher.batches == 1
+        assert batcher.requests == 6
+
+    def test_duplicate_keys_share_one_slot(self):
+        async def main():
+            seen = []
+
+            async def batch_fn(keys):
+                seen.append(list(keys))
+                return {k: "v" for k in keys}
+
+            batcher = MicroBatcher(batch_fn, max_batch=64, max_delay_s=0.02)
+            results = await asyncio.gather(*(batcher.submit("same") for _ in range(5)))
+            return seen, results
+
+        seen, results = asyncio.run(main())
+        assert seen == [["same"]]
+        assert results == ["v"] * 5
+
+    def test_max_batch_flushes_early(self):
+        async def main():
+            batches = []
+
+            async def batch_fn(keys):
+                batches.append(len(keys))
+                return {k: k for k in keys}
+
+            batcher = MicroBatcher(batch_fn, max_batch=3, max_delay_s=5.0)
+            await asyncio.gather(*(batcher.submit(k) for k in range(3)))
+            return batches
+
+        # with a 5s window, only the size trigger can have flushed
+        assert asyncio.run(main()) == [3]
+
+    def test_batch_error_propagates_to_every_waiter(self):
+        async def main():
+            async def batch_fn(keys):
+                raise RuntimeError("backend down")
+
+            batcher = MicroBatcher(batch_fn, max_batch=8, max_delay_s=0.01)
+            return await asyncio.gather(
+                *(batcher.submit(k) for k in range(3)), return_exceptions=True
+            )
+
+        results = asyncio.run(main())
+        assert all(isinstance(r, RuntimeError) for r in results)
+
+    def test_rejects_bad_max_batch(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(lambda keys: None, max_batch=0)

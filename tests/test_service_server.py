@@ -1,0 +1,377 @@
+"""End-to-end tests for the asyncio HTTP reasoning API.
+
+The acceptance-critical properties live here:
+
+* N concurrent identical ``/control`` requests trigger exactly one
+  underlying computation (single-flight);
+* reads served while a ``POST /mutations`` re-augmentation runs come
+  from the old snapshot version, until the new version is published
+  atomically;
+* admission control: saturation -> 429, deadline expiry -> 504;
+* micro-batching: concurrent point lookups flush as one batch.
+"""
+
+import asyncio
+import json
+import time
+
+import pytest
+
+from repro.datagen.company_generator import CompanySpec, generate_company_graph
+from repro.service import ServiceConfig, build_service
+
+
+@pytest.fixture(scope="module")
+def graph():
+    g, _truth = generate_company_graph(CompanySpec(persons=30, companies=24, seed=11))
+    return g
+
+
+def make_service(graph, **overrides):
+    return build_service(graph, config=ServiceConfig(port=0, **overrides))
+
+
+async def http_request(port, method, path, body=None):
+    """One HTTP/1.1 request over a fresh connection; returns (status, json)."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        payload = json.dumps(body).encode() if body is not None else b""
+        head = f"{method} {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n"
+        if payload:
+            head += f"Content-Length: {len(payload)}\r\n"
+        writer.write((head + "\r\n").encode() + payload)
+        await writer.drain()
+        raw = await reader.read()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    header, _, body_bytes = raw.partition(b"\r\n\r\n")
+    return int(header.split()[1]), json.loads(body_bytes)
+
+
+def slow_payload(snapshot, attr, delay_s):
+    """Wrap a snapshot payload method with an artificial executor-side delay."""
+    original = getattr(snapshot, attr)
+
+    def wrapped(*args, **kwargs):
+        time.sleep(delay_s)
+        return original(*args, **kwargs)
+
+    setattr(snapshot, attr, wrapped)
+
+
+class TestEndpoints:
+    def test_every_endpoint_over_a_socket(self, graph):
+        service = make_service(graph)
+        company = next(graph.companies()).id
+
+        async def main():
+            await service.start()
+            port = service.port
+            results = {}
+            results["healthz"] = await http_request(port, "GET", "/healthz")
+            results["control"] = await http_request(port, "GET", "/control")
+            results["filtered"] = await http_request(
+                port, "GET", "/control?threshold=0.4"
+            )
+            results["close"] = await http_request(port, "GET", "/close-links")
+            results["ubo"] = await http_request(port, "GET", f"/ubo/{company}")
+            results["family"] = await http_request(port, "GET", "/family")
+            results["neighbors"] = await http_request(
+                port, "GET", f"/neighbors/{company}?depth=2"
+            )
+            results["stats"] = await http_request(port, "GET", "/stats")
+            results["metrics"] = await http_request(port, "GET", "/metrics")
+            await service.stop()
+            return results
+
+        results = asyncio.run(main())
+        for name, (status, payload) in results.items():
+            assert status == 200, f"{name}: {payload}"
+        assert results["healthz"][1]["version"] == 1
+        assert results["control"][1]["count"] == len(service.manager.current.control)
+        assert results["filtered"][1]["threshold"] == 0.4
+        assert "owners" in results["ubo"][1]
+        assert "reachable" in results["neighbors"][1]
+        assert results["stats"][1]["nodes"] == graph.node_count
+        assert results["metrics"][1]["requests"]["control"] == 2
+
+    def test_error_statuses(self, graph):
+        service = make_service(graph)
+
+        async def main():
+            await service.start()
+            port = service.port
+            results = {
+                "unknown_path": await http_request(port, "GET", "/nope"),
+                "unknown_node": await http_request(port, "GET", "/ubo/GHOST"),
+                "bad_threshold": await http_request(port, "GET", "/control?threshold=x"),
+                "bad_method": await http_request(port, "POST", "/control"),
+                "bad_depth": await http_request(port, "GET", "/neighbors/x?depth=99"),
+                "bad_body": await http_request(port, "POST", "/mutations", body=[1]),
+            }
+            await service.stop()
+            return results
+
+        results = asyncio.run(main())
+        assert results["unknown_path"][0] == 404
+        assert results["unknown_node"][0] == 404
+        assert results["bad_threshold"][0] == 400
+        assert results["bad_method"][0] == 405
+        assert results["bad_depth"][0] == 400
+        assert results["bad_body"][0] == 400
+        for _status, payload in results.values():
+            assert "error" in payload
+
+    def test_keep_alive_connection_serves_multiple_requests(self, graph):
+        service = make_service(graph)
+
+        async def main():
+            await service.start()
+            reader, writer = await asyncio.open_connection("127.0.0.1", service.port)
+            statuses = []
+            for path in ("/healthz", "/stats"):
+                writer.write(f"GET {path} HTTP/1.1\r\nHost: t\r\n\r\n".encode())
+                await writer.drain()
+                header = await reader.readuntil(b"\r\n\r\n")
+                length = int(
+                    [h for h in header.split(b"\r\n") if b"Content-Length" in h][0]
+                    .split(b":")[1]
+                )
+                await reader.readexactly(length)
+                statuses.append(int(header.split()[1]))
+            writer.close()
+            await writer.wait_closed()
+            await service.stop()
+            return statuses
+
+        assert asyncio.run(main()) == [200, 200]
+
+
+class TestSingleFlight:
+    def test_concurrent_identical_requests_compute_once(self, graph):
+        """The acceptance proof: N identical /control requests, one computation."""
+        service = make_service(graph)
+        slow_payload(service.manager.current, "control_payload", 0.25)
+
+        async def main():
+            await service.start()
+            port = service.port
+            before = service.cache.computations
+            responses = await asyncio.gather(
+                *(
+                    http_request(port, "GET", "/control?threshold=0.33")
+                    for _ in range(12)
+                )
+            )
+            after = service.cache.computations
+            # a later identical request is a pure LRU hit, still one computation
+            hits_before = service.cache.lru.hits
+            late = await http_request(port, "GET", "/control?threshold=0.33")
+            await service.stop()
+            return before, after, responses, hits_before, late
+
+        before, after, responses, hits_before, late = asyncio.run(main())
+        assert after - before == 1, "coalescing failed: more than one computation"
+        payloads = [p for _s, p in responses]
+        assert all(s == 200 for s, _p in responses)
+        assert all(p == payloads[0] for p in payloads)
+        assert service.cache.flight.coalesced >= 1
+        assert late[0] == 200
+        assert service.cache.lru.hits == hits_before + 1
+        assert service.cache.computations == after
+
+
+class TestMutations:
+    def test_old_snapshot_serves_until_atomic_publish(self, graph):
+        """The acceptance proof: reads during re-augmentation see the old
+        version; the new version appears atomically."""
+        service = make_service(graph)
+        service.updater.build_delay_s = 0.6
+        owner = next(graph.companies()).id
+        deltas = [
+            {"op": "add_company", "id": "FRESHCO", "properties": {"name": "FreshCo"}},
+            {"op": "add_shareholding", "owner": owner, "company": "FRESHCO", "share": 0.9},
+        ]
+
+        async def main():
+            await service.start()
+            port = service.port
+            status, accepted = await http_request(
+                port, "POST", "/mutations", body={"deltas": deltas}
+            )
+            assert status == 202, accepted
+            assert accepted["status"] == "accepted"
+            assert accepted["serving_version"] == 1
+
+            during = []
+            saw_rebuild_flag = False
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                _s, health = await http_request(port, "GET", "/healthz")
+                if health["rebuild_in_progress"]:
+                    saw_rebuild_flag = True
+                    _s, payload = await http_request(port, "GET", "/control")
+                    during.append((health["version"], payload["version"]))
+                if health["version"] == 2:
+                    break
+                await asyncio.sleep(0.02)
+            assert saw_rebuild_flag, "rebuild finished before we could observe it"
+
+            _s, after = await http_request(port, "GET", f"/control?source={owner}")
+            _s, stats = await http_request(port, "GET", "/stats")
+            await service.stop()
+            return during, after, stats
+
+        during, after, stats = asyncio.run(main())
+        # every read that raced the rebuild was answered from version 1
+        assert during and all(pair == (1, 1) for pair in during)
+        assert after["version"] == 2
+        assert [owner, "FRESHCO"] in after["pairs"]
+        assert stats["version"] == 2
+        assert service.manager.swaps == 2
+
+    def test_rejected_batch_leaves_staging_untouched(self, graph):
+        service = make_service(graph)
+
+        async def main():
+            await service.start()
+            port = service.port
+            status, payload = await http_request(
+                port,
+                "POST",
+                "/mutations?wait=1",
+                body={"deltas": [{"op": "warp_reality", "id": "x"}]},
+            )
+            assert status == 400 and "unknown op" in payload["error"]
+            # a valid batch afterwards publishes version 2, not 3
+            status, payload = await http_request(
+                port,
+                "POST",
+                "/mutations?wait=1",
+                body={"deltas": [{"op": "add_company", "id": "OKCO"}]},
+            )
+            await service.stop()
+            return status, payload
+
+        status, payload = asyncio.run(main())
+        assert status == 200
+        assert payload["version"] == 2
+        assert service.updater.batches_rejected == 1
+
+    def test_wait_returns_published_version(self, graph):
+        service = make_service(graph)
+
+        async def main():
+            await service.start()
+            status, payload = await http_request(
+                service.port,
+                "POST",
+                "/mutations?wait=1",
+                body={"deltas": [{"op": "add_person", "id": "PNEW"}]},
+            )
+            _s, health = await http_request(service.port, "GET", "/healthz")
+            await service.stop()
+            return status, payload, health
+
+        status, payload, health = asyncio.run(main())
+        assert status == 200
+        assert payload["status"] == "published"
+        assert payload["version"] == health["version"] == 2
+
+
+class TestAdmissionControl:
+    def test_saturation_returns_429_but_healthz_answers(self, graph):
+        service = make_service(graph, max_concurrency=1, max_queue=0)
+        slow_payload(service.manager.current, "close_links_payload", 0.4)
+
+        async def main():
+            await service.start()
+            port = service.port
+            slow = asyncio.create_task(
+                http_request(port, "GET", "/close-links?threshold=0.31")
+            )
+            await asyncio.sleep(0.1)  # let the slow request occupy the slot
+            status_rejected, rejected = await http_request(
+                port, "GET", "/close-links?threshold=0.77"
+            )
+            status_health, _ = await http_request(port, "GET", "/healthz")
+            status_slow, _ = await slow
+            await service.stop()
+            return status_rejected, rejected, status_health, status_slow
+
+        status_rejected, rejected, status_health, status_slow = asyncio.run(main())
+        assert status_rejected == 429
+        assert "saturated" in rejected["error"]
+        assert status_health == 200  # observability bypasses admission
+        assert status_slow == 200
+        assert service.metrics.rejected_429 == 1
+
+    def test_deadline_expiry_returns_504(self, graph):
+        service = make_service(graph, request_timeout_s=0.05)
+        slow_payload(service.manager.current, "close_links_payload", 0.5)
+
+        async def main():
+            await service.start()
+            status, payload = await http_request(
+                service.port, "GET", "/close-links?threshold=0.41"
+            )
+            await service.stop()
+            return status, payload
+
+        status, payload = asyncio.run(main())
+        assert status == 504
+        assert "deadline" in payload["error"]
+        assert service.metrics.timeouts_504 == 1
+
+
+class TestMicroBatching:
+    def test_concurrent_point_lookups_flush_as_one_batch(self, graph):
+        service = make_service(graph, batch_delay_s=0.05, batch_max=64)
+        companies = [node.id for node in graph.companies()][:8]
+
+        async def main():
+            await service.start()
+            port = service.port
+            responses = await asyncio.gather(
+                *(http_request(port, "GET", f"/ubo/{c}") for c in companies)
+            )
+            await service.stop()
+            return responses
+
+        responses = asyncio.run(main())
+        assert all(status == 200 for status, _ in responses)
+        assert service._ubo_batcher.batches == 1
+        assert service._ubo_batcher.batched_keys == len(companies)
+        expected = service.manager.current.ubo_payloads(companies)
+        for company, (_status, payload) in zip(companies, responses):
+            assert payload == expected[company]
+
+
+class TestMetrics:
+    def test_latency_histogram_and_counters(self, graph):
+        service = make_service(graph)
+
+        async def main():
+            await service.start()
+            port = service.port
+            for _ in range(3):
+                await http_request(port, "GET", "/control")
+            await http_request(port, "GET", "/nope")
+            _s, metrics = await http_request(port, "GET", "/metrics")
+            await service.stop()
+            return metrics
+
+        metrics = asyncio.run(main())
+        assert metrics["requests"]["control"] == 3
+        assert metrics["requests"]["unknown"] == 1
+        assert metrics["statuses"]["2xx"] >= 3
+        assert metrics["statuses"]["4xx"] == 1
+        histogram = metrics["latency_histogram"]["control"]
+        assert sum(histogram) == 3
+        assert metrics["cache"]["hits"] == 2  # 2nd and 3rd /control were LRU hits
+        assert metrics["snapshot"]["version"] == 1
+        assert metrics["updater"]["rebuilds"] == 0

@@ -1,0 +1,179 @@
+"""Tests for versioned snapshots: builds, payloads, atomic swaps."""
+
+import pytest
+
+from repro.datagen.company_generator import CompanySpec, generate_company_graph
+from repro.graph import CompanyGraph
+from repro.ownership.close_links import close_link_pairs
+from repro.ownership.control import control_closure
+from repro.service import Snapshot, SnapshotBuilder, SnapshotConfig, SnapshotManager
+
+
+@pytest.fixture(scope="module")
+def graph():
+    g, _truth = generate_company_graph(CompanySpec(persons=30, companies=24, seed=11))
+    return g
+
+
+@pytest.fixture(scope="module")
+def snapshot(graph):
+    return SnapshotBuilder().build(graph)
+
+
+class TestBuild:
+    def test_versions_increase_monotonically(self, graph):
+        builder = SnapshotBuilder()
+        assert builder.build(graph).version == 1
+        assert builder.build(graph).version == 2
+        assert builder.version == 2
+
+    def test_precomputed_control_matches_reference(self, graph, snapshot):
+        assert snapshot.control == control_closure(graph, threshold=0.5)
+
+    def test_precomputed_close_links_match_reference(self, graph, snapshot):
+        assert snapshot.close_links == close_link_pairs(graph, 0.2, max_depth=12)
+
+    def test_augmented_graph_has_typed_edges(self, graph, snapshot):
+        assert snapshot.augmented.edge_count >= graph.edge_count + len(snapshot.control)
+        control_edges = sum(1 for _ in snapshot.augmented.edges("control"))
+        assert control_edges == len(snapshot.control)
+
+    def test_store_indexes_built(self, snapshot):
+        for prop in snapshot.config.index_properties:
+            assert (None, prop) in snapshot.store._property_indexes
+
+    def test_no_augment_skips_family_detection(self, graph):
+        snapshot = SnapshotBuilder(SnapshotConfig(augment=False)).build(graph)
+        assert snapshot.family_links == set()
+        assert snapshot.control  # ownership analytics still precomputed
+
+
+class TestPayloads:
+    def test_control_payload_default_threshold(self, snapshot):
+        payload = snapshot.control_payload()
+        assert payload["version"] == snapshot.version
+        assert payload["count"] == len(snapshot.control)
+        assert all(len(pair) == 2 for pair in payload["pairs"])
+
+    def test_control_payload_source_filter(self, snapshot):
+        source = next(iter(snapshot.control))[0]
+        payload = snapshot.control_payload(source=source)
+        assert payload["pairs"]
+        assert all(x == source for x, _ in payload["pairs"])
+
+    def test_control_payload_custom_threshold(self, graph, snapshot):
+        payload = snapshot.control_payload(threshold=0.35)
+        expected = control_closure(graph, threshold=0.35)
+        assert {tuple(p) for p in payload["pairs"]} == expected
+
+    def test_ubo_batch_matches_precomputed(self, snapshot):
+        companies = [c for c in snapshot.ubo][:4]
+        payloads = snapshot.ubo_payloads(companies)
+        for company in companies:
+            owners = payloads[company]["owners"]
+            assert [o["person"] for o in owners] == [
+                o.person for o in snapshot.ubo[company]
+            ]
+
+    def test_ubo_batch_custom_threshold(self, snapshot):
+        companies = [c for c in snapshot.ubo][:2]
+        strict = snapshot.ubo_payloads(companies, threshold=0.9)
+        for company in companies:
+            for owner in strict[company]["owners"]:
+                assert owner["integrated_share"] >= 0.9 or owner["controls"]
+
+    def test_neighbors_payload(self, graph, snapshot):
+        company = next(graph.companies()).id
+        payload = snapshot.neighbors_payload(company)
+        assert payload["id"] == company
+        assert payload["label"] == "C"
+        degree = len(payload["out"]) + len(payload["in"])
+        assert degree >= snapshot.graph.degree(company) > 0 or degree == 0
+
+    def test_neighbors_payload_depth(self, snapshot):
+        source = next(iter(snapshot.control))[0]
+        payload = snapshot.neighbors_payload(source, depth=3)
+        assert "reachable" in payload
+
+    def test_stats_payload(self, graph, snapshot):
+        stats = snapshot.stats_payload()
+        assert stats["nodes"] == graph.node_count
+        assert stats["control_pairs"] == len(snapshot.control)
+        assert stats["version"] == snapshot.version
+
+
+class TestWarmRebuild:
+    def test_warm_build_uses_incremental_embedder(self):
+        graph, _ = generate_company_graph(CompanySpec(persons=40, companies=30, seed=5))
+        config = SnapshotConfig(first_level_clusters=3, use_embeddings=True)
+        builder = SnapshotBuilder(config)
+        first = builder.build(graph)
+        assert not first.warm
+        assert builder._embedder.cold_rounds == 1
+
+        mutated = graph.copy()
+        mutated.add_company("WARMCO", name="WarmCo")
+        owner = next(graph.companies()).id
+        edge = mutated.add_shareholding(owner, "WARMCO", 0.7)
+        second = builder.build(mutated, new_edges=[edge])
+        assert second.warm
+        assert second.version == 2
+        assert builder._embedder.warm_rounds == 1
+
+    def test_removals_force_cold_build(self):
+        graph, _ = generate_company_graph(CompanySpec(persons=30, companies=24, seed=5))
+        config = SnapshotConfig(first_level_clusters=3, use_embeddings=True)
+        builder = SnapshotBuilder(config)
+        builder.build(graph)
+        second = builder.build(graph.copy(), new_edges=None)
+        assert not second.warm
+        assert builder._embedder.cold_rounds == 2
+
+
+class TestManager:
+    def test_empty_manager_raises(self):
+        manager = SnapshotManager()
+        assert manager.version == 0
+        with pytest.raises(RuntimeError):
+            manager.current
+
+    def test_publish_swaps_atomically(self, graph):
+        builder = SnapshotBuilder()
+        manager = SnapshotManager()
+        first = builder.build(graph)
+        manager.publish(first)
+        assert manager.current is first
+        second = builder.build(graph)
+        manager.publish(second)
+        assert manager.current is second
+        assert manager.swaps == 2
+        assert manager.last_swap_pause_s < 0.01
+
+    def test_publish_rejects_stale_version(self, graph):
+        builder = SnapshotBuilder()
+        manager = SnapshotManager()
+        first = builder.build(graph)
+        second = builder.build(graph)
+        manager.publish(second)
+        with pytest.raises(ValueError):
+            manager.publish(first)
+
+    def test_readers_keep_old_reference_during_swap(self, graph):
+        builder = SnapshotBuilder()
+        manager = SnapshotManager(builder.build(graph))
+        held: Snapshot = manager.current
+        manager.publish(builder.build(graph))
+        # the old snapshot object stays fully usable for in-flight readers
+        assert held.version == 1
+        assert held.control_payload()["version"] == 1
+        assert manager.current.version == 2
+
+
+def test_minimal_graph_snapshot():
+    graph = CompanyGraph()
+    graph.add_person("p")
+    graph.add_company("c")
+    graph.add_shareholding("p", "c", 0.8)
+    snapshot = SnapshotBuilder().build(graph)
+    assert snapshot.control == {("p", "c")}
+    assert snapshot.ubo["c"][0].person == "p"
