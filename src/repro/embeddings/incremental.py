@@ -30,12 +30,13 @@ from typing import Hashable, Iterable, Sequence
 
 import numpy as np
 
+from ..graph.columnar import GraphFrame
 from ..graph.property_graph import Edge, PropertyGraph
 from ..telemetry import NULL_TRACER
 from .kmeans import kmeans
 from .node2vec import Node2VecConfig, _stack_vectors, feature_token_adjacency
 from .skipgram import SkipGramModel, train_skipgram, update_skipgram
-from .walks import RandomWalker, build_adjacency
+from .walks import RandomWalker
 
 NodeId = Hashable
 
@@ -110,17 +111,24 @@ class IncrementalEmbedder:
     def _embed_cold(self, graph: PropertyGraph, nodes: list[NodeId]) -> dict[NodeId, int]:
         config = self.config
         self.cold_rounds += 1
+        frame: GraphFrame | None = None
         with self.tracer.span("embed.adjacency", mode="cold"):
             if self.feature_properties:
                 self._sorted = feature_token_adjacency(
                     graph, self.feature_properties, self.weight_property
                 )
             else:
-                self._sorted = build_adjacency(graph, self.weight_property)
+                # no token nodes: the structural adjacency IS the frame's
+                # cached view, and the walker shares the frame's CSR
+                frame = GraphFrame.of(graph, self.weight_property)
+                self._sorted = dict(frame.undirected_adjacency())
             self._adjacency = {
                 node: dict(neighbors) for node, neighbors in self._sorted.items()
             }
-        walker = RandomWalker(self._sorted, p=config.p, q=config.q, seed=config.seed)
+        walker = RandomWalker(
+            frame if frame is not None else self._sorted,
+            p=config.p, q=config.q, seed=config.seed,
+        )
         starts = list(self._sorted)
         with self.tracer.span("embed.walks", mode="cold", workers=self.workers) as span:
             all_walks = walker.walks(

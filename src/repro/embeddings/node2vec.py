@@ -12,6 +12,7 @@ from typing import Hashable
 
 import numpy as np
 
+from ..graph.columnar import GraphFrame
 from ..graph.property_graph import PropertyGraph
 from ..telemetry import NULL_TRACER
 from .kmeans import kmeans
@@ -52,10 +53,10 @@ class Node2Vec:
     def fit(self, graph: PropertyGraph, weight_property: str = "w") -> SkipGramModel:
         """Sample walks and train SGNS; returns (and retains) the model."""
         config = self.config
-        adjacency = build_adjacency(graph, weight_property)
-        walker = RandomWalker(adjacency, p=config.p, q=config.q, seed=config.seed)
+        frame = GraphFrame.of(graph, weight_property)
+        walker = RandomWalker(frame, p=config.p, q=config.q, seed=config.seed)
         walks = walker.walks(
-            list(adjacency), config.num_walks, config.walk_length,
+            list(walker.adjacency), config.num_walks, config.walk_length,
             workers=config.workers,
         )
         self.model = train_skipgram(
@@ -151,12 +152,17 @@ def embed_and_cluster(
     config = config if config is not None else Node2VecConfig()
     with tracer.span("embed.adjacency"):
         if feature_properties:
+            # the bipartite token structure is private to this embed, but
+            # the structural half inside it still reads the frame's
+            # cached merged-undirected view through build_adjacency
             adjacency = feature_token_adjacency(
                 graph, feature_properties, weight_property
             )
+            walker = RandomWalker(adjacency, p=config.p, q=config.q, seed=config.seed)
         else:
-            adjacency = build_adjacency(graph, weight_property)
-    walker = RandomWalker(adjacency, p=config.p, q=config.q, seed=config.seed)
+            frame = GraphFrame.of(graph, weight_property)
+            walker = RandomWalker(frame, p=config.p, q=config.q, seed=config.seed)
+            adjacency = walker.adjacency
     with tracer.span("embed.walks", workers=config.workers or "serial") as span:
         walks = walker.walks(
             list(adjacency), config.num_walks, config.walk_length,

@@ -28,6 +28,12 @@ worker count.  Start nodes shard across a fork-based process pool, and
 the unbiased case (p == q == 1, the paper's default) steps all walks of
 a shard in numpy lockstep over a CSR view of the adjacency instead of
 one Python loop per step.
+
+The adjacency and the lockstep CSR live in the columnar core now:
+:class:`RandomWalker` accepts a :class:`~repro.graph.columnar.GraphFrame`
+directly (sharing the frame's cached merged-undirected view and CSR
+buffers with every other consumer of that graph version), and
+:func:`build_adjacency` is a thin compatibility shim over the frame.
 """
 
 from __future__ import annotations
@@ -41,6 +47,7 @@ from typing import Hashable, Sequence
 
 import numpy as np
 
+from ..graph.columnar import GraphFrame, build_walker_csr
 from ..graph.property_graph import PropertyGraph
 
 NodeId = Hashable
@@ -102,50 +109,49 @@ def _pool_walk_shard(payload: tuple) -> tuple:
     return _FORK_WALKER._eval_payload(payload)
 
 
-def _neighbor_sort_key(item: tuple[NodeId, float]) -> str:
-    node = item[0]
-    # identical ordering to sorting by str(node), without allocating a
-    # fresh string per comparison for the (ubiquitous) string-id case
-    return node if type(node) is str else str(node)
-
-
 def build_adjacency(
     graph: PropertyGraph, weight_property: str = "w"
 ) -> dict[NodeId, list[tuple[NodeId, float]]]:
-    """Undirected weighted adjacency; parallel/reciprocal edges merge by sum."""
-    adjacency: dict[NodeId, dict[NodeId, float]] = {n: {} for n in graph.node_ids()}
-    for edge in graph.edges():
-        weight = float(edge.get(weight_property, 1.0) or 1.0)
-        if edge.source == edge.target:
-            continue
-        adjacency[edge.source][edge.target] = (
-            adjacency[edge.source].get(edge.target, 0.0) + weight
-        )
-        adjacency[edge.target][edge.source] = (
-            adjacency[edge.target].get(edge.source, 0.0) + weight
-        )
-    return {node: sorted(neighbors.items(), key=_neighbor_sort_key)
-            for node, neighbors in adjacency.items()}
+    """Undirected weighted adjacency; parallel/reciprocal edges merge by sum.
+
+    Compatibility shim over :meth:`GraphFrame.undirected_adjacency` — the
+    heavy lifting (and the cache) lives on the graph's columnar frame.
+    Returns a fresh outer dict so callers may rebind entries (the
+    incremental embedder does) without corrupting the shared view; the
+    neighbour lists themselves are shared and must not be mutated.
+    """
+    return dict(GraphFrame.of(graph, weight_property).undirected_adjacency())
 
 
 class RandomWalker:
-    """Generates node2vec walks over a prebuilt adjacency."""
+    """Generates node2vec walks over a prebuilt adjacency.
+
+    Accepts either a plain adjacency dict (``node -> [(neighbor, weight),
+    ...]``, str-sorted) or a :class:`GraphFrame`, in which case the
+    frame's cached merged-undirected view and lockstep CSR are shared
+    instead of rebuilt per walker.
+    """
 
     def __init__(
         self,
-        adjacency: dict[NodeId, list[tuple[NodeId, float]]],
+        adjacency: "dict[NodeId, list[tuple[NodeId, float]]] | GraphFrame",
         p: float = 1.0,
         q: float = 1.0,
         seed: int = 0,
     ):
         if p <= 0 or q <= 0:
             raise ValueError("node2vec parameters p and q must be positive")
+        if isinstance(adjacency, GraphFrame):
+            self._frame: GraphFrame | None = adjacency
+            adjacency = adjacency.undirected_adjacency()
+        else:
+            self._frame = None
         self.adjacency = adjacency
         self.p = p
         self.q = q
         self.seed = seed
         self._rng = random.Random(seed)
-        self._csr: tuple | None = None  # built lazily by _ensure_csr
+        self._csr: tuple | None = None  # resolved lazily by _ensure_csr
         self._entropy_cache: dict[NodeId, int] = {}
         self._tables: dict[NodeId, _Table] = {}
         for node, neighbors in adjacency.items():
@@ -280,50 +286,14 @@ class RandomWalker:
     # ------------------------------------------------------------------
 
     def _ensure_csr(self) -> tuple:
-        """Int-indexed CSR view of the adjacency for lockstep stepping.
-
-        ``keys[indptr[i] + j] = i + cum_ij / total_i`` is globally
-        monotone, so one ``searchsorted`` resolves a whole batch of
-        next-step draws (query ``i + u``); positions are clipped back
-        into their row to absorb boundary ties.
-        """
+        """The lockstep CSR: the frame's shared buffers when the walker
+        was built from a :class:`GraphFrame`, otherwise built (once) from
+        the local adjacency by :func:`build_walker_csr`."""
         if self._csr is None:
-            node_list = list(self.adjacency)
-            n = len(node_list)
-            node_index = {node: i for i, node in enumerate(node_list)}
-            counts: list[int] = []
-            flat_index: list[int] = []
-            flat_weights: list[float] = []
-            for node in node_list:
-                ids, weights, _, _ = self._tables[node]
-                counts.append(len(ids))
-                flat_index.extend(node_index[neighbor] for neighbor in ids)
-                flat_weights.extend(weights)
-            degrees = np.asarray(counts, dtype=np.int64)
-            indptr = np.zeros(n + 1, dtype=np.int64)
-            np.cumsum(degrees, out=indptr[1:])
-            neighbors = np.asarray(flat_index, dtype=np.int64)
-            if neighbors.size:
-                # segmented cumulative weights, normalised per row and
-                # offset by the row index (exact row end: i + 1.0)
-                cum = np.concatenate(
-                    ([0.0], np.cumsum(np.asarray(flat_weights, dtype=np.float64)))
-                )
-                row_base = np.repeat(cum[indptr[:-1]], degrees)
-                totals = np.repeat(cum[indptr[1:]] - cum[indptr[:-1]], degrees)
-                row_of = np.repeat(np.arange(n, dtype=np.float64), degrees)
-                keys = row_of + (cum[1:] - row_base) / totals
-                nonempty = degrees > 0
-                keys[indptr[1:][nonempty] - 1] = (
-                    np.arange(n, dtype=np.float64)[nonempty] + 1.0
-                )
+            if self._frame is not None:
+                self._csr = self._frame.walker_csr()
             else:
-                keys = np.empty(0, dtype=np.float64)
-            node_objects = np.empty(n, dtype=object)
-            node_objects[:] = node_list
-            self._csr = (
-                node_list, node_index, indptr, neighbors, keys, degrees, node_objects
-            )
+                self._csr = build_walker_csr(self.adjacency)
         return self._csr
 
     def _entropy_array(self, starts: list[NodeId]) -> np.ndarray:
@@ -518,7 +488,9 @@ def generate_walks(
     weight_property: str = "w",
     workers: int | None = None,
 ) -> list[list[NodeId]]:
-    """Convenience wrapper: build adjacency and sample node2vec walks."""
-    adjacency = build_adjacency(graph, weight_property)
-    walker = RandomWalker(adjacency, p=p, q=q, seed=seed)
-    return walker.walks(list(adjacency), num_walks, walk_length, workers=workers)
+    """Convenience wrapper: frame the graph and sample node2vec walks."""
+    frame = GraphFrame.of(graph, weight_property)
+    walker = RandomWalker(frame, p=p, q=q, seed=seed)
+    return walker.walks(
+        list(walker.adjacency), num_walks, walk_length, workers=workers
+    )

@@ -1,5 +1,6 @@
 """Property-graph substrate: the data model of Definitions 2.1 and 2.2."""
 
+from .columnar import GraphFrame
 from .company_graph import (
     COMPANY,
     FAMILY,
@@ -51,6 +52,7 @@ __all__ = [
     "EdgeRelation",
     "FAMILY",
     "GraphError",
+    "GraphFrame",
     "GraphProfile",
     "GraphStore",
     "ControlChange",

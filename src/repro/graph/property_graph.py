@@ -59,6 +59,22 @@ class PropertyGraph:
         self._out: dict[NodeId, list[EdgeId]] = {}
         self._in: dict[NodeId, list[EdgeId]] = {}
         self._next_edge_id = 0
+        self._generation = 0
+
+    @property
+    def generation(self) -> int:
+        """Monotone mutation counter — the cache-invalidation contract.
+
+        Every structural write (node/edge add or remove) and every
+        property write routed through :meth:`set_property` bumps it;
+        derived views (notably :class:`~repro.graph.columnar.GraphFrame`)
+        are valid exactly as long as the generation they were built at is
+        still current.  Mutating ``node.properties`` dicts directly
+        bypasses the counter — use :meth:`set_property` (or
+        :meth:`GraphStore.set_property <repro.graph.store.GraphStore.set_property>`)
+        when cached views must notice.
+        """
+        return self._generation
 
     # ------------------------------------------------------------------
     # construction
@@ -74,6 +90,7 @@ class PropertyGraph:
         if node_id in self._nodes:
             raise GraphError(f"node {node_id!r} already exists")
         node = Node(node_id, label, dict(properties))
+        self._generation += 1
         self._nodes[node_id] = node
         self._out[node_id] = []
         self._in[node_id] = []
@@ -105,6 +122,7 @@ class PropertyGraph:
         if edge_id in self._edges:
             raise GraphError(f"edge {edge_id!r} already exists")
         edge = Edge(edge_id, source, target, label, dict(properties))
+        self._generation += 1
         self._edges[edge_id] = edge
         self._out[source].append(edge_id)
         self._in[target].append(edge_id)
@@ -115,6 +133,7 @@ class PropertyGraph:
         edge = self._edges.pop(edge_id, None)
         if edge is None:
             raise GraphError(f"edge {edge_id!r} does not exist")
+        self._generation += 1
         self._out[edge.source].remove(edge_id)
         self._in[edge.target].remove(edge_id)
         return edge
@@ -124,12 +143,23 @@ class PropertyGraph:
         node = self._nodes.pop(node_id, None)
         if node is None:
             raise GraphError(f"node {node_id!r} does not exist")
+        self._generation += 1
         for edge_id in list(self._out[node_id]) + list(self._in[node_id]):
             if edge_id in self._edges:
                 self.remove_edge(edge_id)
         del self._out[node_id]
         del self._in[node_id]
         return node
+
+    def set_property(self, node_id: NodeId, name: str, value: Any) -> None:
+        """Set one node property, bumping the generation counter.
+
+        The write-path equivalent of reading through :meth:`sigma` —
+        callers that mutate ``node.properties`` directly keep working but
+        leave cached derived views (``GraphFrame``) unaware of the change.
+        """
+        self.node(node_id).properties[name] = value
+        self._generation += 1
 
     # ------------------------------------------------------------------
     # access

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..datalog.database import Database
+from .columnar import GraphFrame
 from .company_graph import COMPANY, PERSON, SHAREHOLDING, CompanyGraph
 from .property_graph import PropertyGraph
 
@@ -70,7 +71,11 @@ class RelationalSchema:
 COMPANY_SCHEMA = RelationalSchema(
     node_relations=(
         NodeRelation(COMPANY, "company", ("name", "address", "incorporation_date", "legal_form")),
-        NodeRelation(PERSON, "person", ("name", "surname", "birth_date", "birth_place", "sex", "address", "father_name")),
+        NodeRelation(
+            PERSON,
+            "person",
+            ("name", "surname", "birth_date", "birth_place", "sex", "address", "father_name"),
+        ),
     ),
     edge_relations=(
         EdgeRelation(SHAREHOLDING, "own", ("w", "right"), sum_property="w"),
@@ -83,30 +88,53 @@ def to_facts(graph: PropertyGraph, schema: RelationalSchema = COMPANY_SCHEMA) ->
 
     Elements whose label is not covered by the schema are skipped (they
     are outside the mapped sub-signature). Missing properties map to None.
+
+    Facts are emitted from the graph's columnar frame — label partitions
+    and per-property columns cached on the
+    :class:`~repro.graph.columnar.GraphFrame` — instead of per-object
+    iteration, so repeated exports of the same graph version (pipeline
+    rounds, KG rebuilds) share the column buffers.  Fact content and
+    per-predicate ordering are identical to the historical per-object
+    walk: nodes and edges in insertion order, parallel shareholdings
+    summed left to right.
     """
+    frame = GraphFrame.of(graph)
     database = Database()
-    for node in graph.nodes():
-        relation = schema.node_relation(node.label) if node.label else None
-        if relation is None:
-            continue
-        values = (node.id,) + tuple(node.properties.get(p) for p in relation.properties)
-        database.add(relation.predicate, values)
+    nodes = frame.nodes
+    seen_node_labels: set[str] = set()
+    for relation in schema.node_relations:
+        if relation.label in seen_node_labels:
+            continue  # first relation per label wins, as in the object walk
+        seen_node_labels.add(relation.label)
+        codes = frame.label_members(relation.label)
+        columns = [frame.node_property_column(p) for p in relation.properties]
+        for code in codes.tolist():
+            values = (nodes[code],) + tuple(column[code] for column in columns)
+            database.add(relation.predicate, values)
     merged: dict[tuple, float] = {}
     merged_template: dict[tuple, tuple] = {}
-    for edge in graph.edges():
-        relation = schema.edge_relation(edge.label) if edge.label else None
-        if relation is None:
+    src, dst = frame.edge_src, frame.edge_dst
+    seen_edge_labels: set[str] = set()
+    for relation in schema.edge_relations:
+        if relation.label in seen_edge_labels:
             continue
-        values = (edge.source, edge.target) + tuple(
-            edge.properties.get(p) for p in relation.properties
+        seen_edge_labels.add(relation.label)
+        positions = frame.edge_positions(relation.label)
+        columns = [frame.edge_property_column(p) for p in relation.properties]
+        sum_index = (
+            None if relation.sum_property is None
+            else 2 + relation.properties.index(relation.sum_property)
         )
-        if relation.sum_property is None:
-            database.add(relation.predicate, values)
-            continue
-        sum_index = 2 + relation.properties.index(relation.sum_property)
-        key = (relation.predicate,) + values[:sum_index] + values[sum_index + 1:]
-        merged[key] = merged.get(key, 0.0) + (values[sum_index] or 0.0)
-        merged_template[key] = (relation.predicate, values, sum_index)
+        for pos in positions.tolist():
+            values = (nodes[src[pos]], nodes[dst[pos]]) + tuple(
+                column[pos] for column in columns
+            )
+            if sum_index is None:
+                database.add(relation.predicate, values)
+                continue
+            key = (relation.predicate,) + values[:sum_index] + values[sum_index + 1:]
+            merged[key] = merged.get(key, 0.0) + (values[sum_index] or 0.0)
+            merged_template[key] = (relation.predicate, values, sum_index)
     for key, total in merged.items():
         predicate, values, sum_index = merged_template[key]
         row = values[:sum_index] + (total,) + values[sum_index + 1:]

@@ -52,7 +52,9 @@ class GraphStore:
     def set_property(self, node_id: NodeId, name: str, value: Any) -> None:
         node = self.graph.node(node_id)
         old = node.properties.get(name, _MISSING)
-        node.properties[name] = value
+        # route through the graph so its generation counter (and thus any
+        # cached GraphFrame) sees the write
+        self.graph.set_property(node_id, name, value)
         for (index_label, prop), index in self._property_indexes.items():
             if prop != name or index_label not in (None, node.label):
                 continue
@@ -95,6 +97,15 @@ class GraphStore:
             if prop in node.properties:
                 index.setdefault(node.properties[prop], set()).add(node_id)
         self._property_indexes[key] = index
+
+    def drop_index(self, prop: str, label: str | None = None) -> bool:
+        """Drop a property index; returns whether one existed.
+
+        ``find_nodes`` falls back to scanning, and a later
+        :meth:`ensure_index` rebuilds from the live graph — the
+        drop-then-reindex cycle is how stale index suspicion is resolved.
+        """
+        return self._property_indexes.pop((label, prop), None) is not None
 
     def find_nodes(
         self, label: str | None = None, **criteria: Any

@@ -14,10 +14,16 @@ fully self-owned through cycles, counting circular ownership the way a
 dividend flow would — including a company's indirect stake in itself
 (the buy-back effect).
 
-This module solves the system with scipy sparse LU, giving an
-O(n·nnz)-ish alternative to path enumeration that also handles cycles —
-it backs the reproduction's cyclic-graph close-link screening and the
-ultimate-beneficial-owner extension (:mod:`repro.ownership.ubo`).
+``W`` comes straight from the graph's columnar frame
+(:class:`~repro.graph.columnar.GraphFrame`): the shareholding COO
+buffers are built once per graph version, and the point solves share one
+``splu`` factorisation of ``I - W^T`` instead of running a fresh
+``spsolve`` per source — bit-identical results (same SuperLU code path),
+O(n·nnz) once instead of per solve.  The node order is the frame's
+intern order: ``str(id)``-sorted like the historical implementation, but
+with a deterministic type/repr tiebreak for ids that stringify
+identically (``1`` vs ``"1"``), which the old ``sorted(key=str)`` left
+ambiguous.
 """
 
 from __future__ import annotations
@@ -26,22 +32,21 @@ import numpy as np
 from scipy.sparse import identity, lil_matrix
 from scipy.sparse.linalg import spsolve
 
-from ..graph.company_graph import SHAREHOLDING, CompanyGraph
+from ..graph.columnar import GraphFrame
+from ..graph.company_graph import CompanyGraph
 from ..graph.property_graph import NodeId
 
 
 def ownership_matrix(
     graph: CompanyGraph,
 ) -> tuple[list[NodeId], "lil_matrix"]:
-    """Direct-ownership matrix W with W[i, j] = share of node j held by node i."""
-    nodes = sorted(graph.node_ids(), key=str)
-    index = {node: i for i, node in enumerate(nodes)}
-    matrix = lil_matrix((len(nodes), len(nodes)))
-    for edge in graph.edges(SHAREHOLDING):
-        i = index[edge.source]
-        j = index[edge.target]
-        matrix[i, j] += edge.get("w", 0.0)
-    return nodes, matrix
+    """Direct-ownership matrix W with W[i, j] = share of node j held by node i.
+
+    Node order is the frame's deterministic intern order; the matrix is
+    materialised from the frame's cached COO buffers.
+    """
+    frame = GraphFrame.of(graph)
+    return list(frame.nodes), frame.ownership_w().tolil()
 
 
 def integrated_ownership_matrix(
@@ -55,10 +60,13 @@ def integrated_ownership_matrix(
     Returns (node order, dense Y) — dense because Y is generally dense;
     intended for graphs up to a few thousand nodes.
     """
-    nodes, w = ownership_matrix(graph)
+    frame = GraphFrame.of(graph)
+    nodes = list(frame.nodes)
     if not nodes:
         return nodes, np.zeros((0, 0))
-    w = (w * damping).tocsc()
+    w = frame.ownership_w()
+    if damping != 1.0:
+        w = (w * damping).tocsc()
     system = (identity(len(nodes), format="csc") - w)
     solution = spsolve(system, w.toarray())
     result = np.asarray(solution)
@@ -86,22 +94,22 @@ def integrated_ownership_from(
     source: NodeId,
     damping: float = 1.0,
 ) -> dict[NodeId, float]:
-    """Integrated ownership of ``source`` over every node (one linear solve).
+    """Integrated ownership of ``source`` over every node (one triangular solve).
 
     Solves ``y = W^T y + W^T e_source`` — the column of Y restricted to
-    the source row — without forming the full matrix.
+    the source row — against the frame's cached ``splu`` factorisation,
+    so a sweep over many sources (UBO indexing, close-link screening)
+    factorises ``I - W^T`` exactly once per graph version.
     """
-    nodes, w = ownership_matrix(graph)
-    index = {node: i for i, node in enumerate(nodes)}
+    frame = GraphFrame.of(graph)
+    index = frame.index
     if source not in index:
         return {}
-    w = (w * damping).tocsc()
-    transpose = w.T.tocsc()
-    unit = np.zeros(len(nodes))
+    _, transpose, solver = frame.ownership_system(damping)
+    unit = np.zeros(len(frame.nodes))
     unit[index[source]] = 1.0
     rhs = transpose @ unit
-    system = identity(len(nodes), format="csc") - transpose
-    solution = spsolve(system, rhs)
+    solution = solver(rhs)
     return {
         node: float(solution[i])
         for node, i in index.items()

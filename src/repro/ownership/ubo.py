@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..graph.columnar import GraphFrame
 from ..graph.company_graph import CompanyGraph
 from ..graph.property_graph import NodeId
 from .control import CONTROL_THRESHOLD, controlled_by
@@ -53,8 +54,11 @@ def beneficial_owners(
     """The beneficial owners of one company, sorted by integrated share.
 
     A person qualifies through integrated ownership >= ``threshold`` or
-    through vote-majority control (Definition 2.3).
+    through vote-majority control (Definition 2.3).  The per-person
+    integrated-ownership solves all run against the graph frame's one
+    cached ``splu`` factorisation.
     """
+    GraphFrame.of(graph).ownership_system()  # factorise once before the sweep
     owners: dict[NodeId, BeneficialOwner] = {}
     for person_node in graph.persons():
         person = person_node.id

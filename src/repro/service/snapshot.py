@@ -26,6 +26,7 @@ from typing import Any, Iterable, Sequence
 from ..core.pipeline import PipelineConfig, ReasoningPipeline
 from ..embeddings.incremental import IncrementalEmbedder
 from ..embeddings.node2vec import Node2VecConfig
+from ..graph.columnar import GraphFrame
 from ..graph.company_graph import CompanyGraph
 from ..graph.property_graph import Edge, NodeId
 from ..graph.store import GraphStore
@@ -72,6 +73,12 @@ class Snapshot:
     afterwards every method is a read (custom-threshold queries compute
     on private data and leave the snapshot untouched), so a snapshot can
     be shared freely between the event loop and executor threads.
+
+    The snapshot owns one :class:`~repro.graph.columnar.GraphFrame` over
+    its base graph — the same frame the builder used — so the control,
+    close-link, UBO and neighbour endpoints (and custom-threshold
+    recomputations, which reach it through ``GraphFrame.of``) all share
+    one set of column buffers and one cached ``splu`` factorisation.
     """
 
     def __init__(
@@ -87,9 +94,12 @@ class Snapshot:
         ubo: dict[NodeId, list[BeneficialOwner]],
         built_s: float,
         warm: bool = False,
+        frame: GraphFrame | None = None,
     ):
         self.version = version
         self.graph = graph
+        #: the columnar frame shared by every read path of this snapshot
+        self.frame = frame if frame is not None else GraphFrame.of(graph)
         self.augmented = augmented
         self.store = store
         self.config = config
@@ -294,6 +304,11 @@ class SnapshotBuilder:
         version = self._version + 1
         config = self.config
         warm = bool(new_edges) and self._embedder is not None
+        # pin the columnar frame before any consumer runs: the embedder,
+        # the pipeline, the ownership sweeps and the UBO index below all
+        # resolve GraphFrame.of(graph) to this one object (same buffers,
+        # one splu factorisation), and the snapshot keeps it afterwards
+        frame = GraphFrame.of(graph)
         with self.tracer.span("snapshot.build", version=version) as span:
             assignment = None
             if self._embedder is not None:
@@ -369,6 +384,7 @@ class SnapshotBuilder:
             ubo=ubo,
             built_s=time.perf_counter() - started,
             warm=warm,
+            frame=frame,
         )
 
 

@@ -97,8 +97,11 @@ def apply_deltas(
                 graph.remove_node(_required(delta, "id"))
                 removed_any = True
             elif op == "set_property":
-                node = graph.node(_required(delta, "id"))
-                node.properties[_required(delta, "name")] = delta.get("value")
+                # via the graph (not the node dict) so the generation
+                # counter invalidates any cached columnar frame
+                graph.set_property(
+                    _required(delta, "id"), _required(delta, "name"), delta.get("value")
+                )
             else:
                 raise MutationError(
                     f"delta #{position}: unknown op {op!r} "

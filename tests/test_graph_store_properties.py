@@ -1,18 +1,22 @@
 """Property-based tests: GraphStore vs a naive un-indexed oracle.
 
 Random interleavings of ``create_node`` / ``set_property`` /
-``delete_node`` / ``ensure_index`` / ``find_nodes`` run against both the
-indexed store and a plain-dict oracle that re-scans everything on every
-query.  Whatever the order of index creation relative to writes, every
-query must return exactly the oracle's answer — this pins down the
-``_MISSING`` sentinel semantics (``None`` is a value; a missing property
-matches nothing) on both the indexed and the scanning path.
+``delete_node`` / edge create/remove / ``ensure_index`` /
+``drop_index``-then-``ensure_index`` / ``find_nodes`` run against both
+the indexed store and a plain-dict oracle that re-scans everything on
+every query.  Whatever the order of index creation relative to writes
+and removals, every query must return exactly the oracle's answer —
+this pins down the ``_MISSING`` sentinel semantics (``None`` is a
+value; a missing property matches nothing) on both the indexed and the
+scanning path, and that ``delete_node``/``remove_edge`` leave the
+label/property indexes, the adjacency, and the graph's generation
+counter (which invalidates cached columnar frames) in sync.
 """
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.graph import GraphStore
+from repro.graph import GraphFrame, GraphStore
 
 NODE_IDS = ("n0", "n1", "n2", "n3", "n4")
 LABELS = (None, "P", "C")
@@ -29,16 +33,20 @@ operations = st.one_of(
     st.tuples(st.just("create"), node_ids, labels, criteria),
     st.tuples(st.just("set"), node_ids, props, values),
     st.tuples(st.just("delete"), node_ids),
+    st.tuples(st.just("edge"), node_ids, node_ids),
+    st.tuples(st.just("unedge"), node_ids, node_ids),
     st.tuples(st.just("index"), props, labels),
+    st.tuples(st.just("reindex"), props, labels),
     st.tuples(st.just("find"), labels, criteria),
 )
 
 
 class Oracle:
-    """The obviously-correct model: a dict, re-scanned on every query."""
+    """The obviously-correct model: dicts/lists, re-scanned on every query."""
 
     def __init__(self):
         self.nodes = {}  # id -> (label, properties)
+        self.edges = []  # (source, target) pairs, insertion order
 
     def create(self, node_id, label, properties):
         self.nodes[node_id] = (label, dict(properties))
@@ -48,6 +56,15 @@ class Oracle:
 
     def delete(self, node_id):
         del self.nodes[node_id]
+        self.edges = [
+            (s, t) for s, t in self.edges if s != node_id and t != node_id
+        ]
+
+    def add_edge(self, source, target):
+        self.edges.append((source, target))
+
+    def remove_edge(self, source, target):
+        self.edges.remove((source, target))
 
     def find(self, label, criteria):
         return {
@@ -81,14 +98,53 @@ def run_interleaving(ops):
                 continue
             store.delete_node(node_id)
             oracle.delete(node_id)
+        elif kind == "edge":
+            _, source, target = op
+            if source not in oracle.nodes or target not in oracle.nodes:
+                continue
+            store.create_edge(source, target, "E")
+            oracle.add_edge(source, target)
+        elif kind == "unedge":
+            _, source, target = op
+            edge = next(store.match_edges("E", source=source, target=target), None)
+            if edge is None:
+                continue
+            store.remove_edge(edge.id)
+            oracle.remove_edge(source, target)
         elif kind == "index":
             _, prop, label = op
+            store.ensure_index(prop, label)
+        elif kind == "reindex":
+            # the stale-index recovery path: drop, then rebuild from the
+            # live graph — must behave exactly like a fresh ensure_index
+            _, prop, label = op
+            store.drop_index(prop, label)
             store.ensure_index(prop, label)
         elif kind == "find":
             _, label, criteria = op
             got = {node.id for node in store.find_nodes(label, **criteria)}
             assert got == oracle.find(label, criteria), (op, sorted(oracle.nodes))
     return store, oracle
+
+
+def check_final_state(store, oracle):
+    """Graph-level invariants after any interleaving.
+
+    The adjacency must match the oracle's edge multiset (deletes cascade),
+    and a columnar frame built now must agree with the live graph — i.e.
+    every mutation above went through the generation-bumping write
+    surface, so frame caching can never serve a stale view.
+    """
+    got_edges = sorted((e.source, e.target) for e in store.graph.edges())
+    assert got_edges == sorted(oracle.edges)
+    frame = GraphFrame.of(store.graph)
+    assert frame.is_current(store.graph)
+    assert sorted(map(str, frame.nodes)) == sorted(map(str, oracle.nodes))
+    assert frame.edge_count == len(oracle.edges)
+    for node_id in oracle.nodes:
+        successors = sorted(map(str, frame.node_ids_at(frame.successor_codes(node_id))))
+        naive = sorted(str(t) for s, t in oracle.edges if s == node_id)
+        assert successors == naive
 
 
 @settings(max_examples=200, deadline=None)
@@ -103,6 +159,7 @@ def test_store_matches_oracle_under_random_interleavings(ops):
                 got = {node.id for node in store.find_nodes(label, **query)}
                 assert got == oracle.find(label, query), (label, query)
         assert {n.id for n in store.find_nodes(label)} == oracle.find(label, {})
+    check_final_state(store, oracle)
 
 
 @settings(max_examples=100, deadline=None)
@@ -112,3 +169,26 @@ def test_two_criteria_queries_match_oracle(ops, query):
     for label in LABELS:
         got = {node.id for node in store.find_nodes(label, **query)}
         assert got == oracle.find(label, query), (label, query)
+
+
+def test_delete_then_reindex_rebuilds_from_live_graph():
+    store = GraphStore()
+    store.create_node("a", "P", p=1)
+    store.create_node("b", "P", p=1)
+    store.ensure_index("p", "P")
+    store.delete_node("a")
+    assert {n.id for n in store.find_nodes("P", p=1)} == {"b"}
+    # drop + rebuild must yield the same answers as the scan path
+    assert store.drop_index("p", "P") is True
+    assert store.drop_index("p", "P") is False  # idempotent on absence
+    assert {n.id for n in store.find_nodes("P", p=1)} == {"b"}
+    store.ensure_index("p", "P")
+    assert {n.id for n in store.find_nodes("P", p=1)} == {"b"}
+
+
+def test_store_set_property_bumps_graph_generation():
+    store = GraphStore()
+    store.create_node("a", "P")
+    before = store.graph.generation
+    store.set_property("a", "p", 1)
+    assert store.graph.generation > before  # cached frames get invalidated

@@ -57,6 +57,43 @@ class TestOwnershipMatrix:
         assert nodes == [] and matrix.shape == (0, 0)
 
 
+class TestMixedIdOrdering:
+    """Node ids that stringify identically (1 vs "1") used to get an
+    ambiguous matrix order from ``sorted(key=str)`` — timsort stability
+    made it depend on dict insertion order.  The frame's intern order
+    breaks the tie deterministically by type."""
+
+    @staticmethod
+    def build(first_int: bool) -> CompanyGraph:
+        graph = CompanyGraph()
+        order = [1, "1"] if first_int else ["1", 1]
+        for owner in order:
+            graph.add_company(owner)
+        graph.add_company("t")
+        graph.add_shareholding(1, "t", 0.4)
+        graph.add_shareholding("1", "t", 0.2)
+        return graph
+
+    def test_order_is_insertion_independent(self):
+        nodes_a, matrix_a = ownership_matrix(self.build(first_int=True))
+        nodes_b, matrix_b = ownership_matrix(self.build(first_int=False))
+        assert nodes_a == nodes_b
+        assert (matrix_a != matrix_b).nnz == 0
+
+    def test_colliding_ids_keep_distinct_rows(self):
+        nodes, matrix = ownership_matrix(self.build(first_int=True))
+        assert len(nodes) == 3
+        index = {node: i for i, node in enumerate(nodes)}
+        assert len(index) == 3  # bijective: 1 and "1" are separate rows
+        assert matrix[index[1], index["t"]] == pytest.approx(0.4)
+        assert matrix[index["1"], index["t"]] == pytest.approx(0.2)
+
+    def test_integrated_ownership_distinguishes_colliding_sources(self):
+        graph = self.build(first_int=True)
+        assert integrated_ownership_from(graph, 1) == {"t": pytest.approx(0.4)}
+        assert integrated_ownership_from(graph, "1") == {"t": pytest.approx(0.2)}
+
+
 class TestIntegratedOwnership:
     def test_cyclic_analytic_solution(self):
         graph = cross_holding()
