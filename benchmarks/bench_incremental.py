@@ -1,0 +1,185 @@
+"""Incremental-snapshot bench — delta publish latency vs cold rebuild.
+
+The ``POST /mutations`` path used to re-derive the whole world per
+accepted batch: control closure, close links, UBO index, family links —
+~13s at service scale.  The delta-driven build patches only the rows a
+batch can reach.  This bench measures exactly that claim, per scale:
+
+* **cold_build_s** — a from-scratch ``SnapshotBuilder`` build of the
+  mutated graph (the escape-hatch ``SnapshotConfig(incremental=False)``
+  path, which is also the correctness oracle);
+* **incremental_build_s** — the same mutated graph built by a warm
+  builder carrying the previous build's row state, fed the
+  :class:`~repro.service.incremental.DeltaBatch` the updater records;
+* **identity** — per-row comparison of the two snapshots: control pairs
+  and close-link pairs must match exactly, UBO payloads to the service's
+  6-decimal rounding, family links exactly.
+
+Standalone on purpose (argparse, not pytest): CI's smoke job runs
+``python benchmarks/bench_incremental.py --smoke`` and archives
+``BENCH_incremental.json``.  The full run enforces the PR's acceptance
+floor: at the largest scale a single-edge-delta publish must be >= 10x
+faster than the cold rebuild, with per-row identity.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.workloads import realworld_like  # noqa: E402
+from repro.service import SnapshotBuilder, SnapshotConfig  # noqa: E402
+from repro.service.updates import apply_deltas  # noqa: E402
+
+#: persons per scale step, per mode
+SCALES = {"smoke": [120, 240], "full": [250, 500, 1000]}
+#: measured single-edge delta publishes per scale
+REPEATS = {"smoke": 3, "full": 5}
+#: acceptance floor at the largest full scale
+SPEEDUP_FLOOR = 10.0
+
+
+def snapshots_identical(incremental, cold) -> dict:
+    """Per-row identity between the incremental and the cold snapshot."""
+    ubo_equal = set(incremental.ubo) == set(cold.ubo) and all(
+        [
+            (o.person, round(o.integrated_share, 6), o.controls)
+            for o in incremental.ubo[company]
+        ]
+        == [
+            (o.person, round(o.integrated_share, 6), o.controls)
+            for o in cold.ubo[company]
+        ]
+        for company in cold.ubo
+    )
+    return {
+        "control": incremental.control == cold.control,
+        "close_links": incremental.close_links == cold.close_links,
+        "family_links": incremental.family_links == cold.family_links,
+        "ubo": ubo_equal,
+    }
+
+
+def single_edge_deltas(graph, step: int) -> list[dict]:
+    companies = sorted(c.id for c in graph.companies())
+    owner = companies[step % len(companies)]
+    target = companies[(step * 7 + 3) % len(companies)]
+    if owner == target:
+        target = companies[(step * 7 + 4) % len(companies)]
+    return [
+        {"op": "add_shareholding", "owner": owner, "company": target,
+         "share": 0.03 + 0.01 * (step % 5)}
+    ]
+
+
+def bench_scale(persons: int, repeats: int) -> dict:
+    graph, _truth = realworld_like(persons, seed=11)
+    warm = SnapshotBuilder()
+    cold = SnapshotBuilder(SnapshotConfig(incremental=False))
+
+    started = time.perf_counter()
+    warm.build(graph)
+    seed_build_s = time.perf_counter() - started
+
+    staging = graph
+    incremental_times, cold_times = [], []
+    identity = {"control": True, "close_links": True, "family_links": True,
+                "ubo": True}
+    incremental_builds = 0
+    for step in range(repeats):
+        candidate = staging.copy()
+        batch = apply_deltas(candidate, single_edge_deltas(staging, step))
+        batch.base = staging
+        batch.base_generation = staging.generation
+
+        started = time.perf_counter()
+        snapshot = warm.build(candidate, delta=batch)
+        incremental_times.append(time.perf_counter() - started)
+        incremental_builds += int(snapshot.incremental)
+
+        started = time.perf_counter()
+        oracle = cold.build(candidate)
+        cold_times.append(time.perf_counter() - started)
+
+        for relation, equal in snapshots_identical(snapshot, oracle).items():
+            identity[relation] = identity[relation] and equal
+        staging = candidate
+
+    incremental_s = statistics.median(incremental_times)
+    cold_s = statistics.median(cold_times)
+    return {
+        "persons": persons,
+        "nodes": staging.node_count,
+        "edges": staging.edge_count,
+        "seed_build_s": round(seed_build_s, 4),
+        "cold_build_s": round(cold_s, 4),
+        "incremental_build_s": round(incremental_s, 4),
+        "speedup": round(cold_s / incremental_s, 2) if incremental_s else None,
+        "incremental_builds": incremental_builds,
+        "delta_builds": repeats,
+        "identity": identity,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small scales, no acceptance floor")
+    parser.add_argument("--output", default="BENCH_incremental.json")
+    args = parser.parse_args()
+    mode = "smoke" if args.smoke else "full"
+
+    results = []
+    for persons in SCALES[mode]:
+        print(f"[bench_incremental] scale persons={persons} ...", flush=True)
+        result = bench_scale(persons, REPEATS[mode])
+        print(
+            f"  cold={result['cold_build_s']}s "
+            f"incremental={result['incremental_build_s']}s "
+            f"speedup={result['speedup']}x identity={result['identity']}",
+            flush=True,
+        )
+        results.append(result)
+
+    report = {"mode": mode, "speedup_floor": SPEEDUP_FLOOR, "scales": results}
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"[bench_incremental] wrote {args.output}")
+
+    failures = []
+    for result in results:
+        if result["incremental_builds"] != result["delta_builds"]:
+            failures.append(
+                f"persons={result['persons']}: only "
+                f"{result['incremental_builds']}/{result['delta_builds']} "
+                "builds took the incremental path"
+            )
+        for relation, equal in result["identity"].items():
+            if not equal:
+                failures.append(
+                    f"persons={result['persons']}: {relation} diverged "
+                    "from the cold oracle"
+                )
+    if mode == "full":
+        largest = results[-1]
+        if largest["speedup"] is None or largest["speedup"] < SPEEDUP_FLOOR:
+            failures.append(
+                f"single-edge delta publish speedup {largest['speedup']}x "
+                f"at persons={largest['persons']} is below the "
+                f"{SPEEDUP_FLOOR}x acceptance floor"
+            )
+    if failures:
+        for failure in failures:
+            print(f"[bench_incremental] FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("[bench_incremental] OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -30,6 +30,7 @@ from .errors import (
     UnknownFunctionError,
     UnsafeRuleError,
 )
+from .incremental import IncrementalEngine, UpdateStats
 from .parser import parse_program, parse_rule
 from .rules import Program, Rule
 from .stratify import Stratum, stratify
@@ -67,6 +68,7 @@ __all__ = [
     "Expr",
     "FunctionRegistry",
     "FunctionTerm",
+    "IncrementalEngine",
     "Negation",
     "Null",
     "ParseError",
@@ -77,6 +79,7 @@ __all__ = [
     "Stratum",
     "UnknownFunctionError",
     "UnsafeRuleError",
+    "UpdateStats",
     "Variable",
     "WardednessReport",
     "affected_positions",

@@ -1,0 +1,319 @@
+"""Incremental view maintenance for Datalog fixpoints (DRed-style).
+
+The batch :class:`~repro.datalog.engine.Engine` evaluates a program to a
+fixpoint once.  The service layer, however, faces a *stream* of small
+EDB changes, and re-running the whole fixpoint per mutation batch costs
+O(program x database) every time.  This module maintains the fixpoint
+under EDB additions and removals:
+
+* **additions** continue the semi-naive iteration: the new facts are
+  exactly a delta, and seeding every rule occurrence with them (the same
+  ``(rule, occurrence)`` seeding the engine's own rounds use — including
+  the compiled evaluators, whose captured index buckets the
+  :class:`~repro.datalog.database.Database` updates in place) derives
+  precisely the consequences the full run would have added.  Monotone
+  aggregates fold the new contributions into their live accumulator
+  state, so additions remain sound with ``msum``-style aggregation;
+* **removals** run *delete-and-rederive* (DRed, Gupta-Mumick-Subrahmanian):
+  first every fact derivable from a deleted fact is transitively
+  over-deleted, then each over-deleted fact is checked for an
+  alternative derivation among the survivors and re-inserted (and its
+  consequences re-propagated) when one exists.
+
+DRed was chosen over counting because the engine's existential rules
+invent labelled nulls: a counting scheme would have to track derivation
+counts per null-instantiated fact across skolem regeneration, while
+DRed only needs the deterministic skolemization the engine already
+guarantees (re-derivation regenerates bit-identical nulls).
+
+Outside the supported fragment the maintainer falls back to a full
+recompute from the maintained EDB — the same fresh-engine evaluation the
+tests use as the bit-identity oracle:
+
+* programs with **negation** fall back for any update (an addition can
+  retract a negative premise, so additions are not monotone either);
+* programs with **aggregates** fall back for updates containing
+  removals (retracting a contribution is not expressible against the
+  monotone accumulator state).
+
+Provenance is not maintained incrementally; construct the engine without
+it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from .atoms import Negation
+from .builtins import FunctionRegistry
+from .database import Database, Fact, FactValues
+from .engine import Engine
+from .rules import Program
+from .terms import Constant, Variable
+
+
+@dataclass
+class UpdateStats:
+    """What one :meth:`IncrementalEngine.update` call did."""
+
+    #: "seminaive" (delta-driven) or "recompute" (full fallback)
+    mode: str
+    #: EDB facts actually added / removed by the update
+    added: int = 0
+    removed: int = 0
+    #: facts transitively over-deleted by the DRed deletion phase
+    overdeleted: int = 0
+    #: over-deleted facts that survived via an alternative derivation
+    rederived: int = 0
+    #: facts newly derived by the addition phase
+    derived: int = 0
+
+
+class IncrementalEngine:
+    """Maintains a program's fixpoint under EDB additions and removals.
+
+    The wrapped engine's database is evaluated once at construction and
+    then *maintained*: after every :meth:`update` the database equals
+    (or, in the fallback, is recomputed to) the fixpoint of the program
+    over the current EDB.
+    """
+
+    def __init__(
+        self,
+        program: Program | str,
+        facts: Iterable[Fact] = (),
+        functions: FunctionRegistry | None = None,
+        tracer=None,
+    ):
+        if isinstance(program, str):
+            from .parser import parse_program
+
+            program = parse_program(program)
+        # facts declared in the program text join the maintained EDB; the
+        # engines are always constructed over a facts-free clone so a
+        # fallback recompute cannot resurrect a removed program fact
+        self.program = Program(rules=list(program.rules), facts=[])
+        self._functions = functions
+        self._tracer = tracer
+        self._edb: dict[Fact, None] = {}  # insertion-ordered fact set
+        for predicate, values in list(program.facts) + [
+            (predicate, tuple(values)) for predicate, values in facts
+        ]:
+            self._edb.setdefault((predicate, tuple(values)), None)
+        self._has_negation = any(
+            isinstance(literal, Negation)
+            for rule in self.program.rules
+            for literal in rule.body
+        )
+        self._has_aggregates = any(
+            next(rule.aggregates(), None) is not None for rule in self.program.rules
+        )
+        self.full_recomputes = 0
+        self.engine = self._fresh_engine()
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    @property
+    def database(self) -> Database:
+        """The maintained fixpoint database (replaced on fallback)."""
+        return self.engine.database
+
+    def edb_facts(self) -> list[Fact]:
+        """The maintained extensional facts, in insertion order."""
+        return list(self._edb)
+
+    def query(self, predicate: str, pattern: dict[int, object] | None = None):
+        return self.engine.query(predicate, pattern)
+
+    def holds(self, predicate: str, values: FactValues) -> bool:
+        return self.engine.holds(predicate, values)
+
+    def update(
+        self,
+        additions: Iterable[Fact] = (),
+        removals: Iterable[Fact] = (),
+    ) -> UpdateStats:
+        """Apply one batch of EDB changes; removals apply before additions.
+
+        Removals name extensional facts; a removal of a fact that is not
+        in the maintained EDB is a no-op (in particular, purely derived
+        facts cannot be removed — the program still derives them).
+        """
+        to_remove: list[Fact] = []
+        for predicate, values in removals:
+            fact = (predicate, tuple(values))
+            if fact in self._edb:
+                del self._edb[fact]
+                to_remove.append(fact)
+        to_add: list[Fact] = []
+        for predicate, values in additions:
+            fact = (predicate, tuple(values))
+            if fact not in self._edb:
+                self._edb[fact] = None
+                to_add.append(fact)
+
+        if self._has_negation or (to_remove and self._has_aggregates):
+            self.full_recomputes += 1
+            self.engine = self._fresh_engine()
+            return UpdateStats(
+                mode="recompute", added=len(to_add), removed=len(to_remove)
+            )
+
+        stats = UpdateStats(
+            mode="seminaive", added=len(to_add), removed=len(to_remove)
+        )
+        if to_remove:
+            stats.overdeleted, stats.rederived = self._delete(to_remove)
+        if to_add:
+            database = self.engine.database
+            inserted = [
+                fact for fact in to_add if database.add(fact[0], fact[1])
+            ]
+            stats.derived = self._propagate(inserted) - len(inserted)
+        return stats
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _fresh_engine(self) -> Engine:
+        engine = Engine(
+            self.program,
+            Database(list(self._edb)),
+            functions=self._functions,
+            tracer=self._tracer,
+        )
+        engine.run()
+        return engine
+
+    def _propagate(self, fresh: list[Fact]) -> int:
+        """Semi-naive continuation: derive all consequences of ``fresh``.
+
+        ``fresh`` must already be in the database.  Mirrors the engine's
+        own delta rounds — same ``(rule, occurrence)`` seeding, so the
+        compiled evaluators (and their captured index buckets) do the
+        work.  Returns the total number of facts derived, inputs included.
+        """
+        engine = self.engine
+        total = len(fresh)
+        delta = list(fresh)
+        while delta:
+            by_predicate: dict[str, list[FactValues]] = {}
+            for predicate, values in delta:
+                by_predicate.setdefault(predicate, []).append(values)
+            delta = []
+            for rule in engine.program.rules:
+                body = rule.body
+                for occurrence, literal_index in enumerate(rule.positive_positions()):
+                    seeds = by_predicate.get(body[literal_index].predicate)
+                    if seeds:
+                        delta.extend(engine._apply_rule(rule, occurrence, seeds))
+            engine.stats.iterations += 1
+            total += len(delta)
+        return total
+
+    def _delete(self, removals: list[Fact]) -> tuple[int, int]:
+        """DRed: over-delete, then re-derive survivors.
+
+        Returns ``(overdeleted, rederived)`` counts.  ``removals`` have
+        already left the EDB but are still physically in the database
+        (they seed the over-deletion joins against the pre-deletion
+        state, as DRed requires).
+        """
+        engine = self.engine
+        database = engine.database
+
+        # Phase 1 — over-delete: everything derivable from a deleted fact
+        # w.r.t. the old database is suspect.  Seed every positive rule
+        # occurrence with the deletion frontier, to a fixpoint.
+        deleted: dict[Fact, None] = {}
+        frontier = [fact for fact in removals if database.contains(*fact)]
+        for fact in frontier:
+            deleted[fact] = None
+        while frontier:
+            by_predicate: dict[str, list[FactValues]] = {}
+            for predicate, values in frontier:
+                by_predicate.setdefault(predicate, []).append(values)
+            frontier = []
+            for rule in engine.program.rules:
+                body = rule.body
+                for literal_index in rule.positive_positions():
+                    seeds = by_predicate.get(body[literal_index].predicate)
+                    if not seeds:
+                        continue
+                    for binding in engine._join(
+                        rule, list(body), literal_index, seeds, trace=[]
+                    ):
+                        for fact in engine._instantiate_head(rule, binding):
+                            if fact in deleted:
+                                continue
+                            if not database.contains(*fact):
+                                continue
+                            if fact in self._edb:
+                                continue  # extensional support survives
+                            deleted[fact] = None
+                            frontier.append(fact)
+        for predicate, values in deleted:
+            database.remove(predicate, values)
+
+        # Phase 2 — re-derive: an over-deleted fact with an alternative
+        # derivation among the survivors comes back; its consequences are
+        # then restored by the normal addition propagation (which can
+        # transitively resurrect other over-deleted facts).
+        rederived: list[Fact] = []
+        for fact in deleted:
+            if self._derivable(fact):
+                database.add(*fact)
+                rederived.append(fact)
+        if rederived:
+            self._propagate(rederived)
+        return len(deleted), len(rederived)
+
+    def _derivable(self, fact: Fact) -> bool:
+        """Is ``fact`` derivable by some rule from the current database?
+
+        Unifies the fact against each head atom (variables bind, constants
+        filter, complex terms — skolems, nulls, arithmetic — are validated
+        post-hoc by comparing the fully instantiated head), then runs the
+        rule body as a goal with the partial binding.
+        """
+        predicate, values = fact
+        engine = self.engine
+        for rule in engine.program.rules:
+            for atom in rule.head:
+                if atom.predicate != predicate or atom.arity != len(values):
+                    continue
+                binding: dict | None = {}
+                for position, term in enumerate(atom.terms):
+                    value = values[position]
+                    if isinstance(term, Variable):
+                        if term.name in binding and binding[term.name] != value:
+                            binding = None
+                            break
+                        binding[term.name] = value
+                    elif isinstance(term, Constant):
+                        if term.value != value:
+                            binding = None
+                            break
+                    # complex head terms (skolems / existential nulls /
+                    # expressions) are regenerated by _instantiate_head
+                    # below and compared there
+                if binding is None:
+                    continue
+                # existential head variables are *generated*, never matched:
+                # drop their tentative binding so _instantiate_head re-invents
+                # the null from the frontier (deterministic skolemization
+                # makes the comparison below exact)
+                for name in engine._head_plan(rule)[0]:
+                    binding.pop(name, None)
+                literals = list(rule.body)
+                order = list(range(len(literals)))
+                for match in engine._match_from(
+                    rule, literals, order, 0, binding, trace=[]
+                ):
+                    if fact in engine._instantiate_head(rule, match):
+                        return True
+        return False

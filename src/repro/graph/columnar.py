@@ -369,6 +369,21 @@ class GraphFrame:
             self._ownership_systems[damping] = cached
         return cached
 
+    def has_ownership_system(self, damping: float = 1.0) -> bool:
+        """Whether a factorised ownership system is already cached."""
+        return damping in self._ownership_systems
+
+    def adopt_ownership_system(self, damping: float, system: tuple) -> None:
+        """Install an externally derived ``(w, transpose, solver)`` triple.
+
+        Used by the low-rank (Sherman-Morrison-Woodbury) update path in
+        :mod:`repro.ownership.matrix`: after a small shareholding delta
+        the previous frame's factorisation is corrected instead of
+        redone, and the corrected solver is adopted by the new frame so
+        every later point solve on this frame reuses it.
+        """
+        self._ownership_systems[damping] = system
+
     # ------------------------------------------------------------------
     # label partitions and property columns (the relational mapping's food)
     # ------------------------------------------------------------------

@@ -10,6 +10,7 @@ evolves.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass
 from typing import Iterator
 
@@ -104,24 +105,31 @@ class OwnershipHistory:
         return tenure
 
     def churn(self, year_from: int, year_to: int) -> dict[str, int]:
-        """Node/edge arrivals and departures between two years."""
+        """Node/edge arrivals and departures between two years.
+
+        Edges are counted as a *multiset*: parallel shareholdings with
+        identical ``(source, target, share)`` keys are real, distinct
+        holdings (e.g. two share packages of the same size), so a year
+        that drops one of two equal parallel edges is one removal — a
+        plain set difference would report zero.
+        """
         before = self.snapshot(year_from)
         after = self.snapshot(year_to)
         nodes_before = set(before.node_ids())
         nodes_after = set(after.node_ids())
-        edges_before = {
+        edges_before = Counter(
             (e.source, e.target, round(e.get("w", 0.0), 9))
             for e in before.shareholdings()
-        }
-        edges_after = {
+        )
+        edges_after = Counter(
             (e.source, e.target, round(e.get("w", 0.0), 9))
             for e in after.shareholdings()
-        }
+        )
         return {
             "nodes_added": len(nodes_after - nodes_before),
             "nodes_removed": len(nodes_before - nodes_after),
-            "edges_added": len(edges_after - edges_before),
-            "edges_removed": len(edges_before - edges_after),
+            "edges_added": sum((edges_after - edges_before).values()),
+            "edges_removed": sum((edges_before - edges_after).values()),
         }
 
 

@@ -195,20 +195,19 @@ class CloseLink:
     phi: float = 0.0
 
 
-def close_links(
-    graph: CompanyGraph,
+def links_from_phi(
+    phi: dict[NodeId, dict[NodeId, float]],
+    company_ids: set[NodeId],
     threshold: float = CLOSE_LINK_THRESHOLD,
-    max_depth: int | None = None,
 ) -> list[CloseLink]:
-    """All close-link pairs of *companies* per Definition 2.6.
+    """Derive the close-link relation from precomputed ``Phi`` rows.
 
-    Returns one :class:`CloseLink` per ordered pair and justification
-    (a pair may be justified several ways).  Persons participate only as
-    common third parties (condition iii), matching the regulation.
+    This is the pure derivation step of Definition 2.6, split out so the
+    incremental snapshot maintainer can re-derive links from *patched*
+    ``Phi`` rows and obtain bit-identical results to a cold
+    :func:`close_links` run over the same rows.
     """
-    phi = all_accumulated_ownership(graph, max_depth=max_depth)
     links: list[CloseLink] = []
-    company_ids = {node.id for node in graph.companies()}
 
     # conditions (i) and (ii): Phi(x, y) >= t in either direction
     for source, targets in phi.items():
@@ -235,6 +234,22 @@ def close_links(
                     CloseLink(y, x, "common-owner", witness=witness, phi=min(phi_x, phi_y))
                 )
     return links
+
+
+def close_links(
+    graph: CompanyGraph,
+    threshold: float = CLOSE_LINK_THRESHOLD,
+    max_depth: int | None = None,
+) -> list[CloseLink]:
+    """All close-link pairs of *companies* per Definition 2.6.
+
+    Returns one :class:`CloseLink` per ordered pair and justification
+    (a pair may be justified several ways).  Persons participate only as
+    common third parties (condition iii), matching the regulation.
+    """
+    phi = all_accumulated_ownership(graph, max_depth=max_depth)
+    company_ids = {node.id for node in graph.companies()}
+    return links_from_phi(phi, company_ids, threshold)
 
 
 def close_link_pairs(

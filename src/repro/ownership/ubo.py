@@ -16,6 +16,7 @@ ownership threshold.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
 from ..graph.columnar import GraphFrame
 from ..graph.company_graph import CompanyGraph
@@ -69,33 +70,75 @@ def beneficial_owners(
     return sorted(owners.values(), key=lambda o: (-o.integrated_share, str(o.person)))
 
 
+def beneficial_owner_rows(
+    graph: CompanyGraph,
+    control_threshold: float = CONTROL_THRESHOLD,
+    persons: "Iterable[NodeId] | None" = None,
+) -> tuple[dict[NodeId, dict[NodeId, float]], dict[NodeId, set[NodeId]]]:
+    """Per-person ``(integrated ownership, controlled set)`` rows.
+
+    One triangular solve and one control fixpoint per person, all against
+    the graph frame's single cached factorisation.  ``persons`` restricts
+    the sweep (the incremental snapshot maintainer recomputes only the
+    persons whose reachable region a delta touched); the default sweeps
+    every person in the graph.
+    """
+    GraphFrame.of(graph).ownership_system()  # factorise once before the sweep
+    if persons is None:
+        persons = [node.id for node in graph.persons()]
+    integrated: dict[NodeId, dict[NodeId, float]] = {}
+    controlled: dict[NodeId, set[NodeId]] = {}
+    for person in persons:
+        integrated[person] = integrated_ownership_from(graph, person)
+        controlled[person] = controlled_by(graph, person, control_threshold)
+    return integrated, controlled
+
+
+def assemble_beneficial_owners(
+    graph: CompanyGraph,
+    integrated: dict[NodeId, dict[NodeId, float]],
+    controlled: dict[NodeId, set[NodeId]],
+    threshold: float = UBO_THRESHOLD,
+) -> dict[NodeId, list[BeneficialOwner]]:
+    """Assemble the company -> owners index from per-person rows.
+
+    Iterates each person's own (sparse) row instead of the full
+    person x company cross product; the final per-company sort is total
+    (share descending, then person id), so the result is independent of
+    row iteration order and bit-identical to the historical dense loop.
+    """
+    company_ids = {node.id for node in graph.companies()}
+    owners_by_company: dict[NodeId, list[BeneficialOwner]] = {}
+    for person, shares in integrated.items():
+        controls = controlled.get(person, set())
+        for company in set(shares) | controls:
+            if company not in company_ids:
+                continue
+            share = shares.get(company, 0.0)
+            is_controller = company in controls
+            if share >= threshold or is_controller:
+                owners_by_company.setdefault(company, []).append(
+                    BeneficialOwner(person, company, share, is_controller)
+                )
+    result: dict[NodeId, list[BeneficialOwner]] = {}
+    for company_node in graph.companies():  # preserve historical key order
+        company = company_node.id
+        owners = owners_by_company.get(company)
+        if owners:
+            result[company] = sorted(
+                owners, key=lambda o: (-o.integrated_share, str(o.person))
+            )
+    return result
+
+
 def all_beneficial_owners(
     graph: CompanyGraph,
     threshold: float = UBO_THRESHOLD,
     control_threshold: float = CONTROL_THRESHOLD,
 ) -> dict[NodeId, list[BeneficialOwner]]:
     """company -> beneficial owners, computed with one solve per person."""
-    integrated: dict[NodeId, dict[NodeId, float]] = {}
-    controlled: dict[NodeId, set[NodeId]] = {}
-    for person_node in graph.persons():
-        person = person_node.id
-        integrated[person] = integrated_ownership_from(graph, person)
-        controlled[person] = controlled_by(graph, person, control_threshold)
-
-    result: dict[NodeId, list[BeneficialOwner]] = {}
-    for company_node in graph.companies():
-        company = company_node.id
-        owners = []
-        for person in integrated:
-            share = integrated[person].get(company, 0.0)
-            is_controller = company in controlled[person]
-            if share >= threshold or is_controller:
-                owners.append(BeneficialOwner(person, company, share, is_controller))
-        if owners:
-            result[company] = sorted(
-                owners, key=lambda o: (-o.integrated_share, str(o.person))
-            )
-    return result
+    integrated, controlled = beneficial_owner_rows(graph, control_threshold)
+    return assemble_beneficial_owners(graph, integrated, controlled, threshold)
 
 
 def opaque_companies(

@@ -24,11 +24,13 @@ snapshots.
 """
 
 from .cache import LRUCache, MicroBatcher, ReasoningCache, SingleFlight
+from .incremental import DeltaBatch
 from .server import HttpError, Metrics, ReasoningService, ServiceConfig, build_service
 from .snapshot import Snapshot, SnapshotBuilder, SnapshotConfig, SnapshotManager
 from .updates import GraphUpdater, MutationError, apply_deltas
 
 __all__ = [
+    "DeltaBatch",
     "GraphUpdater",
     "HttpError",
     "LRUCache",

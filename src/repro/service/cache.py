@@ -79,7 +79,14 @@ class LRUCache:
 
 
 class SingleFlight:
-    """Coalesce concurrent calls with the same key into one computation."""
+    """Coalesce concurrent calls with the same key into one computation.
+
+    The supplier runs in a *detached* task rather than inline in the
+    leader coroutine: if the leader's own request is cancelled (deadline,
+    disconnect) the computation keeps running and every coalesced
+    follower still gets the result.  Cancelling one waiter never
+    propagates to the others — each awaits through its own shield.
+    """
 
     def __init__(self) -> None:
         self._inflight: dict[Hashable, asyncio.Future] = {}
@@ -97,20 +104,16 @@ class SingleFlight:
         if existing is not None:
             self.coalesced += 1
             return await asyncio.shield(existing)
-        future: asyncio.Future = asyncio.get_running_loop().create_future()
-        self._inflight[key] = future
+        task = asyncio.get_running_loop().create_task(supplier())
+        self._inflight[key] = task
         self.leaders += 1
-        try:
-            result = await supplier()
-        except BaseException as exc:
-            future.set_exception(exc)
-            future.exception()  # mark retrieved even with no followers
-            raise
-        else:
-            future.set_result(result)
-            return result
-        finally:
-            del self._inflight[key]
+        task.add_done_callback(lambda done, key=key: self._settle(key, done))
+        return await asyncio.shield(task)
+
+    def _settle(self, key: Hashable, task: "asyncio.Task") -> None:
+        self._inflight.pop(key, None)
+        if not task.cancelled():
+            task.exception()  # mark retrieved even when every waiter left
 
     def stats(self) -> dict[str, int]:
         return {
@@ -176,6 +179,10 @@ class MicroBatcher:
         self.max_delay_s = max_delay_s
         self._pending: dict[Hashable, list[asyncio.Future]] = {}
         self._flush_handle: asyncio.TimerHandle | None = None
+        #: strong references to in-flight batch tasks — the event loop
+        #: only keeps weak ones, so an unreferenced batch task can be
+        #: garbage-collected mid-flight, stranding its waiters forever
+        self._tasks: set[asyncio.Task] = set()
         self.requests = 0
         self.batches = 0
         self.batched_keys = 0
@@ -197,7 +204,9 @@ class MicroBatcher:
             self._flush_handle = None
         pending, self._pending = self._pending, {}
         if pending:
-            loop.create_task(self._run_batch(pending))
+            task = loop.create_task(self._run_batch(pending))
+            self._tasks.add(task)
+            task.add_done_callback(self._tasks.discard)
 
     async def _run_batch(
         self, pending: dict[Hashable, list[asyncio.Future]]
@@ -213,7 +222,16 @@ class MicroBatcher:
                         future.set_exception(exc)
             return
         for key, futures in pending.items():
-            value = results.get(key)
+            if key not in results:
+                # a silently dropped key must not masquerade as a real
+                # ``None`` value — surface the contract violation
+                for future in futures:
+                    if not future.done():
+                        future.set_exception(
+                            KeyError(f"batch function returned no value for key {key!r}")
+                        )
+                continue
+            value = results[key]
             for future in futures:
                 if not future.done():
                     future.set_result(value)

@@ -31,11 +31,35 @@ from ..graph.company_graph import CompanyGraph
 from ..graph.property_graph import Edge, NodeId
 from ..graph.store import GraphStore
 from ..linkage.bayes import BayesianLinkClassifier
-from ..ownership.close_links import CLOSE_LINK_THRESHOLD, close_link_pairs
+from ..ownership.close_links import (
+    CLOSE_LINK_THRESHOLD,
+    close_link_pairs,
+    links_from_phi,
+)
 from ..ownership.control import CONTROL_THRESHOLD, control_closure, controlled_by
-from ..ownership.matrix import integrated_ownership_from
-from ..ownership.ubo import UBO_THRESHOLD, BeneficialOwner, all_beneficial_owners
+from ..ownership.matrix import (
+    DEFAULT_MAX_UPDATE_RANK,
+    integrated_ownership_from,
+    try_low_rank_update,
+)
+from ..ownership.ubo import (
+    UBO_THRESHOLD,
+    BeneficialOwner,
+    all_beneficial_owners,
+    assemble_beneficial_owners,
+    beneficial_owner_rows,
+)
 from ..telemetry import NULL_TRACER
+from .incremental import (
+    DeltaBatch,
+    affected_sources,
+    control_pairs_from_rows,
+    control_rows,
+    patch_control_rows,
+    patch_phi_rows,
+    patch_ubo_rows,
+    phi_rows,
+)
 
 
 @dataclass
@@ -64,6 +88,16 @@ class SnapshotConfig:
     max_path_depth: int = 12
     #: node properties indexed in the snapshot's :class:`GraphStore`
     index_properties: tuple[str, ...] = ("name", "surname", "address")
+    #: maintain snapshot relations incrementally from accepted delta
+    #: batches; False is the escape hatch forcing a cold recompute of
+    #: every relation on every build (the pre-incremental behaviour)
+    incremental: bool = True
+    #: correct the previous build's ``splu`` factorisation with a
+    #: Sherman-Morrison-Woodbury update for small shareholding deltas
+    #: instead of refactorising (requires ``incremental``)
+    low_rank_updates: bool = True
+    #: largest changed-cell count handled by a low-rank update
+    max_update_rank: int = DEFAULT_MAX_UPDATE_RANK
 
 
 class Snapshot:
@@ -95,8 +129,11 @@ class Snapshot:
         built_s: float,
         warm: bool = False,
         frame: GraphFrame | None = None,
+        incremental: bool = False,
     ):
         self.version = version
+        #: whether this version was built by patching the previous one
+        self.incremental = incremental
         self.graph = graph
         #: the columnar frame shared by every read path of this snapshot
         self.frame = frame if frame is not None else GraphFrame.of(graph)
@@ -237,6 +274,7 @@ class Snapshot:
         return {
             "version": self.version,
             "warm_build": self.warm,
+            "incremental_build": self.incremental,
             "built_s": round(self.built_s, 4),
             "created_at": self.created_at,
             "nodes": graph.node_count,
@@ -252,15 +290,41 @@ class Snapshot:
         }
 
 
+@dataclass
+class _BuilderState:
+    """Row-level state of the last successful build — the patch base.
+
+    ``graph``/``generation`` identify the exact graph object and version
+    the rows were derived from; a delta batch is only applied on top of
+    them when its recorded base matches both (the *chain check*).  Any
+    mismatch — first build, escape hatch, failed rebuild, out-of-band
+    mutation — falls back to a cold build, which re-seeds the state.
+    """
+
+    graph: CompanyGraph
+    generation: int
+    frame: GraphFrame
+    control_rows: dict[NodeId, set[NodeId]]
+    phi_rows: dict[NodeId, dict[NodeId, float]]
+    phi_use_dag: bool
+    integrated: dict[NodeId, dict[NodeId, float]]
+    controlled: dict[NodeId, set[NodeId]]
+    family_links: set[tuple[NodeId, NodeId, str]]
+    assignment: "dict[NodeId, int] | None"
+
+
 class SnapshotBuilder:
     """Builds successive snapshot versions from company graphs.
 
-    Holds the monotonically increasing version counter and the warm
-    embedder state; ``build`` is synchronous and CPU-bound by design —
-    the service runs it in an executor thread while the event loop keeps
-    serving the previous snapshot.  Calls must be serialized by the
-    caller (the updater holds a lock); the builder itself is not
-    re-entrant.
+    Holds the monotonically increasing version counter, the warm
+    embedder state and — when ``config.incremental`` — the per-source
+    row state of the previous build, so a build fed a
+    :class:`~repro.service.incremental.DeltaBatch` patches the previous
+    relations instead of recomputing them.  ``build`` is synchronous and
+    CPU-bound by design — the service runs it in an executor thread
+    while the event loop keeps serving the previous snapshot.  Calls
+    must be serialized by the caller (the updater holds a lock); the
+    builder itself is not re-entrant.
     """
 
     def __init__(
@@ -273,32 +337,56 @@ class SnapshotBuilder:
         self.classifiers = classifiers
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self._version = 0
+        self._state: _BuilderState | None = None
         self._embedder: IncrementalEmbedder | None = None
         if self.config.use_embeddings and self.config.first_level_clusters > 1:
-            self._embedder = IncrementalEmbedder(
-                self.config.first_level_clusters,
-                self.config.node2vec,
-                feature_properties=self.config.embedding_features,
-                dirty_hops=self.config.dirty_hops,
-                tracer=self.tracer,
-            )
+            self._embedder = self._fresh_embedder()
+
+    def _fresh_embedder(self) -> IncrementalEmbedder:
+        return IncrementalEmbedder(
+            self.config.first_level_clusters,
+            self.config.node2vec,
+            feature_properties=self.config.embedding_features,
+            dirty_hops=self.config.dirty_hops,
+            tracer=self.tracer,
+        )
 
     @property
     def version(self) -> int:
         """The last version built (0 before the first build)."""
         return self._version
 
+    def reset_incremental(self) -> None:
+        """Drop all warm state; the next build runs fully cold.
+
+        Called by the updater after a failed rebuild: a build that died
+        halfway may have advanced the warm embedder against a graph that
+        will never be published, so both the row state and the embedder
+        are discarded.
+        """
+        self._state = None
+        if self._embedder is not None:
+            self._embedder = self._fresh_embedder()
+
     def build(
         self,
         graph: CompanyGraph,
         new_edges: Sequence[Edge] | None = None,
+        delta: DeltaBatch | None = None,
     ) -> Snapshot:
         """Build the next snapshot version from ``graph``.
 
         ``new_edges`` are the shareholding edges added since the previous
         build; when provided (and embeddings are on) the warm embedder
         re-embeds only the dirty region.  Pass ``None`` after removals —
-        the incremental path only models additions.
+        the warm-embedding path only models additions.
+
+        ``delta`` is the full :class:`DeltaBatch` of the accepted
+        mutation batch.  When it chains onto the previous build (its
+        base is the exact graph object and generation the last state
+        was derived from) and ``config.incremental`` is on, the control
+        closure, close-link pairs and UBO index are *patched*: only the
+        rows of sources that reach the delta are re-derived.
         """
         started = time.perf_counter()
         version = self._version + 1
@@ -309,7 +397,31 @@ class SnapshotBuilder:
         # resolve GraphFrame.of(graph) to this one object (same buffers,
         # one splu factorisation), and the snapshot keeps it afterwards
         frame = GraphFrame.of(graph)
-        with self.tracer.span("snapshot.build", version=version) as span:
+        state = self._state if config.incremental else None
+        incremental = (
+            state is not None
+            and delta is not None
+            and delta.base is state.graph
+            and delta.base_generation == state.generation
+        )
+        with self.tracer.span(
+            "snapshot.build", version=version, incremental=incremental
+        ) as span:
+            affected: set[NodeId] | None = None
+            if incremental:
+                with self.tracer.span("snapshot.affected_sources"):
+                    affected = affected_sources(delta, state.graph, graph)
+                    span.set("affected_sources", len(affected))
+                if config.low_rank_updates:
+                    # correct the previous factorisation instead of
+                    # refactorising when only a few W^T cells changed;
+                    # on any fallback the frame just factorises lazily
+                    with self.tracer.span("snapshot.low_rank_update") as lr_span:
+                        adopted = try_low_rank_update(
+                            state.frame, frame, max_rank=config.max_update_rank
+                        )
+                        lr_span.set("adopted", adopted)
+
             assignment = None
             if self._embedder is not None:
                 with self.tracer.span("snapshot.embed", warm=warm):
@@ -319,35 +431,110 @@ class SnapshotBuilder:
 
             family_links: set[tuple[NodeId, NodeId, str]] = set()
             if config.augment:
-                pipeline = ReasoningPipeline(
-                    graph,
-                    PipelineConfig(
-                        control_threshold=config.control_threshold,
-                        close_link_threshold=config.close_link_threshold,
-                        first_level_clusters=config.first_level_clusters,
-                        use_embeddings=config.use_embeddings,
-                        node2vec=config.node2vec,
-                        embedding_features=config.embedding_features,
-                        max_path_depth=config.max_path_depth,
-                    ),
-                    classifiers=self.classifiers,
-                    tracer=self.tracer,
-                    cluster_assignment=assignment,
-                )
-                family_links = pipeline.family_links()
+                if (
+                    incremental
+                    and assignment == state.assignment
+                    and not delta.touches_family_inputs()
+                ):
+                    # person set, person properties, FAMILY edges and the
+                    # cluster assignment are all unchanged — the pipeline
+                    # would re-derive exactly the previous links
+                    family_links = state.family_links
+                else:
+                    pipeline = ReasoningPipeline(
+                        graph,
+                        PipelineConfig(
+                            control_threshold=config.control_threshold,
+                            close_link_threshold=config.close_link_threshold,
+                            first_level_clusters=config.first_level_clusters,
+                            use_embeddings=config.use_embeddings,
+                            node2vec=config.node2vec,
+                            embedding_features=config.embedding_features,
+                            max_path_depth=config.max_path_depth,
+                        ),
+                        classifiers=self.classifiers,
+                        tracer=self.tracer,
+                        cluster_assignment=assignment,
+                    )
+                    family_links = pipeline.family_links()
 
             with self.tracer.span("snapshot.control"):
-                control = set(control_closure(graph, threshold=config.control_threshold))
-            with self.tracer.span("snapshot.close_links"):
-                close = set(
-                    close_link_pairs(
+                if incremental:
+                    c_rows = patch_control_rows(
+                        state.control_rows,
+                        state.graph,
                         graph,
-                        config.close_link_threshold,
-                        max_depth=config.max_path_depth,
+                        delta,
+                        config.control_threshold,
+                        affected=affected,
                     )
-                )
+                    control = control_pairs_from_rows(c_rows)
+                elif config.incremental:
+                    c_rows = control_rows(graph, config.control_threshold)
+                    control = control_pairs_from_rows(c_rows)
+                else:
+                    c_rows = None
+                    control = set(
+                        control_closure(graph, threshold=config.control_threshold)
+                    )
+            with self.tracer.span("snapshot.close_links"):
+                if incremental:
+                    p_rows, use_dag = patch_phi_rows(
+                        state.phi_rows,
+                        state.phi_use_dag,
+                        state.graph,
+                        graph,
+                        delta,
+                        config.max_path_depth,
+                        affected=affected,
+                    )
+                elif config.incremental:
+                    p_rows, use_dag = phi_rows(graph, config.max_path_depth)
+                else:
+                    p_rows, use_dag = None, False
+                if p_rows is not None:
+                    company_ids = {node.id for node in graph.companies()}
+                    close = {
+                        (link.x, link.y)
+                        for link in links_from_phi(
+                            p_rows, company_ids, config.close_link_threshold
+                        )
+                    }
+                else:
+                    close = set(
+                        close_link_pairs(
+                            graph,
+                            config.close_link_threshold,
+                            max_depth=config.max_path_depth,
+                        )
+                    )
             with self.tracer.span("snapshot.ubo"):
-                ubo = all_beneficial_owners(graph, config.ubo_threshold)
+                # the UBO index pairs integrated ownership with control at
+                # the *definitional* vote-majority threshold, independent
+                # of the snapshot's configurable control relation
+                if incremental:
+                    integrated, controlled = patch_ubo_rows(
+                        state.integrated,
+                        state.controlled,
+                        state.graph,
+                        graph,
+                        delta,
+                        CONTROL_THRESHOLD,
+                        affected=affected,
+                    )
+                    ubo = assemble_beneficial_owners(
+                        graph, integrated, controlled, config.ubo_threshold
+                    )
+                elif config.incremental:
+                    integrated, controlled = beneficial_owner_rows(
+                        graph, CONTROL_THRESHOLD
+                    )
+                    ubo = assemble_beneficial_owners(
+                        graph, integrated, controlled, config.ubo_threshold
+                    )
+                else:
+                    integrated, controlled = None, None
+                    ubo = all_beneficial_owners(graph, config.ubo_threshold)
 
             with self.tracer.span("snapshot.materialise"):
                 augmented = graph.copy()
@@ -371,6 +558,21 @@ class SnapshotBuilder:
             span.set("close_link_pairs", len(close))
             span.set("family_links", len(family_links))
 
+        if config.incremental:
+            self._state = _BuilderState(
+                graph=graph,
+                generation=graph.generation,
+                frame=frame,
+                control_rows=c_rows,
+                phi_rows=p_rows,
+                phi_use_dag=use_dag,
+                integrated=integrated,
+                controlled=controlled,
+                family_links=family_links,
+                assignment=assignment,
+            )
+        else:
+            self._state = None
         self._version = version
         return Snapshot(
             version=version,
@@ -385,6 +587,7 @@ class SnapshotBuilder:
             built_s=time.perf_counter() - started,
             warm=warm,
             frame=frame,
+            incremental=incremental,
         )
 
 

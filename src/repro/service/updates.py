@@ -22,13 +22,17 @@ staging state that already includes both batches.
 from __future__ import annotations
 
 import asyncio
+import logging
 import time
 from typing import Any, Sequence
 
-from ..graph.company_graph import SHAREHOLDING, CompanyGraph
-from ..graph.property_graph import Edge, GraphError
+from ..graph.company_graph import COMPANY, PERSON, SHAREHOLDING, CompanyGraph
+from ..graph.property_graph import GraphError
 from ..telemetry import NULL_TRACER
+from .incremental import DeltaBatch
 from .snapshot import SnapshotBuilder, SnapshotManager
+
+logger = logging.getLogger(__name__)
 
 #: Delta operations accepted by :func:`apply_deltas`.
 SUPPORTED_OPS = (
@@ -48,26 +52,29 @@ class MutationError(ValueError):
 
 def apply_deltas(
     graph: CompanyGraph, deltas: Sequence[dict[str, Any]]
-) -> tuple[list[Edge], bool]:
+) -> DeltaBatch:
     """Apply ``deltas`` to ``graph`` in place.
 
-    Returns ``(new_edges, removed_any)``: the shareholding edges added
-    (fed to the warm embedder) and whether anything was removed (removals
-    force a cold re-embed — the incremental path only models additions).
+    Returns a :class:`~repro.service.incremental.DeltaBatch` recording
+    exactly what changed — the fuel of the incremental snapshot build.
+    It still unpacks as the historical ``(new_edges, removed_any)`` pair.
     Raises :class:`MutationError` on the first bad op; callers apply to a
     throwaway copy so a failed batch leaves no trace.
     """
-    new_edges: list[Edge] = []
-    removed_any = False
+    batch = DeltaBatch()
     for position, delta in enumerate(deltas):
         if not isinstance(delta, dict):
             raise MutationError(f"delta #{position} is not an object")
         op = delta.get("op")
         try:
             if op == "add_company":
-                graph.add_company(_required(delta, "id"), **delta.get("properties", {}))
+                node_id = _required(delta, "id")
+                graph.add_company(node_id, **delta.get("properties", {}))
+                batch.added_nodes.append((node_id, COMPANY))
             elif op == "add_person":
-                graph.add_person(_required(delta, "id"), **delta.get("properties", {}))
+                node_id = _required(delta, "id")
+                graph.add_person(node_id, **delta.get("properties", {}))
+                batch.added_nodes.append((node_id, PERSON))
             elif op == "add_shareholding":
                 edge = graph.add_shareholding(
                     _required(delta, "owner"),
@@ -75,7 +82,7 @@ def apply_deltas(
                     float(_required(delta, "share")),
                     **delta.get("properties", {}),
                 )
-                new_edges.append(edge)
+                batch.new_edges.append(edge)
             elif op == "remove_shareholding":
                 owner = _required(delta, "owner")
                 company = _required(delta, "company")
@@ -88,20 +95,29 @@ def apply_deltas(
                         f"delta #{position}: no shareholding {owner!r} -> {company!r}"
                     )
                 for edge in edges:
-                    graph.remove_edge(edge.id)
-                removed_any = True
+                    batch.removed_edges.append(graph.remove_edge(edge.id))
+                batch.removed_any = True
             elif op == "remove_edge":
-                graph.remove_edge(_required(delta, "id"))
-                removed_any = True
+                batch.removed_edges.append(graph.remove_edge(_required(delta, "id")))
+                batch.removed_any = True
             elif op == "remove_node":
-                graph.remove_node(_required(delta, "id"))
-                removed_any = True
+                node_id = _required(delta, "id")
+                node = graph.node(node_id)
+                incident = {
+                    e.id: e
+                    for e in list(graph.out_edges(node_id)) + list(graph.in_edges(node_id))
+                }
+                graph.remove_node(node_id)
+                batch.removed_nodes.append((node_id, node.label))
+                batch.removed_edges.extend(incident.values())
+                batch.removed_any = True
             elif op == "set_property":
                 # via the graph (not the node dict) so the generation
                 # counter invalidates any cached columnar frame
-                graph.set_property(
-                    _required(delta, "id"), _required(delta, "name"), delta.get("value")
-                )
+                node_id = _required(delta, "id")
+                name = _required(delta, "name")
+                graph.set_property(node_id, name, delta.get("value"))
+                batch.property_changes.append((node_id, graph.node(node_id).label, name))
             else:
                 raise MutationError(
                     f"delta #{position}: unknown op {op!r} "
@@ -111,7 +127,7 @@ def apply_deltas(
             raise
         except (GraphError, TypeError, ValueError) as exc:
             raise MutationError(f"delta #{position} ({op}): {exc}") from exc
-    return new_edges, removed_any
+    return batch
 
 
 class GraphUpdater:
@@ -126,14 +142,25 @@ class GraphUpdater:
     ):
         self._manager = manager
         self._builder = builder
-        self._staging = base_graph.copy()
+        # staging starts as the *same object* the initial snapshot was
+        # built from: the first accepted batch then carries that object
+        # as its base, which is what lets the builder take the
+        # incremental path from version 1 on.  Safe to alias — ``apply``
+        # only ever copies staging, never mutates it in place.
+        self._staging = base_graph
         self._build_lock = asyncio.Lock()
+        #: strong references to in-flight rebuild tasks — the event loop
+        #: only keeps weak ones, so an unreferenced task could be
+        #: garbage-collected mid-rebuild
+        self._tasks: set[asyncio.Task] = set()
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.batches_accepted = 0
         self.batches_rejected = 0
         self.deltas_applied = 0
         self.rebuilds = 0
         self.rebuild_failures = 0
+        self.staging_rollbacks = 0
+        self.last_rebuild_error: str | None = None
         self.last_rebuild_s = 0.0
         #: test / bench hook — artificial build slowdown (seconds)
         self.build_delay_s = 0.0
@@ -154,18 +181,21 @@ class GraphUpdater:
         """
         if not deltas:
             raise MutationError("empty delta batch")
-        candidate = self._staging.copy()
+        base = self._staging
+        candidate = base.copy()
         try:
-            new_edges, removed_any = apply_deltas(candidate, deltas)
+            batch = apply_deltas(candidate, deltas)
         except MutationError:
             self.batches_rejected += 1
             raise
+        batch.base = base
+        batch.base_generation = base.generation
         self._staging = candidate
         self.batches_accepted += 1
         self.deltas_applied += len(deltas)
-        task = asyncio.get_running_loop().create_task(
-            self._rebuild(candidate, None if removed_any else new_edges)
-        )
+        task = asyncio.get_running_loop().create_task(self._rebuild(candidate, batch))
+        self._tasks.add(task)
+        task.add_done_callback(self._on_rebuild_done)
         if wait:
             snapshot = await task
             return {
@@ -182,28 +212,64 @@ class GraphUpdater:
             "next_version": self._builder.version + 1,
         }
 
-    async def _rebuild(self, graph: CompanyGraph, new_edges: list[Edge] | None):
+    def _on_rebuild_done(self, task: asyncio.Task) -> None:
+        self._tasks.discard(task)
+        if task.cancelled():
+            return
+        task.exception()  # mark retrieved; _rebuild already recorded it
+
+    async def _rebuild(self, graph: CompanyGraph, batch: DeltaBatch):
         async with self._build_lock:
             self._rebuilding += 1
             started = time.perf_counter()
             try:
                 snapshot = await asyncio.get_running_loop().run_in_executor(
-                    None, self._build_sync, graph, new_edges
+                    None, self._build_sync, graph, batch
                 )
                 self._manager.publish(snapshot)
                 self.rebuilds += 1
                 self.last_rebuild_s = time.perf_counter() - started
                 return snapshot
-            except BaseException:
+            except BaseException as exc:
                 self.rebuild_failures += 1
+                self.last_rebuild_error = repr(exc)
+                with self.tracer.span("rebuild.failed", error=repr(exc)):
+                    logger.exception("snapshot rebuild failed; resyncing staging")
+                self._resync_staging(graph)
                 raise
             finally:
                 self._rebuilding -= 1
 
-    def _build_sync(self, graph: CompanyGraph, new_edges: list[Edge] | None):
+    def _resync_staging(self, failed_graph: CompanyGraph) -> None:
+        """Roll staging back to the published graph after a failed build.
+
+        Without this, a failed rebuild leaves ``_staging`` permanently
+        ahead of the served snapshot: the batch was accepted, the build
+        died, and every later batch keeps stacking on state that will
+        never be published.  Rolling back to the served snapshot's graph
+        re-synchronises accepted state with published state.  If a newer
+        batch was accepted while this build ran, staging has moved on —
+        that batch's own rebuild will publish (or resync) it, so we
+        leave it alone.
+        """
+        if self._staging is not failed_graph:
+            return
+        try:
+            current = self._manager.current
+        except RuntimeError:  # nothing published yet — keep staging as is
+            return
+        self._staging = current.graph
+        # the failed build may have half-advanced builder-side caches
+        # (warm embedder, row state) — drop them so the next build
+        # starts cold from a consistent base
+        self._builder.reset_incremental()
+        self.staging_rollbacks += 1
+
+    def _build_sync(self, graph: CompanyGraph, batch: DeltaBatch):
         if self.build_delay_s:
             time.sleep(self.build_delay_s)
-        return self._builder.build(graph, new_edges=new_edges)
+        new_edges = None if batch.removed_any else batch.new_edges
+        return self._builder.build(graph, new_edges=new_edges, delta=batch)
 
     def stats(self) -> dict[str, Any]:
         return {
@@ -212,6 +278,8 @@ class GraphUpdater:
             "deltas_applied": self.deltas_applied,
             "rebuilds": self.rebuilds,
             "rebuild_failures": self.rebuild_failures,
+            "staging_rollbacks": self.staging_rollbacks,
+            "last_rebuild_error": self.last_rebuild_error,
             "rebuild_in_progress": self.rebuild_in_progress,
             "last_rebuild_s": round(self.last_rebuild_s, 4),
             "staging_nodes": self._staging.node_count,

@@ -80,6 +80,44 @@ class TestChurnAndTenure:
         tenure = history.node_tenure()
         assert tenure["p"] == (2005, 2006)
 
+    def test_churn_counts_parallel_edges_as_multiset(self):
+        """Regression: two identical parallel shareholdings collapsed to
+        one under the old set-based diff, so dropping one of them
+        reported zero edge churn."""
+        year1 = CompanyGraph()
+        year1.add_company("a")
+        year1.add_company("b")
+        year1.add_shareholding("a", "b", 0.3)
+        year1.add_shareholding("a", "b", 0.3)  # second, identical package
+        year2 = CompanyGraph()
+        year2.add_company("a")
+        year2.add_company("b")
+        year2.add_shareholding("a", "b", 0.3)
+        history = OwnershipHistory({2005: year1, 2006: year2})
+        churn = history.churn(2005, 2006)
+        assert churn["edges_removed"] == 1
+        assert churn["edges_added"] == 0
+        # and the reverse direction: gaining a parallel copy is one add
+        reverse = OwnershipHistory({2005: year2, 2006: year1}).churn(2005, 2006)
+        assert reverse["edges_added"] == 1
+        assert reverse["edges_removed"] == 0
+
+    def test_churn_unchanged_parallel_edges_report_zero(self):
+        def build():
+            g = CompanyGraph()
+            g.add_company("a")
+            g.add_company("b")
+            g.add_shareholding("a", "b", 0.25)
+            g.add_shareholding("a", "b", 0.25)
+            return g
+
+        history = OwnershipHistory({2005: build(), 2006: build()})
+        churn = history.churn(2005, 2006)
+        assert churn == {
+            "nodes_added": 0, "nodes_removed": 0,
+            "edges_added": 0, "edges_removed": 0,
+        }
+
 
 class TestEvolve:
     @pytest.fixture(scope="class")

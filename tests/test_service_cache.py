@@ -233,3 +233,136 @@ class TestMicroBatcher:
     def test_rejects_bad_max_batch(self):
         with pytest.raises(ValueError):
             MicroBatcher(lambda keys: None, max_batch=0)
+
+
+class TestSingleFlightLeaderCancellation:
+    def test_cancelled_leader_does_not_starve_followers(self):
+        """Regression: the supplier used to run inline in the leader
+        coroutine, so cancelling the leader (deadline, disconnect)
+        cancelled the shared future and every coalesced follower saw
+        CancelledError.  The supplier now runs in a detached task."""
+
+        async def main():
+            flight = SingleFlight()
+            calls = 0
+
+            async def supplier():
+                nonlocal calls
+                calls += 1
+                await asyncio.sleep(0.03)
+                return "survived"
+
+            leader = asyncio.ensure_future(flight.run("k", supplier))
+            await asyncio.sleep(0.005)  # leader registered, supplier running
+            followers = [
+                asyncio.ensure_future(flight.run("k", supplier))
+                for _ in range(3)
+            ]
+            await asyncio.sleep(0.005)
+            leader.cancel()
+            results = await asyncio.gather(*followers)
+            with pytest.raises(asyncio.CancelledError):
+                await leader
+            return calls, results, flight
+
+        calls, results, flight = asyncio.run(main())
+        assert calls == 1
+        assert results == ["survived"] * 3
+        assert flight.inflight() == 0
+
+    def test_cancelling_one_follower_spares_the_rest(self):
+        async def main():
+            flight = SingleFlight()
+
+            async def supplier():
+                await asyncio.sleep(0.03)
+                return "ok"
+
+            waiters = [
+                asyncio.ensure_future(flight.run("k", supplier))
+                for _ in range(4)
+            ]
+            await asyncio.sleep(0.005)
+            waiters[1].cancel()
+            survivors = await asyncio.gather(
+                waiters[0], waiters[2], waiters[3]
+            )
+            return survivors
+
+        assert asyncio.run(main()) == ["ok"] * 3
+
+    def test_all_waiters_cancelled_still_settles_cleanly(self):
+        async def main():
+            flight = SingleFlight()
+            finished = asyncio.Event()
+
+            async def supplier():
+                await asyncio.sleep(0.02)
+                finished.set()
+                return "done"
+
+            waiter = asyncio.ensure_future(flight.run("k", supplier))
+            await asyncio.sleep(0.005)
+            waiter.cancel()
+            # the detached computation still completes and the key clears
+            await asyncio.wait_for(finished.wait(), 1.0)
+            await asyncio.sleep(0)  # let the done-callback run
+            return flight.inflight()
+
+        assert asyncio.run(main()) == 0
+
+
+class TestMicroBatcherContract:
+    def test_missing_key_raises_instead_of_none(self):
+        """Regression: a batch function that silently dropped a key used
+        to resolve that waiter with ``None``, indistinguishable from a
+        real null result.  It now fails loudly with KeyError."""
+
+        async def main():
+            async def batch_fn(keys):
+                return {k: k for k in keys if k != "dropped"}
+
+            batcher = MicroBatcher(batch_fn, max_batch=3, max_delay_s=0.01)
+            return await asyncio.gather(
+                batcher.submit("a"),
+                batcher.submit("dropped"),
+                batcher.submit("b"),
+                return_exceptions=True,
+            )
+
+        a, dropped, b = asyncio.run(main())
+        assert (a, b) == ("a", "b")
+        assert isinstance(dropped, KeyError)
+        assert "dropped" in str(dropped)
+
+    def test_none_is_still_a_valid_batch_value(self):
+        async def main():
+            async def batch_fn(keys):
+                return {k: None for k in keys}
+
+            batcher = MicroBatcher(batch_fn, max_batch=2, max_delay_s=0.01)
+            return await asyncio.gather(batcher.submit("x"), batcher.submit("y"))
+
+        assert asyncio.run(main()) == [None, None]
+
+    def test_flush_keeps_strong_reference_to_batch_task(self):
+        """Regression: the flush path dropped the created task on the
+        floor; the event loop only holds weak references, so a GC pass
+        could collect the batch mid-flight and strand every waiter."""
+
+        async def main():
+            async def batch_fn(keys):
+                await asyncio.sleep(0.02)
+                return {k: k for k in keys}
+
+            batcher = MicroBatcher(batch_fn, max_batch=1, max_delay_s=5.0)
+            waiter = asyncio.ensure_future(batcher.submit("k"))
+            await asyncio.sleep(0.005)  # size-1 batch flushed immediately
+            assert len(batcher._tasks) == 1
+            result = await waiter
+            await asyncio.sleep(0)
+            return result, len(batcher._tasks)
+
+        result, remaining = asyncio.run(main())
+        assert result == "k"
+        assert remaining == 0

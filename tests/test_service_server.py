@@ -375,3 +375,104 @@ class TestMetrics:
         assert metrics["cache"]["hits"] == 2  # 2nd and 3rd /control were LRU hits
         assert metrics["snapshot"]["version"] == 1
         assert metrics["updater"]["rebuilds"] == 0
+
+
+class TestRebuildFailureRecovery:
+    """Regression: a failed background rebuild used to strand staging.
+
+    The batch was accepted, the build died, and every later batch kept
+    stacking on state that would never publish — while the failure
+    itself vanished into an unreferenced task.  The updater now keeps
+    strong task references, records the error, and rolls staging back to
+    the served snapshot.
+    """
+
+    def test_failed_rebuild_rolls_staging_back(self, graph):
+        from repro.service import SnapshotBuilder, SnapshotManager
+        from repro.service.updates import GraphUpdater
+
+        async def main():
+            builder = SnapshotBuilder()
+            manager = SnapshotManager()
+            manager.publish(builder.build(graph))
+            updater = GraphUpdater(manager, builder, graph)
+
+            original_build = builder.build
+            builder.build = lambda *a, **kw: (_ for _ in ()).throw(
+                RuntimeError("disk full")
+            )
+            await updater.apply([{"op": "add_company", "id": "DOOMEDCO"}])
+            while updater._tasks:
+                await asyncio.sleep(0.01)
+            builder.build = original_build
+
+            stats_after_failure = updater.stats()
+            staging_after_failure = updater._staging
+
+            # the next batch starts from the *served* graph: DOOMEDCO is
+            # gone, and the batch publishes version 2 normally
+            result = await updater.apply(
+                [{"op": "add_company", "id": "OKCO"}], wait=True
+            )
+            return stats_after_failure, staging_after_failure, result
+
+        stats, staging, result = asyncio.run(main())
+        assert stats["rebuild_failures"] == 1
+        assert stats["staging_rollbacks"] == 1
+        assert "disk full" in stats["last_rebuild_error"]
+        assert not staging.has_node("DOOMEDCO")
+        assert result["version"] == 2
+
+    def test_newer_batch_is_not_clobbered_by_old_failure(self, graph):
+        from repro.service import SnapshotBuilder, SnapshotManager
+        from repro.service.updates import GraphUpdater
+
+        async def main():
+            builder = SnapshotBuilder()
+            manager = SnapshotManager()
+            manager.publish(builder.build(graph))
+            updater = GraphUpdater(manager, builder, graph)
+
+            original_build = builder.build
+            calls = {"n": 0}
+
+            def build_once_broken(*args, **kwargs):
+                calls["n"] += 1
+                if calls["n"] == 1:
+                    raise RuntimeError("transient")
+                return original_build(*args, **kwargs)
+
+            builder.build = build_once_broken
+            await updater.apply([{"op": "add_company", "id": "FIRSTCO"}])
+            # accepted before the first rebuild fails: staging has moved
+            # on, so the failure must leave the second batch's state alone
+            await updater.apply([{"op": "add_company", "id": "SECONDCO"}])
+            while updater._tasks:
+                await asyncio.sleep(0.01)
+            return updater.stats(), updater._staging
+
+        stats, staging = asyncio.run(main())
+        assert stats["rebuild_failures"] == 1
+        assert stats["staging_rollbacks"] == 0  # newer batch owns staging
+        assert staging.has_node("FIRSTCO") and staging.has_node("SECONDCO")
+
+    def test_rebuild_tasks_hold_strong_references(self, graph):
+        from repro.service import SnapshotBuilder, SnapshotManager
+        from repro.service.updates import GraphUpdater
+
+        async def main():
+            builder = SnapshotBuilder()
+            manager = SnapshotManager()
+            manager.publish(builder.build(graph))
+            updater = GraphUpdater(manager, builder, graph)
+            updater.build_delay_s = 0.2
+            await updater.apply([{"op": "add_company", "id": "SLOWCO"}])
+            held = len(updater._tasks)
+            while updater._tasks:
+                await asyncio.sleep(0.01)
+            return held, updater.stats()
+
+        held, stats = asyncio.run(main())
+        assert held == 1  # referenced while in flight, dropped after
+        assert stats["rebuilds"] == 1
+        assert stats["rebuild_failures"] == 0
