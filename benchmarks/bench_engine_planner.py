@@ -1,14 +1,25 @@
-"""Planned+compiled vs textual-order engine — the perf trajectory bench.
+"""Vectorized vs planned+compiled vs textual-order engine — the perf bench.
 
 Runs the two hottest declarative workloads of the reproduction (the
 close-links program over scale-free ownership pyramids and the family
-control program over superdense extracts) at three synthetic sizes each,
-with the join planner + compiled evaluators on and off, asserts the two
-result databases are identical, and writes ``BENCH_engine.json``.
+control program over superdense extracts) at three synthetic sizes each
+across all three execution backends:
+
+* ``vectorized``  — batch columnar evaluation (the default with numpy),
+* ``planned``     — ``Engine(..., vectorize=False)``: per-tuple compiled
+  evaluators under the join planner, the bit-identity oracle,
+* ``unplanned``   — ``Engine(..., plan=False)``: textual-order
+  interpretation.
+
+Every row asserts the three result databases are identical (the
+vectorized one *bit-identically* — same insertion sequence, same firing
+counts — against the planned one) and records both speedup ratios.
+Writes ``BENCH_engine.json``.
 
 Standalone on purpose (argparse, not pytest): CI's smoke job runs
 ``python benchmarks/bench_engine_planner.py --smoke`` and archives the
-JSON as a per-PR artifact.
+JSON as a per-PR artifact — the smoke run doubles as the
+``--no-vectorize`` parity check on both programs.
 """
 
 from __future__ import annotations
@@ -65,9 +76,9 @@ def _program_for(graph, body: str, families: bool):
     return kg.program()
 
 
-def _run(program, graph, plan: bool):
+def _run(program, graph, plan: bool, vectorize: bool = True):
     started = time.perf_counter()
-    engine = Engine(program, to_facts(graph), plan=plan)
+    engine = Engine(program, to_facts(graph), plan=plan, vectorize=vectorize)
     engine.run()
     return engine, time.perf_counter() - started
 
@@ -76,30 +87,44 @@ def run_benchmark(smoke: bool) -> dict:
     rows = []
     for name, size, graph, body, families in _workloads(smoke):
         program = _program_for(graph, body, families)
-        planned_engine, planned_s = _run(program, graph, plan=True)
+        vectorized_engine, vectorized_s = _run(program, graph, plan=True)
+        planned_engine, planned_s = _run(
+            program, graph, plan=True, vectorize=False
+        )
         unplanned_engine, unplanned_s = _run(program, graph, plan=False)
-        identical = set(planned_engine.database.all_facts()) == set(
-            unplanned_engine.database.all_facts()
+        identical = (
+            list(vectorized_engine.database.all_facts())
+            == list(planned_engine.database.all_facts())
+            and vectorized_engine.stats.rule_firings
+            == planned_engine.stats.rule_firings
+            and set(planned_engine.database.all_facts())
+            == set(unplanned_engine.database.all_facts())
         )
         row = {
             "program": name,
             "size": size,
-            "facts_total": planned_engine.database.count(),
-            "rule_firings": planned_engine.stats.rule_firings,
+            "facts_total": vectorized_engine.database.count(),
+            "rule_firings": vectorized_engine.stats.rule_firings,
+            "vectorized_s": round(vectorized_s, 4),
             "planned_s": round(planned_s, 4),
             "unplanned_s": round(unplanned_s, 4),
             "speedup": round(unplanned_s / planned_s, 2) if planned_s else None,
+            "speedup_vs_planned": (
+                round(planned_s / vectorized_s, 2) if vectorized_s else None
+            ),
+            "vector_fallbacks": len(vectorized_engine._vector_fallbacks),
             "identical_results": identical,
         }
         rows.append(row)
         print(
-            f"{name:>15} {size:<16} planned={planned_s:8.3f}s "
-            f"unplanned={unplanned_s:8.3f}s speedup={row['speedup']:6.2f}x "
+            f"{name:>15} {size:<16} vectorized={vectorized_s:8.3f}s "
+            f"planned={planned_s:8.3f}s unplanned={unplanned_s:8.3f}s "
+            f"vec-speedup={row['speedup_vs_planned']:6.2f}x "
             f"identical={identical}"
         )
         if not identical:
             raise SystemExit(
-                f"FATAL: planned and unplanned databases differ on {name}/{size}"
+                f"FATAL: backend result databases differ on {name}/{size}"
             )
     return {"mode": "smoke" if smoke else "full", "workloads": rows}
 
@@ -125,8 +150,13 @@ def main(argv: list[str] | None = None) -> int:
         ][-1]
         if largest_close["speedup"] < 1.5:
             raise SystemExit(
-                f"FATAL: close-links speedup at largest size is "
+                f"FATAL: close-links planned speedup at largest size is "
                 f"{largest_close['speedup']}x (< 1.5x target)"
+            )
+        if largest_close["speedup_vs_planned"] < 5.0:
+            raise SystemExit(
+                f"FATAL: close-links vectorized speedup at largest size is "
+                f"{largest_close['speedup_vs_planned']}x (< 5x target)"
             )
     return 0
 

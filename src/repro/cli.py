@@ -106,6 +106,9 @@ def build_parser() -> argparse.ArgumentParser:
     reason.add_argument("--no-plan", action="store_true",
                         help="disable the join planner / compiled evaluators "
                              "(textual-order interpretation)")
+    reason.add_argument("--no-vectorize", action="store_true",
+                        help="disable the batch columnar backend (per-tuple "
+                             "compiled evaluation; the bit-identity oracle)")
 
     export = commands.add_parser("export-dot",
                                  help="render the (optionally augmented) graph as Graphviz DOT")
@@ -281,7 +284,11 @@ def _reason(args: argparse.Namespace) -> int:
     graph = read_company_csv(args.directory)
     program = parse_program(args.program.read_text())
     engine = Engine(
-        program, to_facts(graph), tracer=_tracer_of(args), plan=not args.no_plan
+        program,
+        to_facts(graph),
+        tracer=_tracer_of(args),
+        plan=not args.no_plan,
+        vectorize=not args.no_vectorize,
     )
     engine.run()
     rows = engine.query(args.query)

@@ -16,7 +16,15 @@ extra guarantees this module provides:
   may capture it once and probe it across semi-naive rounds;
 * **cheap statistics** — :meth:`cardinality` and :meth:`distinct_count`
   expose the per-predicate row counts and per-index key counts the
-  planner's selectivity estimates are built from.
+  planner's selectivity estimates are built from.  Both answer purely
+  from maintained state (list lengths / index key counts) so the
+  replanning path never rescans a relation;
+* **mutation counters** — :meth:`removal_count` reports how many facts
+  have ever been removed from a predicate.  The columnar cache
+  (:mod:`repro.datalog.columns`) keys its incremental append-sync on
+  (row-list length, removal count): unchanged removals mean the live
+  row list only grew, so column blocks extend in place instead of
+  rebuilding.
 
 Predicates may mix arities under one name (the engine stores ``link/3``
 and ``link/4`` together); an index over positions a short tuple does not
@@ -47,6 +55,10 @@ class Database:
         # predicate -> its cached positional indexes (kept per predicate so
         # ``add`` only maintains the indexes of the predicate it touches)
         self._indexes: dict[str, _PredicateIndexes] = {}
+        # predicate -> total facts ever removed (column-cache invalidation)
+        self._removals: dict[str, int] = {}
+        # lazily attached repro.datalog.columns.ColumnStore
+        self._columns = None
         for predicate, values in facts:
             self.add(predicate, values)
 
@@ -91,6 +103,7 @@ class Database:
             return False
         existing.remove(values)
         self._facts[predicate].remove(values)
+        self._removals[predicate] = self._removals.get(predicate, 0) + 1
         indexes = self._indexes.get(predicate)
         if indexes:
             width = len(values)
@@ -189,12 +202,52 @@ class Database:
     def distinct_count(self, predicate: str, positions: tuple[int, ...]) -> int | None:
         """Number of distinct keys in the cached index over ``positions``.
 
-        Returns None when that index has not been built yet — the planner
-        treats this as "no statistics" rather than forcing an index build
-        for every candidate join order it merely considers.
+        Answers from maintained indexes only — never by scanning rows —
+        so the planner (including its replanning path) can ask freely:
+
+        * the exact index over ``positions`` gives the exact key count;
+        * otherwise, any maintained index over a *subset* of
+          ``positions`` gives a lower bound (adding key positions can
+          only split keys further); the largest such bound is returned;
+        * with no usable index at all the answer is None and the planner
+          falls back to its default selectivity heuristics.
         """
-        index = self._indexes.get(predicate, {}).get(positions)
-        return len(index) if index is not None else None
+        indexes = self._indexes.get(predicate)
+        if not indexes:
+            return None
+        exact = indexes.get(positions)
+        if exact is not None:
+            return len(exact)
+        wanted = set(positions)
+        best: int | None = None
+        for built, index in indexes.items():
+            if set(built) <= wanted and (best is None or len(index) > best):
+                best = len(index)
+        return best
+
+    def removal_count(self, predicate: str) -> int:
+        """How many facts have ever been removed from ``predicate``.
+
+        Together with ``len(live_rows(predicate))`` this versions the
+        live row list: an unchanged removal count means the list has only
+        been appended to since last observed, so columnar caches can sync
+        by consuming the tail instead of rebuilding.
+        """
+        return self._removals.get(predicate, 0)
+
+    def column_store(self):
+        """The lazily attached columnar cache (see :mod:`.columns`).
+
+        One store per database: interned code columns per (predicate,
+        arity), kept in sync with the row lists via :meth:`removal_count`.
+        Raises ImportError when numpy is unavailable — callers gate on
+        :data:`repro.datalog.columns.NUMPY_AVAILABLE` instead of catching.
+        """
+        if self._columns is None:
+            from .columns import ColumnStore
+
+            self._columns = ColumnStore(self)
+        return self._columns
 
     # ------------------------------------------------------------------
     # internal live views (compiled-evaluator capture points)
@@ -236,6 +289,11 @@ class Database:
                 continue
             clone._facts[predicate] = list(rows)
             clone._sets[predicate] = set(rows)
+        if self._columns is not None:
+            # column blocks snapshot over by numpy copy (cheap memcpy, and
+            # the shared append-only interner keeps codes comparable), so
+            # engines running over copies skip the per-value re-intern
+            clone._columns = self._columns.snapshot_for(clone)
         return clone
 
     def __contains__(self, fact: Fact) -> bool:

@@ -29,6 +29,7 @@ from typing import Any, Iterator
 from ..telemetry import NULL_TRACER
 from .atoms import Aggregate, Assignment, Atom, Comparison, Negation
 from .builtins import Binding, FunctionRegistry, compare, evaluate
+from .columns import NUMPY_AVAILABLE
 from .compiled import CompilationFallback, compile_rule
 from .database import Database, Fact, FactValues
 from .errors import EvaluationError
@@ -36,6 +37,11 @@ from .planner import order_sensitive_predicates, plan_rule
 from .rules import Program, Rule
 from .stratify import Stratum, stratify
 from .terms import Constant, Null, Variable, skolem
+from .vectorized import (
+    VectorizationFallback,
+    VectorRuntimeFallback,
+    compile_rule_vectorized,
+)
 
 #: cache sentinel: (rule, seed) pair not compiled yet
 _COMPILE_MISS = object()
@@ -126,6 +132,7 @@ class Engine:
         seminaive: bool = True,
         tracer=None,
         plan: bool = True,
+        vectorize: bool = True,
     ):
         self.program = program
         self.database = database if database is not None else Database()
@@ -139,10 +146,21 @@ class Engine:
         # the ablation benchmarks); provenance implies it, since compiled
         # evaluators do not record body-fact traces
         self.plan_enabled = plan and not provenance
+        # vectorize=False keeps the per-tuple compiled path as the
+        # bit-identity oracle; without numpy the flag is inert
+        self.vectorize_enabled = self.plan_enabled and vectorize and NUMPY_AVAILABLE
         # (rule id, seed literal index) -> CompiledRule, or None once a
         # CompilationFallback proved the pair structurally uncompilable
         self._compiled_cache: dict[tuple[int, int | None], Any] = {}
         self._plan_fallbacks: dict[tuple[int, int | None], str] = {}
+        # (rule id, seed literal index) -> (plan signature, VectorizedRule
+        # or None when that plan shape could not be lowered to the batch
+        # backend); a changed signature forces re-lowering
+        self._vector_cache: dict[tuple[int, int | None], tuple] = {}
+        self._vector_fallbacks: dict[tuple[int, int | None], str] = {}
+        # pairs permanently reverted to the compiled path after a runtime
+        # safety check failed (data-dependent, so retrying cannot help)
+        self._vector_disabled: set[tuple[int, int | None]] = set()
         self._order_sensitive: set[str] | None = None
         self.stats = EngineStats()
         self._aggregate_states: dict[tuple, _AggregateState] = {}
@@ -364,6 +382,19 @@ class Engine:
         if self.plan_enabled:
             compiled = self._compiled_for(rule, seed_literal_index)
             if compiled is not None:
+                if self.vectorize_enabled:
+                    vectorized = self._vectorized_for(rule, seed_literal_index, compiled)
+                    if vectorized is not None:
+                        try:
+                            derived, firings = vectorized.execute(seed_facts)
+                        except VectorRuntimeFallback as fallback:
+                            # raised only while still pure: re-running on
+                            # the compiled path cannot double count
+                            key = (id(rule), seed_literal_index)
+                            self._vector_disabled.add(key)
+                            self._vector_fallbacks[key] = str(fallback)
+                        else:
+                            return self._ingest_derived(derived, firings)
                 return self._apply_compiled(compiled, seed_facts)
 
         new_facts: list[Fact] = []
@@ -415,10 +446,7 @@ class Engine:
             rule, seed_literal_index, self.database, reorder=self._may_reorder(rule)
         )
         if cached is not _COMPILE_MISS:
-            same_shape = plan.order == cached.plan.order and all(
-                fresh.probe_positions == old.probe_positions
-                for fresh, old in zip(plan.steps, cached.plan.steps)
-            )
+            same_shape = plan.signature() == cached.plan.signature()
             cached.replans += 1
             if same_shape:
                 cached.plan = plan  # adopt the new cardinality snapshot
@@ -442,8 +470,39 @@ class Engine:
             self._order_sensitive = order_sensitive_predicates(self.program)
         return not (rule.head_predicates() & self._order_sensitive)
 
+    def _vectorized_for(self, rule: Rule, seed_literal_index: int | None, compiled):
+        """The cached batch evaluator for (rule, seed occurrence), or None.
+
+        Validated against the compiled plan's *signature* (a re-plan may
+        swap the plan object while keeping the shape); a shape change
+        re-lowers, including pairs whose previous shape fell back.  Pairs
+        in ``_vector_disabled`` (runtime safety fallback) stay compiled
+        for the lifetime of the engine.
+        """
+        key = (id(rule), seed_literal_index)
+        if key in self._vector_disabled:
+            return None
+        signature = compiled.plan.signature()
+        cached = self._vector_cache.get(key)
+        if cached is not None and cached[0] == signature:
+            return cached[1]
+        try:
+            vectorized = compile_rule_vectorized(self, rule, compiled.plan)
+        except VectorizationFallback as fallback:
+            self._vector_fallbacks[key] = str(fallback)
+            self._vector_cache[key] = (signature, None)
+            return None
+        self._vector_fallbacks.pop(key, None)
+        self._vector_cache[key] = (signature, vectorized)
+        return vectorized
+
     def _apply_compiled(self, compiled, seed_facts: list[FactValues] | None) -> list[Fact]:
         derived, firings = compiled.execute(seed_facts)
+        return self._ingest_derived(derived, firings)
+
+    def _ingest_derived(self, derived: list[Fact], firings: int) -> list[Fact]:
+        """Flush an evaluator's fact sink into the database (shared by the
+        compiled and vectorized backends)."""
         self.stats.rule_firings += firings
         new_facts: list[Fact] = []
         add = self.database.add
@@ -478,6 +537,20 @@ class Engine:
             else:
                 compiled_rules += 1
                 plan = compiled.plan
+                if self.vectorize_enabled:
+                    entry = self._vector_cache.get((rule_id, seed_index))
+                    vectorized = (
+                        entry is not None
+                        and entry[1] is not None
+                        and (rule_id, seed_index) not in self._vector_disabled
+                    )
+                    child.set("backend", "vectorized" if vectorized else "compiled")
+                    if not vectorized:
+                        reason = self._vector_fallbacks.get((rule_id, seed_index))
+                        if reason:
+                            child.set("vector_fallback", reason)
+                else:
+                    child.set("backend", "compiled")
                 child.set("order", plan.describe())
                 child.set(
                     "estimated_rows",
@@ -667,19 +740,26 @@ class Engine:
     # ------------------------------------------------------------------
 
     def _atom_plan(self, atom: Atom) -> tuple:
-        """Cached classification of an atom's terms for the join loops."""
-        plan = self._atom_plan_cache.get(id(atom))
-        if plan is None:
-            entries = []
-            for position, term in enumerate(atom.terms):
-                if isinstance(term, Variable):
-                    entries.append((position, "var", term.name))
-                elif isinstance(term, Constant):
-                    entries.append((position, "const", term.value))
-                else:
-                    entries.append((position, "complex", term))
-            plan = tuple(entries)
-            self._atom_plan_cache[id(atom)] = plan
+        """Cached classification of an atom's terms for the join loops.
+
+        The cache entry pins the atom object: keying on ``id()`` alone is
+        unsound for ephemeral atoms (``ask()`` builds one per query, and a
+        garbage-collected atom's id can be reused by the next one, which
+        would then silently inherit the dead atom's plan).
+        """
+        entry = self._atom_plan_cache.get(id(atom))
+        if entry is not None and entry[0] is atom:
+            return entry[1]
+        entries = []
+        for position, term in enumerate(atom.terms):
+            if isinstance(term, Variable):
+                entries.append((position, "var", term.name))
+            elif isinstance(term, Constant):
+                entries.append((position, "const", term.value))
+            else:
+                entries.append((position, "complex", term))
+        plan = tuple(entries)
+        self._atom_plan_cache[id(atom)] = (atom, plan)
         return plan
 
     def _atom_pattern(self, atom: Atom, binding: Binding) -> dict[int, Any]:

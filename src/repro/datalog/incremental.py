@@ -244,18 +244,17 @@ class IncrementalEngine:
                     seeds = by_predicate.get(body[literal_index].predicate)
                     if not seeds:
                         continue
-                    for binding in engine._join(
-                        rule, list(body), literal_index, seeds, trace=[]
+                    for fact in self._overdeletion_candidates(
+                        rule, literal_index, seeds
                     ):
-                        for fact in engine._instantiate_head(rule, binding):
-                            if fact in deleted:
-                                continue
-                            if not database.contains(*fact):
-                                continue
-                            if fact in self._edb:
-                                continue  # extensional support survives
-                            deleted[fact] = None
-                            frontier.append(fact)
+                        if fact in deleted:
+                            continue
+                        if not database.contains(*fact):
+                            continue
+                        if fact in self._edb:
+                            continue  # extensional support survives
+                        deleted[fact] = None
+                        frontier.append(fact)
         for predicate, values in deleted:
             database.remove(predicate, values)
 
@@ -271,6 +270,33 @@ class IncrementalEngine:
         if rederived:
             self._propagate(rederived)
         return len(deleted), len(rederived)
+
+    def _overdeletion_candidates(
+        self, rule, literal_index: int, seeds: list[FactValues]
+    ) -> list[Fact]:
+        """Head facts derivable with ``rule`` seeded at ``literal_index``.
+
+        Goes through the engine's planned/compiled evaluators (same cache,
+        same ``(rule, seed literal)`` key space as its own semi-naive
+        rounds) instead of the interpreted join.  Safe here because DRed's
+        delta path only runs on negation- and aggregate-free programs, so
+        a compiled execution is pure — it derives facts without touching
+        accumulator state.  Rules the lowering rejected (or ``plan=False``
+        engines) keep the interpreted path.
+        """
+        engine = self.engine
+        if engine.plan_enabled:
+            compiled = engine._compiled_for(rule, literal_index)
+            if compiled is not None:
+                derived, _ = compiled.execute(seeds)
+                return list(derived)  # the sink is reused; detach it
+        return [
+            fact
+            for binding in engine._join(
+                rule, list(rule.body), literal_index, seeds, trace=[]
+            )
+            for fact in engine._instantiate_head(rule, binding)
+        ]
 
     def _derivable(self, fact: Fact) -> bool:
         """Is ``fact`` derivable by some rule from the current database?

@@ -93,6 +93,16 @@ class JoinPlan:
     #: False means the plan fell back to textual order for a suffix.
     feasible: bool = True
 
+    def signature(self) -> tuple:
+        """The plan's execution shape: literal order + probe positions.
+
+        Two plans with equal signatures lower to identical evaluators
+        (cardinality snapshots may differ) — the engine uses this both to
+        keep compiled closure chains across re-plans and to decide when a
+        cached vectorized lowering is still valid.
+        """
+        return (self.order, tuple(step.probe_positions for step in self.steps))
+
     def stale(self, database: Database) -> bool:
         """Has the database drifted enough to make this plan suspect?"""
         for predicate, then in self.cardinalities.items():

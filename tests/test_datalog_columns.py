@@ -1,0 +1,234 @@
+"""Tests for the columnar relation cache (interner, blocks, column store)
+and the index-backed planner statistics it leans on."""
+
+import math
+
+import pytest
+
+from repro.datalog import Database, Engine, parse_program
+from repro.datalog.columns import MAX_CODES, NUMPY_AVAILABLE, ValueInterner
+from repro.datalog.planner import plan_rule
+
+pytestmark = pytest.mark.skipif(
+    not NUMPY_AVAILABLE, reason="columnar cache requires numpy"
+)
+
+
+class TestValueInterner:
+    def test_python_equality_semantics(self):
+        interner = ValueInterner()
+        assert interner.intern(1) == interner.intern(1.0) == interner.intern(True)
+        assert interner.intern("a") != interner.intern("b")
+        assert interner.intern("a") == interner.intern("a")
+
+    def test_each_nan_object_gets_its_own_code(self):
+        interner = ValueInterner()
+        first, second = float("nan"), float("nan")
+        assert interner.intern(first) != interner.intern(second)
+        assert interner.intern(first) == interner.intern(first)
+
+    def test_lookup_of_unseen_value_is_minus_one(self):
+        interner = ValueInterner()
+        interner.intern("seen")
+        assert interner.lookup("seen") == 0
+        assert interner.lookup("never") == -1
+
+    def test_tables_mark_safety_and_nan(self):
+        interner = ValueInterner()
+        codes = [
+            interner.intern(2),            # safe int
+            interner.intern(2**53 + 1),    # unsafe int
+            interner.intern(0.5),          # float
+            interner.intern(float("nan")),  # nan float
+            interner.intern("text"),       # non-numeric
+        ]
+        floats, is_float, is_safe, is_nan = interner.tables()
+        assert floats[codes[0]] == 2.0
+        assert list(is_safe[codes]) == [True, False, True, True, False]
+        assert list(is_float[codes]) == [False, False, True, True, False]
+        assert list(is_nan[codes]) == [False, False, False, True, False]
+        assert math.isnan(floats[codes[4]])
+
+    def test_tables_cached_until_growth(self):
+        interner = ValueInterner()
+        interner.intern("a")
+        first = interner.tables()
+        again = interner.tables()
+        assert first[0] is again[0]  # same numpy object, no rebuild
+        interner.intern("b")
+        grown = interner.tables()
+        assert len(grown[0]) == 2
+
+    def test_code_space_fits_pair_packing(self):
+        # the executor packs (a << 32) | b; codes must stay below 2**31
+        assert MAX_CODES == 2**31
+
+
+class TestColumnStore:
+    def _store(self, facts):
+        database = Database(list(facts))
+        return database, database.column_store()
+
+    def test_block_contents_match_rows(self):
+        database, store = self._store(
+            [("edge", (1, 2)), ("edge", (2, 3)), ("edge", (1, 2))]
+        )
+        block = store.block("edge", 2)
+        assert block.size == 2  # set semantics upstream: duplicate dropped
+        values = [store.interner.values[c] for c in block.column(0).tolist()]
+        assert values == [1, 2]
+
+    def test_sync_appends_without_rebuilding(self):
+        database, store = self._store([("edge", (1, 2))])
+        block = store.block("edge", 2)
+        database.add("edge", (3, 4))
+        grown = store.block("edge", 2)
+        assert grown is block  # the same block object grew in place
+        assert grown.size == 2
+        assert store.rebuilds == 0
+
+    def test_block_growth_beyond_initial_capacity(self):
+        database = Database()
+        store = database.column_store()
+        for n in range(100):
+            database.add("num", (n,))
+        block = store.block("num", 1)
+        assert block.size == 100
+        decoded = [store.interner.values[c] for c in block.column(0).tolist()]
+        assert decoded == list(range(100))
+
+    def test_removal_forces_rebuild(self):
+        database, store = self._store([("edge", (1, 2)), ("edge", (2, 3))])
+        store.block("edge", 2)
+        database.remove("edge", (1, 2))
+        block = store.block("edge", 2)
+        assert store.rebuilds == 1
+        assert block.size == 1
+        assert store.interner.values[block.column(0)[0]] == 2
+
+    def test_mixed_arities_get_separate_blocks(self):
+        database, store = self._store([("p", (1,)), ("p", (1, 2))])
+        assert store.block("p", 1).size == 1
+        assert store.block("p", 2).size == 1
+        assert store.block("p", 3) is None
+
+    def test_empty_relation_has_no_block(self):
+        database, store = self._store([])
+        assert store.block("missing", 2) is None
+
+    def test_sorted_keys_cached_per_version(self):
+        database, store = self._store([("edge", (2, 9)), ("edge", (1, 8))])
+        first = store.sorted_keys("edge", 2, (0,))
+        again = store.sorted_keys("edge", 2, (0,))
+        assert first is again
+        assert first[1].tolist() == sorted(first[1].tolist())
+        database.add("edge", (0, 7))
+        rebuilt = store.sorted_keys("edge", 2, (0,))
+        assert rebuilt is not first
+        assert len(rebuilt[1]) == 3
+
+    def test_sorted_keys_stable_within_equal_keys(self):
+        database, store = self._store(
+            [("own", ("a", n)) for n in range(5)] + [("own", ("b", 9))]
+        )
+        order, _keys = store.sorted_keys("own", 2, (0,))
+        # all five "a" rows share the key; stable sort keeps insertion order
+        assert order.tolist()[:5] == [0, 1, 2, 3, 4]
+
+
+class TestSnapshotSharing:
+    def test_database_copy_carries_blocks(self):
+        database = Database([("edge", (1, 2))])
+        store = database.column_store()
+        store.preload("edge")
+        clone = database.copy()
+        clone_store = clone.column_store()
+        assert clone_store.interner is store.interner  # append-only, shared
+        assert clone_store.block("edge", 2).size == 1
+
+    def test_clone_blocks_are_isolated_from_the_original(self):
+        database = Database([("edge", (1, 2))])
+        database.column_store().preload("edge")
+        clone = database.copy()
+        database.add("edge", (3, 4))
+        assert clone.column_store().block("edge", 2).size == 1
+        assert database.column_store().block("edge", 2).size == 2
+
+
+class TestPlannerStatistics:
+    """``cardinality``/``distinct_count`` serve the planner from maintained
+    indexes only — asking must never build or mutate one (the replanning
+    path runs against live compiled evaluators holding index buckets)."""
+
+    def _database(self):
+        return Database(
+            [("own", ("a", "b", 0.5)), ("own", ("a", "c", 0.5)),
+             ("own", ("b", "c", 1.0))]
+        )
+
+    def test_cardinality(self):
+        database = self._database()
+        assert database.cardinality("own") == 3
+        assert database.cardinality("missing") == 0
+
+    def test_distinct_count_exact_from_matching_index(self):
+        database = self._database()
+        database.index_for("own", (0,))
+        assert database.distinct_count("own", (0,)) == 2
+
+    def test_distinct_count_subset_lower_bound(self):
+        database = self._database()
+        database.index_for("own", (0,))
+        # (0, 1) has no index; the (0,) index is a valid lower bound
+        assert database.distinct_count("own", (0, 1)) == 2
+
+    def test_distinct_count_without_usable_index_is_none(self):
+        database = self._database()
+        assert database.distinct_count("own", (0,)) is None
+        database.index_for("own", (0,))
+        assert database.distinct_count("own", (1,)) is None
+
+    def test_stats_queries_never_create_indexes(self):
+        database = self._database()
+        database.index_for("own", (0,))
+        before = {
+            predicate: set(indexes)
+            for predicate, indexes in database._indexes.items()
+        }
+        database.distinct_count("own", (0, 1))
+        database.distinct_count("own", (2,))
+        database.cardinality("own")
+        after = {
+            predicate: set(indexes)
+            for predicate, indexes in database._indexes.items()
+        }
+        assert after == before
+
+    def test_replanning_does_not_mutate_live_indexes(self):
+        # plan the same rule twice over a grown database: the second
+        # (re)planning round may consult statistics at will but must not
+        # touch the index structures the compiled evaluators captured
+        program = parse_program("own(X, Z, W), own(Z, Y, V) -> hop(X, Y).")
+        database = self._database()
+        engine = Engine(program, database)
+        engine.run()
+        indexes_before = {
+            predicate: {key: id(index) for key, index in indexes.items()}
+            for predicate, indexes in database._indexes.items()
+        }
+        rule = program.rules[0]
+        plan_rule(rule, None, database)
+        plan_rule(rule, rule.positive_positions()[0], database)
+        indexes_after = {
+            predicate: {key: id(index) for key, index in indexes.items()}
+            for predicate, indexes in database._indexes.items()
+        }
+        assert indexes_after == indexes_before
+
+    def test_removal_count_versions_the_row_list(self):
+        database = self._database()
+        assert database.removal_count("own") == 0
+        database.remove("own", ("a", "b", 0.5))
+        assert database.removal_count("own") == 1
+        database.remove("own", ("zz", "zz", 0.0))  # absent: no version bump
+        assert database.removal_count("own") == 1

@@ -155,3 +155,35 @@ class TestMcountPruning:
         )
         assert max(t for _, t in engine.query("total")) == pytest.approx(5)
         assert engine.stats.rule_firings == 2
+
+
+class TestAtomPlanCachePinning:
+    """``_atom_plan`` keys on ``id(atom)`` but must pin the atom object:
+    ``ask()`` builds an ephemeral atom per query, and once it is garbage
+    collected the next query's atom can land on the same id — before the
+    fix it silently inherited the dead atom's term plan (a ground query
+    could reuse a variable query's plan and return ``[]`` for a held
+    fact)."""
+
+    def test_stale_entry_under_reused_id_is_recomputed(self):
+        engine = _run("edge(X, Y) -> path(X, Y).", [("edge", (1, 2))])
+        from repro.datalog.atoms import Atom
+        from repro.datalog.terms import Constant, Variable
+
+        ground = Atom("path", (Constant(1), Constant(2)))
+        stale = Atom("path", (Variable("X"), Variable("Y")))
+        # simulate id reuse: the cache slot for `ground` holds a dead
+        # atom's entry — the pin must force recomputation
+        engine._atom_plan_cache[id(ground)] = (
+            stale,
+            engine._atom_plan(stale),
+        )
+        plan = engine._atom_plan(ground)
+        assert plan == ((0, "const", 1), (1, "const", 2))
+
+    def test_repeated_ground_asks_stay_exact(self):
+        engine = _run("edge(X, Y) -> path(X, Y).", [("edge", (1, 2))])
+        for _ in range(300):
+            assert engine.ask("path(X, Y)") == [{"X": 1, "Y": 2}]
+            assert engine.ask("path(1, 2)") == [{}]
+            assert engine.ask("path(2, 1)") == []

@@ -218,3 +218,28 @@ def test_random_update_sequences_match_oracle(ops):
         else:
             inc.update(removals=[("edge", (x, y))])
         assert db_state(inc.database) == oracle_state(inc)
+
+
+class TestOverdeletionBackend:
+    """DRed's over-deletion phase solves rule goals through the engine's
+    planned/compiled evaluators; the interpreted join is only the escape
+    hatch for rules the lowering rejected (or ``plan=False`` engines)."""
+
+    def test_deletion_never_touches_the_interpreted_join(self):
+        inc = IncrementalEngine(TC, [("edge", (0, 1)), ("edge", (1, 2)),
+                                     ("edge", (2, 3)), ("edge", (0, 2))])
+
+        def forbidden(*_args, **_kwargs):
+            raise AssertionError("over-deletion used the interpreted join")
+
+        inc.engine._join = forbidden
+        stats = inc.update(removals=[("edge", (1, 2))])
+        assert stats.mode == "seminaive"
+        assert stats.overdeleted > 0
+        assert db_state(inc.database) == oracle_state(inc)
+
+    def test_unplanned_engine_keeps_the_interpreted_path(self):
+        inc = IncrementalEngine(TC, [("edge", (0, 1)), ("edge", (1, 2))])
+        inc.engine.plan_enabled = False
+        inc.update(removals=[("edge", (0, 1))])
+        assert db_state(inc.database) == oracle_state(inc)
