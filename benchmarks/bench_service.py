@@ -12,12 +12,21 @@ HTTP/1.1 clients on an asyncio loop) and reports three sections:
 * **mutation** — a ``POST /mutations`` batch with readers hammering
   ``/control`` throughout the re-augmentation: reader p99 during the
   rebuild, the snapshot-swap pause, and the versions readers observed
-  (only the old one, then only the new one — never a half state).
+  (only the old one, then only the new one — never a half state);
+* **multiproc** — the same mixed read workload against a
+  ``ServicePool`` (SO_REUSEPORT workers on shared-memory snapshots):
+  N-worker req/s vs a 1-worker pool baseline on the same graph,
+  per-response identity asserted against the in-process oracle
+  snapshot, and the per-worker attach/swap pause of one
+  mutation->publish cycle.
 
 Standalone on purpose (argparse, not pytest): CI's smoke job runs
 ``python benchmarks/bench_service.py --smoke`` and archives
 ``BENCH_service.json`` as a per-PR artifact.  The full run enforces the
-PR's acceptance floor: hot p50 >= 10x lower than cold p50.
+PR's acceptance floors: hot p50 >= 10x lower than cold p50, and —
+when the host actually has >= 4 CPUs to parallelise over — multiproc
+req/s >= 3x the 1-worker baseline.  On smaller hosts the measured
+ratio is still recorded, with ``gate.enforced = false`` and the reason.
 """
 
 from __future__ import annotations
@@ -25,6 +34,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -33,6 +43,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.bench.workloads import realworld_like  # noqa: E402
 from repro.service import ServiceConfig, build_service  # noqa: E402
+from repro.service.workers import PoolConfig, ServicePool  # noqa: E402
 
 #: (persons, total requests, connections) per mode
 SCALES = {"smoke": (150, 300, 8), "full": (500, 2000, 16)}
@@ -40,6 +51,10 @@ SCALES = {"smoke": (150, 300, 8), "full": (500, 2000, 16)}
 COLD_QUERIES = {"smoke": 15, "full": 40}
 #: repeats of the single hot threshold
 HOT_QUERIES = {"smoke": 150, "full": 400}
+#: serving processes of the multiproc section
+POOL_WORKERS = {"smoke": 2, "full": 4}
+#: multiproc acceptance floor: N-worker req/s vs the 1-worker baseline
+POOL_SPEEDUP_TARGET = 3.0
 
 
 def _percentile(samples: list[float], q: float) -> float:
@@ -88,8 +103,7 @@ async def _drive(port: int, paths: list[str], connections: int) -> list[float]:
     return latencies
 
 
-def _mixed_paths(service, total: int) -> list[str]:
-    graph = service.manager.current.graph
+def _mixed_paths(graph, total: int) -> list[str]:
     companies = [node.id for node in graph.companies()][:20]
     persons = [node.id for node in graph.persons()][:10]
     rotation = (
@@ -101,7 +115,7 @@ def _mixed_paths(service, total: int) -> list[str]:
 
 
 async def _bench_throughput(service, total: int, connections: int) -> dict:
-    paths = _mixed_paths(service, total)
+    paths = _mixed_paths(service.manager.current.graph, total)
     hits_before = service.cache.lru.hits
     misses_before = service.cache.lru.misses
     started = time.perf_counter()
@@ -202,6 +216,131 @@ async def _bench_mutation(service) -> dict:
     }
 
 
+def _norm(payload) -> object:
+    """Oracle payloads as they appear on the wire (JSON round trip)."""
+    return json.loads(json.dumps(payload, default=str))
+
+
+async def _get(port: int, path: str):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        return await _request(reader, writer, "GET", path)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+def _pool_throughput(pool, paths: list[str], connections: int) -> dict:
+    started = time.perf_counter()
+    latencies = asyncio.run(_drive(pool.port, paths, connections))
+    wall_s = time.perf_counter() - started
+    return {
+        "requests": len(latencies),
+        "connections": connections,
+        "wall_s": round(wall_s, 4),
+        "req_per_s": round(len(latencies) / wall_s, 1),
+        "p50_ms": round(_percentile(latencies, 0.50) * 1000, 3),
+        "p99_ms": round(_percentile(latencies, 0.99) * 1000, 3),
+    }
+
+
+def _assert_pool_identity(pool, graph) -> int:
+    """Every sampled response byte-equal to the in-process oracle."""
+    oracle = pool.oracle
+    companies = sorted((n.id for n in graph.companies()), key=str)[:6]
+    expectations = [
+        ("/control", _norm(oracle.control_payload())),
+        ("/close-links", _norm(oracle.close_links_payload())),
+        ("/family", _norm(oracle.family_payload())),
+    ] + [
+        (f"/ubo/{c}", _norm(oracle.ubo_payloads([c])[c])) for c in companies
+    ]
+    for path, expected in expectations:
+        status, payload = asyncio.run(_get(pool.port, path))
+        if status != 200:
+            raise SystemExit(f"FATAL: multiproc {path} answered {status}")
+        if payload != expected:
+            raise SystemExit(f"FATAL: multiproc {path} diverged from the oracle")
+    return len(expectations)
+
+
+def _bench_multiproc(mode: str, smoke: bool) -> dict:
+    persons, total, connections = SCALES[mode]
+    workers = POOL_WORKERS[mode]
+    # a fresh graph: the single-process sections mutated theirs
+    graph, _truth = realworld_like(persons, seed=7)
+    paths = _mixed_paths(graph, total)
+    runs: dict[int, dict] = {}
+    publish: dict = {}
+    identity_checked = 0
+    for n in (1, workers):
+        pool = ServicePool(
+            graph,
+            workers=n,
+            config=ServiceConfig(port=0),
+            pool_config=PoolConfig(sweep_interval_s=0.1),
+        )
+        pool.start()
+        try:
+            asyncio.run(_drive(pool.port, paths[: total // 10], connections))  # warm
+            runs[n] = {"workers": n, **_pool_throughput(pool, paths, connections)}
+            if n == workers:
+                identity_checked = _assert_pool_identity(pool, graph)
+                owner = next(graph.companies()).id
+                result = pool.mutate([
+                    {
+                        "op": "add_company",
+                        "id": "MPROCCO",
+                        "properties": {"name": "MProcCo"},
+                    },
+                    {
+                        "op": "add_shareholding",
+                        "owner": owner,
+                        "company": "MPROCCO",
+                        "share": 0.8,
+                    },
+                ])
+                publish = {
+                    "published_version": result["version"],
+                    "workers_attached": result["workers_attached"],
+                    "per_worker_swap": {
+                        str(w): {
+                            "attach_ms": round(s["attach_s"] * 1000, 3),
+                            "swap_pause_ms": round(s["swap_pause_s"] * 1000, 4),
+                        }
+                        for w, s in sorted(pool.last_swap.items())
+                    },
+                }
+        finally:
+            pool.stop(drain=False)
+    baseline, scaled = runs[1], runs[workers]
+    speedup = round(scaled["req_per_s"] / baseline["req_per_s"], 2)
+    cpus = os.cpu_count() or 1
+    if smoke:
+        reason = "smoke mode measures but does not gate"
+    elif cpus < 4:
+        reason = f"requires >= 4 CPUs to parallelise over, found {cpus}"
+    else:
+        reason = None
+    return {
+        "workers": workers,
+        "cpus": cpus,
+        "baseline_1w": baseline,
+        f"pool_{workers}w": scaled,
+        "speedup_vs_1w": speedup,
+        "identity_checked_paths": identity_checked,
+        "publish": publish,
+        "gate": {
+            "target_x": POOL_SPEEDUP_TARGET,
+            "enforced": reason is None,
+            **({"reason": reason} if reason else {}),
+        },
+    }
+
+
 def run_benchmark(smoke: bool) -> dict:
     mode = "smoke" if smoke else "full"
     persons, total, connections = SCALES[mode]
@@ -221,6 +360,7 @@ def run_benchmark(smoke: bool) -> dict:
         return sections
 
     sections = asyncio.run(main())
+    sections["multiproc"] = _bench_multiproc(mode, smoke)
     payload = {
         "mode": mode,
         "graph": {"nodes": graph.node_count, "edges": graph.edge_count},
@@ -240,6 +380,15 @@ def run_benchmark(smoke: bool) -> dict:
         f"{'mutation':>12} rebuild={m['rebuild_s']:.2f}s "
         f"swap_pause={m['swap_pause_ms']:.3f}ms "
         f"reader_p99={m['reader_p99_ms']:.2f}ms versions={m['versions_observed']}"
+    )
+    mp = payload["multiproc"]
+    scaled = mp[f"pool_{mp['workers']}w"]
+    print(
+        f"{'multiproc':>12} {scaled['req_per_s']:8.1f} req/s @{mp['workers']}w  "
+        f"baseline={mp['baseline_1w']['req_per_s']:.1f} req/s @1w  "
+        f"speedup={mp['speedup_vs_1w']}x "
+        f"(gate {'on' if mp['gate']['enforced'] else 'off'}, "
+        f"{mp['cpus']} cpus)"
     )
     return payload
 
@@ -265,6 +414,14 @@ def main(argv: list[str] | None = None) -> int:
             raise SystemExit(
                 f"FATAL: cache-hit p50 is only {speedup}x lower than the "
                 f"cold p50 (< 10x target)"
+            )
+    multiproc = payload["multiproc"]
+    if multiproc["gate"]["enforced"]:
+        ratio = multiproc["speedup_vs_1w"]
+        if ratio < POOL_SPEEDUP_TARGET:
+            raise SystemExit(
+                f"FATAL: {multiproc['workers']}-worker pool is only {ratio}x "
+                f"the 1-worker baseline (< {POOL_SPEEDUP_TARGET}x target)"
             )
     return 0
 

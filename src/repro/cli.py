@@ -130,6 +130,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--no-augment", action="store_true",
                        help="skip personal-link detection; serve ownership "
                             "analytics over the extensional graph only")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="serving processes; >1 runs SO_REUSEPORT workers "
+                            "over one shared-memory snapshot segment")
     serve.add_argument("--max-concurrency", type=int, default=32)
     serve.add_argument("--max-queue", type=int, default=128)
     serve.add_argument("--request-timeout", type=float, default=30.0,
@@ -298,6 +301,10 @@ def _reason(args: argparse.Namespace) -> int:
     return 0
 
 
+#: sanity ceiling for --workers; far above any core count this serves on
+MAX_WORKERS = 64
+
+
 def _serve(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -305,6 +312,12 @@ def _serve(args: argparse.Namespace) -> int:
 
     if not 0 <= args.port <= 65535:
         raise CLIError(f"port must be in 0..65535, got {args.port}")
+    if not 1 <= args.workers <= MAX_WORKERS:
+        raise CLIError(f"--workers must be in 1..{MAX_WORKERS}, got {args.workers}")
+    if args.max_concurrency < 1:
+        raise CLIError(f"--max-concurrency must be >= 1, got {args.max_concurrency}")
+    if args.max_queue < 0:
+        raise CLIError(f"--max-queue must be >= 0, got {args.max_queue}")
     if not args.directory.is_dir():
         raise CLIError(f"extract directory not found: {args.directory}")
     graph = read_company_csv(args.directory)
@@ -325,6 +338,8 @@ def _serve(args: argparse.Namespace) -> int:
         request_timeout_s=args.request_timeout,
         cache_capacity=args.cache_capacity,
     )
+    if args.workers > 1:
+        return _serve_pool(args, graph, service_config, snapshot_config, classifiers)
     service = build_service(
         graph,
         config=service_config,
@@ -347,6 +362,45 @@ def _serve(args: argparse.Namespace) -> int:
         asyncio.run(service.run(ready=ready))
     except KeyboardInterrupt:
         print("shutting down", file=sys.stderr)
+    return 0
+
+
+def _serve_pool(args, graph, service_config, snapshot_config, classifiers) -> int:
+    """``serve --workers N``: the SO_REUSEPORT pool, SIGTERM drains."""
+    import signal
+    import threading
+
+    from .service.workers import PoolError, ServicePool
+
+    pool = ServicePool(
+        graph,
+        workers=args.workers,
+        config=service_config,
+        snapshot_config=snapshot_config,
+        classifiers=classifiers,
+        tracer=_tracer_of(args),
+    )
+    stop = threading.Event()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(signum, lambda *_: stop.set())
+    try:
+        pool.start()
+    except (PoolError, OSError) as exc:
+        raise CLIError(f"worker pool failed to start: {exc}") from exc
+    snapshot = pool.oracle
+    print(
+        f"serving snapshot v{snapshot.version} "
+        f"({graph.node_count} nodes, {graph.edge_count} edges, "
+        f"built in {snapshot.built_s:.2f}s) "
+        f"on http://{args.host}:{pool.port} "
+        f"across {args.workers} workers",
+        flush=True,
+    )
+    try:
+        stop.wait()
+    finally:
+        print("draining workers", file=sys.stderr)
+        pool.stop(drain=True)
     return 0
 
 

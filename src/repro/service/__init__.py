@@ -20,16 +20,31 @@ snapshots.
 * :mod:`~repro.service.updates` — the ``POST /mutations`` path: deltas
   against a staging graph, background re-augmentation through the warm
   :class:`~repro.embeddings.IncrementalEmbedder`, atomic publish of the
-  next snapshot version while the old one keeps serving.
+  next snapshot version while the old one keeps serving;
+* :mod:`~repro.service.shm` — the shared-memory snapshot codec: one
+  named segment per version holding every columnar buffer and the
+  precomputed row state, attached zero-copy by reader processes;
+* :mod:`~repro.service.workers` — ``serve --workers N`` scale-out: N
+  ``SO_REUSEPORT`` serving processes over one attached segment, the
+  parent as single builder/supervisor publishing by version handoff.
 """
 
 from .cache import LRUCache, MicroBatcher, ReasoningCache, SingleFlight
 from .incremental import DeltaBatch
 from .server import HttpError, Metrics, ReasoningService, ServiceConfig, build_service
+from .shm import (
+    AttachedSnapshot,
+    SegmentError,
+    attach_snapshot,
+    encode_snapshot,
+    unlink_segment,
+)
 from .snapshot import Snapshot, SnapshotBuilder, SnapshotConfig, SnapshotManager
 from .updates import GraphUpdater, MutationError, apply_deltas
+from .workers import PoolConfig, PoolError, ServicePool
 
 __all__ = [
+    "AttachedSnapshot",
     "DeltaBatch",
     "GraphUpdater",
     "HttpError",
@@ -37,14 +52,21 @@ __all__ = [
     "Metrics",
     "MicroBatcher",
     "MutationError",
+    "PoolConfig",
+    "PoolError",
     "ReasoningCache",
     "ReasoningService",
+    "SegmentError",
     "ServiceConfig",
+    "ServicePool",
     "SingleFlight",
     "Snapshot",
     "SnapshotBuilder",
     "SnapshotConfig",
     "SnapshotManager",
     "apply_deltas",
+    "attach_snapshot",
     "build_service",
+    "encode_snapshot",
+    "unlink_segment",
 ]

@@ -41,7 +41,7 @@ import json
 import time
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Any, Callable, Sequence
+from typing import Any, Awaitable, Callable, Sequence
 from urllib.parse import parse_qsl, unquote, urlsplit
 
 from ..graph.company_graph import COMPANY, CompanyGraph
@@ -133,10 +133,23 @@ class Metrics:
         self.queued = 0
         self.rejected_429 = 0
         self.timeouts_504 = 0
+        self.bypass_requests = 0
 
-    def observe(self, endpoint: str, seconds: float, status: int) -> None:
+    def observe(
+        self, endpoint: str, seconds: float, status: int, bypass: bool = False
+    ) -> None:
+        """Record one served request.
+
+        ``bypass`` requests (``/healthz``, ``/metrics`` — they skip
+        admission control) are counted but kept out of the latency sums
+        and histograms: a monitoring poller scraping every second would
+        otherwise dominate — and flatter — the latency distribution.
+        """
         self.requests[endpoint] += 1
         self.statuses[f"{status // 100}xx"] += 1
+        if bypass:
+            self.bypass_requests += 1
+            return
         self.latency_sum_s[endpoint] += seconds
         counts = self.histogram.setdefault(endpoint, [0] * (len(self.BUCKETS_MS) + 1))
         counts[bisect.bisect_left(self.BUCKETS_MS, seconds * 1000.0)] += 1
@@ -148,12 +161,56 @@ class Metrics:
             "queued": self.queued,
             "rejected_429": self.rejected_429,
             "timeouts_504": self.timeouts_504,
+            "bypass_requests": self.bypass_requests,
             "requests": dict(self.requests),
             "statuses": dict(self.statuses),
             "latency_sum_s": {k: round(v, 6) for k, v in self.latency_sum_s.items()},
             "latency_buckets_ms": list(self.BUCKETS_MS),
             "latency_histogram": {k: list(v) for k, v in self.histogram.items()},
         }
+
+    @classmethod
+    def merge(cls, payloads: Sequence[dict[str, Any]]) -> dict[str, Any]:
+        """Fold per-worker ``to_dict`` payloads into one cluster view.
+
+        Counters and latency sums add; histograms add bucket-wise;
+        ``uptime_s`` takes the oldest worker (the cluster has been up at
+        least that long).
+        """
+        merged: dict[str, Any] = {
+            "uptime_s": 0.0,
+            "in_flight": 0,
+            "queued": 0,
+            "rejected_429": 0,
+            "timeouts_504": 0,
+            "bypass_requests": 0,
+            "requests": {},
+            "statuses": {},
+            "latency_sum_s": {},
+            "latency_buckets_ms": list(cls.BUCKETS_MS),
+            "latency_histogram": {},
+        }
+        for payload in payloads:
+            merged["uptime_s"] = max(merged["uptime_s"], payload.get("uptime_s", 0.0))
+            for counter in (
+                "in_flight",
+                "queued",
+                "rejected_429",
+                "timeouts_504",
+                "bypass_requests",
+            ):
+                merged[counter] += payload.get(counter, 0)
+            for field in ("requests", "statuses", "latency_sum_s"):
+                for key, value in payload.get(field, {}).items():
+                    merged[field][key] = merged[field].get(key, 0) + value
+            for key, counts in payload.get("latency_histogram", {}).items():
+                into = merged["latency_histogram"].setdefault(key, [0] * len(counts))
+                for i, count in enumerate(counts):
+                    into[i] += count
+        merged["latency_sum_s"] = {
+            k: round(v, 6) for k, v in merged["latency_sum_s"].items()
+        }
+        return merged
 
 
 class ReasoningService:
@@ -166,10 +223,21 @@ class ReasoningService:
         base_graph: CompanyGraph | None = None,
         config: ServiceConfig | None = None,
         tracer=None,
+        worker_id: int | None = None,
     ):
         self.manager = manager
         self.config = config if config is not None else ServiceConfig()
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: set under ``repro serve --workers N``; None when single-process
+        self.worker_id = worker_id
+        #: pool hook — routes ``POST /mutations`` to the builder process
+        #: when this service has no local updater (read-only worker)
+        self.mutation_forwarder: (
+            Callable[[list[Any], bool], Awaitable[tuple[int, Any]]] | None
+        ) = None
+        #: pool hook — answers ``GET /metrics?scope=cluster`` with the
+        #: parent's merged per-worker counters
+        self.cluster_metrics_provider: Callable[[], Awaitable[Any]] | None = None
         self.metrics = Metrics()
         self.cache = ReasoningCache(self.config.cache_capacity)
         self._semaphore = asyncio.Semaphore(self.config.max_concurrency)
@@ -189,10 +257,18 @@ class ReasoningService:
     # lifecycle
     # ------------------------------------------------------------------
 
-    async def start(self) -> asyncio.AbstractServer:
-        """Bind and start accepting; resolves ``self.port`` (for port 0)."""
+    async def start(self, reuse_port: bool = False) -> asyncio.AbstractServer:
+        """Bind and start accepting; resolves ``self.port`` (for port 0).
+
+        With ``reuse_port`` the socket is bound ``SO_REUSEPORT`` so N
+        worker processes can each listen on the same address and let the
+        kernel load-balance accepted connections between them.
+        """
         self._server = await asyncio.start_server(
-            self.handle_connection, self.config.host, self.config.port
+            self.handle_connection,
+            self.config.host,
+            self.config.port,
+            reuse_port=reuse_port or None,
         )
         self.port = self._server.sockets[0].getsockname()[1]
         return self._server
@@ -209,6 +285,20 @@ class ReasoningService:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+
+    async def drain(self, timeout_s: float = 10.0) -> bool:
+        """Graceful shutdown: stop accepting, then wait for in-flight and
+        queued requests to finish.  Returns whether the service went
+        fully idle inside ``timeout_s``."""
+        if self._server is not None:
+            self._server.close()  # wait_closed() would wait on keep-alives
+            self._server = None
+        deadline = time.monotonic() + timeout_s
+        while self.metrics.in_flight > 0 or self.metrics.queued > 0:
+            if time.monotonic() >= deadline:
+                return False
+            await asyncio.sleep(0.01)
+        return True
 
     # ------------------------------------------------------------------
     # connection handling (HTTP/1.1, keep-alive)
@@ -236,7 +326,12 @@ class ReasoningService:
                 endpoint, status, payload = await self.handle_request(
                     method, split.path, query, body
                 )
-                self.metrics.observe(endpoint, time.perf_counter() - started, status)
+                self.metrics.observe(
+                    endpoint,
+                    time.perf_counter() - started,
+                    status,
+                    bypass=endpoint in ("healthz", "metrics"),
+                )
                 await self._write(writer, status, payload, keep_alive)
                 if not keep_alive:
                     break
@@ -390,6 +485,11 @@ class ReasoningService:
             return 200, self._healthz()
         if head == "metrics" and not rest:
             self._require(method, "GET")
+            if (
+                query.get("scope") == "cluster"
+                and self.cluster_metrics_provider is not None
+            ):
+                return 200, await self.cluster_metrics_provider()
             return 200, self._metrics_payload()
         if head == "mutations" and not rest:
             self._require(method, "POST")
@@ -435,7 +535,12 @@ class ReasoningService:
     async def _stats(self) -> Any:
         snapshot = self.manager.current
         key = snapshot_key(snapshot.version, "stats", ())
-        return await self._cached(key, snapshot.stats_payload)
+        payload = dict(await self._cached(key, snapshot.stats_payload))
+        # identity fields land outside the cached payload: the cache is
+        # version-keyed and must stay byte-identical across workers
+        payload["snapshot_version"] = snapshot.version
+        payload["worker_id"] = self.worker_id
+        return payload
 
     async def _ubo(self, company: str, query: dict[str, str]) -> Any:
         threshold = _float_param(query, "threshold")
@@ -468,6 +573,7 @@ class ReasoningService:
         return {
             "status": "ok",
             "version": self.manager.version,
+            "worker_id": self.worker_id,
             "uptime_s": round(time.time() - self.metrics.started_at, 3),
             "rebuild_in_progress": (
                 self.updater.rebuild_in_progress if self.updater else False
@@ -476,6 +582,8 @@ class ReasoningService:
 
     def _metrics_payload(self) -> Any:
         payload = self.metrics.to_dict()
+        payload["snapshot_version"] = self.manager.version
+        payload["worker_id"] = self.worker_id
         payload["cache"] = self.cache.stats()
         payload["batchers"] = {
             "ubo": self._ubo_batcher.stats(),
@@ -491,7 +599,7 @@ class ReasoningService:
         return payload
 
     async def _mutations(self, query: dict[str, str], body: bytes) -> tuple[int, Any]:
-        if self.updater is None:
+        if self.updater is None and self.mutation_forwarder is None:
             raise HttpError(503, "mutations disabled: service started without a builder")
         try:
             payload = json.loads(body.decode("utf-8") or "{}")
@@ -501,6 +609,9 @@ class ReasoningService:
         if not isinstance(deltas, list):
             raise HttpError(400, 'body must be {"deltas": [...]}')
         wait = query.get("wait", "").lower() in ("1", "true", "yes")
+        if self.updater is None:
+            assert self.mutation_forwarder is not None
+            return await self.mutation_forwarder(deltas, wait)
         result = await self.updater.apply(deltas, wait=wait)
         return (200 if wait else 202), result
 

@@ -1,0 +1,433 @@
+"""Shared-memory snapshot segments: one codec, N zero-copy readers.
+
+The multi-process serving model (``repro.service.workers``) needs every
+reader process to see the *same* snapshot without paying a per-process
+copy of the columnar buffers.  This module is the codec: it lays a
+complete :class:`~repro.service.snapshot.Snapshot` into **one** named
+``multiprocessing.shared_memory`` segment —
+
+* a fixed 64-byte **header** (magic, format version, snapshot version,
+  TOC location, total size) so stale or foreign segments are rejected
+  before anything is decoded;
+* a JSON **TOC** describing every buffer (name, dtype, length, offset);
+* the frame's numeric **buffers** (interned edge columns, CSR/CSC
+  adjacency with edge positions, walker lockstep CSR, shareholding COO,
+  ownership ``W`` in CSC form), 64-byte aligned, exactly as exported by
+  :meth:`GraphFrame.buffers <repro.graph.columnar.GraphFrame.buffers>`;
+* the snapshot's precomputed **row state** as code arrays — control
+  pairs, close-link pairs, family links (with an interned class table),
+  and the flattened UBO index;
+* one pickled **object blob** for the irreducibly Python-object side:
+  the base and augmented graph states (node/edge objects with property
+  dicts) and the snapshot config/metadata.
+
+Attaching (:func:`attach_snapshot`) is the inverse: numeric buffers come
+back as **zero-copy, read-only ``np.ndarray`` views** over the mapped
+segment — N workers share one physical copy of the heavy arrays — while
+the object side is rehydrated per process (Python objects cannot be
+shared across interpreters without serialisation).  The attached
+:class:`GraphFrame` is installed as the graph's cached frame, so
+custom-threshold endpoint recomputations and ownership sweeps in the
+worker resolve to the shared buffers instead of rebuilding private ones.
+
+Lifecycle discipline: the *creator* (the builder process) owns
+``unlink``; attachers only ever ``close``.  ``SharedMemory.close`` on an
+attachment whose arrays are still referenced raises ``BufferError`` —
+the worker pool exploits exactly that to make segment retirement
+refcount-safe (see ``repro.service.workers``).  Attachers are
+unregistered from the ``multiprocessing`` resource tracker, which would
+otherwise unlink still-shared segments when any single reader exits.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import struct
+import time
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Any
+
+import numpy as np
+
+from ..graph.columnar import _CACHE_ATTR, EXPORT_DTYPES, GraphFrame
+from ..graph.property_graph import NodeId, PropertyGraph
+from ..graph.store import GraphStore
+from ..ownership.ubo import BeneficialOwner
+from .snapshot import Snapshot
+
+#: Segment magic — "Repro KG Snapshot".
+MAGIC = b"RKGS"
+#: Bump on any incompatible layout change; attach rejects mismatches.
+FORMAT_VERSION = 1
+#: Every buffer starts on a 64-byte boundary (cache-line alignment).
+ALIGNMENT = 64
+
+_HEADER = struct.Struct("<4sHHQQQQ")  # magic, format, flags, version, toc_off, toc_len, total
+HEADER_SIZE = ALIGNMENT
+
+#: dtypes of the row-state arrays (the frame buffers use EXPORT_DTYPES)
+_ROW_DTYPES: dict[str, np.dtype] = {
+    "control_x": np.dtype(np.int64),
+    "control_y": np.dtype(np.int64),
+    "close_x": np.dtype(np.int64),
+    "close_y": np.dtype(np.int64),
+    "family_x": np.dtype(np.int64),
+    "family_y": np.dtype(np.int64),
+    "family_class": np.dtype(np.int64),
+    "ubo_company": np.dtype(np.int64),
+    "ubo_person": np.dtype(np.int64),
+    "ubo_share": np.dtype(np.float64),
+    "ubo_controls": np.dtype(np.uint8),
+}
+
+
+class SegmentError(RuntimeError):
+    """A segment that is missing, foreign, truncated, or version-skewed."""
+
+
+def _align(offset: int) -> int:
+    return (offset + ALIGNMENT - 1) // ALIGNMENT * ALIGNMENT
+
+
+# Resource-tracker note: CPython registers a segment with the (shared,
+# per-process-tree) resource tracker on EVERY open — attach included —
+# and the tracker's cache is a name-keyed set.  An attacher explicitly
+# unregistering would therefore clobber the creator's registration and
+# the creator's eventual ``unlink`` would double-unregister.  So nobody
+# here unregisters manually: attach registrations dedup against the
+# creator's, and the one ``unlink`` (which unregisters internally)
+# balances them all.  If the whole tree crashes before unlinking, the
+# tracker reaps the segment at shutdown — exactly the safety net we want.
+
+
+def _graph_state(graph: PropertyGraph) -> tuple[type, dict[str, Any]]:
+    """``(class, __dict__)`` of ``graph`` minus the cached-frame attribute
+    (frames hold an unpicklable SuperLU factorisation)."""
+    state = {k: v for k, v in graph.__dict__.items() if k != _CACHE_ATTR}
+    return type(graph), state
+
+
+def _restore_graph(payload: tuple[type, dict[str, Any]]) -> PropertyGraph:
+    cls, state = payload
+    graph = object.__new__(cls)
+    graph.__dict__.update(state)
+    return graph
+
+
+def _codes(frame: GraphFrame, ids: list[NodeId]) -> np.ndarray:
+    index = frame.index
+    return np.fromiter((index[i] for i in ids), dtype=np.int64, count=len(ids))
+
+
+class AttachedSnapshot(Snapshot):
+    """A snapshot whose frame buffers are views over a shared segment.
+
+    Behaves exactly like a built :class:`Snapshot` (same payloads, same
+    types — the per-row identity tests assert it); additionally carries
+    the attachment handle so the owner can ``close()`` the mapping once
+    the snapshot is retired.  ``close`` raises ``BufferError`` while any
+    array view is still alive, which is the refcount-safety contract the
+    worker pool relies on.
+    """
+
+    segment_name: str
+    shm: shared_memory.SharedMemory
+
+    def close(self) -> None:
+        """Unmap the segment (creator processes must use ``unlink``)."""
+        self.shm.close()
+
+
+@dataclass
+class SegmentInfo:
+    """Decoded header + TOC of a segment (no object rehydration)."""
+
+    name: str
+    format_version: int
+    snapshot_version: int
+    total_size: int
+    buffers: dict[str, dict[str, Any]]
+    meta: dict[str, Any]
+
+
+def encode_snapshot(
+    snapshot: Snapshot, name: str | None = None
+) -> shared_memory.SharedMemory:
+    """Lay ``snapshot`` into one named shared-memory segment.
+
+    Returns the created :class:`SharedMemory`; the caller (the builder
+    process) owns it and is responsible for ``unlink`` once every reader
+    has released its attachment.
+    """
+    frame = snapshot.frame
+    if not frame.is_current(snapshot.graph):  # out-of-band mutation: re-pin
+        frame = GraphFrame.of(snapshot.graph)
+    buffers = dict(frame.buffers())
+
+    control = sorted(snapshot.control, key=lambda p: (str(p[0]), str(p[1])))
+    buffers["control_x"] = _codes(frame, [x for x, _ in control])
+    buffers["control_y"] = _codes(frame, [y for _, y in control])
+    close = sorted(snapshot.close_links, key=lambda p: (str(p[0]), str(p[1])))
+    buffers["close_x"] = _codes(frame, [x for x, _ in close])
+    buffers["close_y"] = _codes(frame, [y for _, y in close])
+    family = sorted(snapshot.family_links, key=lambda l: (str(l[0]), str(l[1]), l[2]))
+    classes = sorted({cls for _, _, cls in family})
+    class_code = {cls: i for i, cls in enumerate(classes)}
+    buffers["family_x"] = _codes(frame, [x for x, _, _ in family])
+    buffers["family_y"] = _codes(frame, [y for _, y, _ in family])
+    buffers["family_class"] = np.fromiter(
+        (class_code[cls] for _, _, cls in family), dtype=np.int64, count=len(family)
+    )
+    flat: list[tuple[int, int, float, int]] = []
+    index = frame.index
+    for company in sorted(snapshot.ubo, key=lambda c: index[c]):
+        for owner in snapshot.ubo[company]:
+            flat.append(
+                (
+                    index[company],
+                    index[owner.person],
+                    owner.integrated_share,
+                    1 if owner.controls else 0,
+                )
+            )
+    buffers["ubo_company"] = np.asarray([f[0] for f in flat], dtype=np.int64)
+    buffers["ubo_person"] = np.asarray([f[1] for f in flat], dtype=np.int64)
+    buffers["ubo_share"] = np.asarray([f[2] for f in flat], dtype=np.float64)
+    buffers["ubo_controls"] = np.asarray([f[3] for f in flat], dtype=np.uint8)
+
+    blob = pickle.dumps(
+        {
+            "graph": _graph_state(snapshot.graph),
+            "augmented": _graph_state(snapshot.augmented),
+            "config": snapshot.config,
+            "version": snapshot.version,
+            "built_s": snapshot.built_s,
+            "created_at": snapshot.created_at,
+            "warm": snapshot.warm,
+            "incremental": snapshot.incremental,
+            "family_classes": classes,
+            "weight_property": frame.weight_property,
+        },
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+
+    # -- layout: header | toc | aligned buffers | object blob ----------
+    toc_buffers: dict[str, dict[str, Any]] = {}
+    # TOC length depends only on entry metadata, so lay buffers out
+    # first against a placeholder origin, then shift by the TOC size.
+    entries = []
+    cursor = 0
+    for buf_name, array in buffers.items():
+        cursor = _align(cursor)
+        entries.append((buf_name, array, cursor))
+        cursor += array.nbytes
+    cursor = _align(cursor)
+    blob_rel, cursor = cursor, cursor + len(blob)
+
+    def toc_bytes(origin: int) -> bytes:
+        for buf_name, array, rel in entries:
+            toc_buffers[buf_name] = {
+                "dtype": array.dtype.str,
+                "length": int(array.shape[0]),
+                "offset": origin + rel,
+                "nbytes": int(array.nbytes),
+            }
+        payload = {
+            "buffers": toc_buffers,
+            "objects": {"offset": origin + blob_rel, "nbytes": len(blob)},
+            "meta": {
+                "snapshot_version": snapshot.version,
+                "nodes": frame.node_count,
+                "edges": frame.edge_count,
+                "created_at": time.time(),
+            },
+        }
+        return json.dumps(payload, separators=(",", ":")).encode("utf-8")
+
+    # one sizing pass (offsets widen the JSON by at most a few bytes per
+    # entry, so size with the final origin candidate until stable)
+    origin = HEADER_SIZE
+    for _ in range(8):
+        encoded = toc_bytes(origin)
+        next_origin = _align(HEADER_SIZE + len(encoded))
+        if next_origin == origin:
+            break
+        origin = next_origin
+    toc = toc_bytes(origin)
+    total = origin + cursor
+
+    shm = shared_memory.SharedMemory(create=True, size=total, name=name)
+    try:
+        header = _HEADER.pack(
+            MAGIC, FORMAT_VERSION, 0, snapshot.version, HEADER_SIZE, len(toc), total
+        )
+        shm.buf[: len(header)] = header
+        shm.buf[HEADER_SIZE : HEADER_SIZE + len(toc)] = toc
+        for buf_name, array, rel in entries:
+            if array.nbytes == 0:
+                continue
+            view = np.frombuffer(
+                shm.buf, dtype=array.dtype, count=array.shape[0], offset=origin + rel
+            )
+            view[:] = array
+            del view  # drop the exported pointer so close() stays possible
+        if blob:
+            shm.buf[origin + blob_rel : origin + blob_rel + len(blob)] = blob
+    except BaseException:
+        shm.close()
+        shm.unlink()
+        raise
+    return shm
+
+
+def read_segment_info(name: str) -> SegmentInfo:
+    """Header + TOC of segment ``name`` (validates, decodes no objects)."""
+    shm = shared_memory.SharedMemory(name=name)
+    try:
+        version, toc = _validated_toc(shm, name)
+        return SegmentInfo(
+            name=name,
+            format_version=FORMAT_VERSION,
+            snapshot_version=version,
+            total_size=toc["__total__"],
+            buffers=toc["buffers"],
+            meta=toc["meta"],
+        )
+    finally:
+        shm.close()
+
+
+def _validated_toc(
+    shm: shared_memory.SharedMemory, name: str
+) -> tuple[int, dict[str, Any]]:
+    if shm.size < HEADER_SIZE:
+        raise SegmentError(f"segment {name!r} is smaller than the header")
+    magic, fmt, _flags, version, toc_off, toc_len, total = _HEADER.unpack_from(
+        shm.buf, 0
+    )
+    if magic != MAGIC:
+        raise SegmentError(f"segment {name!r} carries no snapshot (bad magic)")
+    if fmt != FORMAT_VERSION:
+        raise SegmentError(
+            f"segment {name!r} uses format {fmt}, this build reads {FORMAT_VERSION}"
+        )
+    if total > shm.size or toc_off + toc_len > shm.size:
+        raise SegmentError(f"segment {name!r} is truncated")
+    toc = json.loads(bytes(shm.buf[toc_off : toc_off + toc_len]).decode("utf-8"))
+    toc["__total__"] = total
+    return version, toc
+
+
+def attach_snapshot(name: str) -> AttachedSnapshot:
+    """Attach segment ``name`` and rehydrate it as a serving snapshot.
+
+    Numeric buffers are zero-copy read-only views over the mapping; the
+    graph object model is rebuilt per process from the pickled blob.  On
+    any decode error the mapping is closed before the error propagates.
+    """
+    try:
+        shm = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        raise SegmentError(f"no such segment: {name!r}") from None
+    try:
+        _version, toc = _validated_toc(shm, name)
+        views: dict[str, np.ndarray] = {}
+        for buf_name, entry in toc["buffers"].items():
+            view = np.frombuffer(
+                shm.buf,
+                dtype=np.dtype(entry["dtype"]),
+                count=entry["length"],
+                offset=entry["offset"],
+            )
+            view.flags.writeable = False
+            views[buf_name] = view
+        objects = toc["objects"]
+        blob = pickle.loads(
+            bytes(shm.buf[objects["offset"] : objects["offset"] + objects["nbytes"]])
+        )
+
+        graph = _restore_graph(blob["graph"])
+        augmented = _restore_graph(blob["augmented"])
+        config = blob["config"]
+        frame = GraphFrame.attach(
+            graph,
+            {k: views[k] for k in EXPORT_DTYPES},
+            weight_property=blob["weight_property"],
+        )
+        frame.adopt_as_cache_of(graph)
+        nodes = frame.nodes
+
+        control = {
+            (nodes[x], nodes[y])
+            for x, y in zip(views["control_x"].tolist(), views["control_y"].tolist())
+        }
+        close = {
+            (nodes[x], nodes[y])
+            for x, y in zip(views["close_x"].tolist(), views["close_y"].tolist())
+        }
+        classes = blob["family_classes"]
+        family = {
+            (nodes[x], nodes[y], classes[c])
+            for x, y, c in zip(
+                views["family_x"].tolist(),
+                views["family_y"].tolist(),
+                views["family_class"].tolist(),
+            )
+        }
+        ubo: dict[NodeId, list[BeneficialOwner]] = {}
+        for company_code, person_code, share, controls in zip(
+            views["ubo_company"].tolist(),
+            views["ubo_person"].tolist(),
+            views["ubo_share"].tolist(),
+            views["ubo_controls"].tolist(),
+        ):
+            company = nodes[company_code]
+            ubo.setdefault(company, []).append(
+                BeneficialOwner(nodes[person_code], company, share, bool(controls))
+            )
+
+        store = GraphStore(augmented)
+        for prop in config.index_properties:
+            store.ensure_index(prop)
+
+        snapshot = AttachedSnapshot(
+            version=blob["version"],
+            graph=graph,
+            augmented=augmented,
+            store=store,
+            config=config,
+            control=control,
+            close_links=close,
+            family_links=family,
+            ubo=ubo,
+            built_s=blob["built_s"],
+            warm=blob["warm"],
+            frame=frame,
+            incremental=blob["incremental"],
+        )
+        snapshot.created_at = blob["created_at"]
+        snapshot.segment_name = name
+        snapshot.shm = shm
+        return snapshot
+    except BaseException:
+        shm.close()
+        raise
+
+
+def unlink_segment(name: str) -> bool:
+    """Best-effort unlink of segment ``name`` (creator-side cleanup).
+
+    Returns whether a segment by that name existed.  The backing memory
+    is freed by the kernel once the last attached process unmaps it.
+    """
+    try:
+        shm = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    try:
+        shm.unlink()  # unregisters from the tracker itself; no _untrack here
+    finally:
+        shm.close()
+    return True

@@ -1,0 +1,808 @@
+"""SO_REUSEPORT worker-pool serving over shared-memory snapshots.
+
+One process cannot outrun its GIL, so scale-out runs N copies of the
+asyncio server (``repro.service.server``) as separate processes, all
+listening on the **same** port via ``SO_REUSEPORT`` — the kernel
+load-balances accepted connections across the listening sockets, no
+userspace proxy involved.  What makes N processes cheap is the segment
+codec (``repro.service.shm``): every worker attaches the same read-only
+shared-memory snapshot, so the heavy columnar buffers exist once in
+physical memory no matter how many workers serve them.
+
+Topology::
+
+    parent (ServicePool)                     worker i (x N)
+    ------------------------                 -----------------------------
+    builds snapshot v, seals                 attaches segment (zero-copy),
+    segment, supervises        == Pipe ==>   runs ReasoningService with
+    workers, serializes        <== Pipe ==   reuse_port=True, forwards
+    mutations, merges metrics                POST /mutations to parent
+
+The parent is the **single builder**: it owns the staging graph and the
+incremental :class:`SnapshotBuilder` (PR 6), applies mutation batches
+one at a time, seals each new version into a fresh segment, and
+publishes by *version handoff* — a ``publish`` message naming the
+segment.  Workers attach the new segment, swap their
+:class:`SnapshotManager` atomically (readers in flight keep the old
+snapshot via their reference — no torn reads), acknowledge, and retire
+the old attachment.  Retirement is refcount-safe by construction:
+``SharedMemory.close`` raises ``BufferError`` while any numpy view into
+the mapping is still alive, so each worker just retries the close until
+its in-flight readers are done, then reports ``released``; the parent
+unlinks a segment only after every worker that attached it has released
+it (a crashed worker counts as released — the kernel dropped its maps).
+
+Failure handling: the parent supervises worker processes and restarts a
+crashed worker against the current segment (bounded by
+``PoolConfig.restart_limit``); ``SIGTERM`` triggers a graceful drain —
+workers stop accepting, finish in-flight requests, and exit before the
+parent unlinks the segments.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import multiprocessing
+import multiprocessing.connection
+import os
+import socket
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from ..graph.company_graph import CompanyGraph
+from ..linkage.bayes import BayesianLinkClassifier
+from ..telemetry import NULL_TRACER
+from . import shm as shm_codec
+from .server import Metrics, ReasoningService, ServiceConfig
+from .snapshot import Snapshot, SnapshotBuilder, SnapshotConfig, SnapshotManager
+from .updates import MutationError, apply_deltas
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass
+class PoolConfig:
+    """Knobs of the worker pool itself (the HTTP knobs live in
+    :class:`ServiceConfig`)."""
+
+    #: restarts allowed per worker slot before the slot is abandoned
+    restart_limit: int = 3
+    #: how long the parent waits for every worker to attach a new version
+    publish_timeout_s: float = 60.0
+    #: how long the parent waits for the initial worker fleet to come up
+    start_timeout_s: float = 120.0
+    #: graceful-drain budget on stop/SIGTERM
+    drain_timeout_s: float = 10.0
+    #: retry cadence of the worker-side retired-segment close sweep
+    sweep_interval_s: float = 0.2
+    #: multiprocessing start method; fork is fastest on Linux, and all
+    #: worker arguments are picklable so spawn works where fork doesn't
+    start_method: str = "fork"
+
+
+class PoolError(RuntimeError):
+    """The pool could not reach or keep its requested worker fleet."""
+
+
+# ======================================================================
+# parent side
+# ======================================================================
+
+
+class ServicePool:
+    """N SO_REUSEPORT serving processes + this process as the builder.
+
+    ``start()`` builds snapshot v1, seals it into a shared segment,
+    reserves the port, launches the workers, and returns once every
+    worker accepts connections.  ``oracle`` always holds the in-process
+    :class:`Snapshot` equal to what the workers serve — the benchmark
+    and the race tests assert per-row response identity against it.
+    """
+
+    def __init__(
+        self,
+        graph: CompanyGraph,
+        workers: int,
+        config: ServiceConfig | None = None,
+        snapshot_config: SnapshotConfig | None = None,
+        classifiers: Sequence[BayesianLinkClassifier] | None = None,
+        tracer=None,
+        pool_config: PoolConfig | None = None,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.requested_workers = workers
+        self.config = config if config is not None else ServiceConfig()
+        self.pool_config = pool_config if pool_config is not None else PoolConfig()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._builder = SnapshotBuilder(
+            snapshot_config, classifiers=classifiers, tracer=self.tracer
+        )
+        self._staging = graph
+        self._oracle: Snapshot | None = None
+        self._ctx = multiprocessing.get_context(self.pool_config.start_method)
+        self._procs: dict[int, multiprocessing.process.BaseProcess] = {}
+        self._conns: dict[int, multiprocessing.connection.Connection] = {}
+        self._restarts: dict[int, int] = {}
+        self.restarts = 0
+        #: segment bookkeeping: version -> creator handle / attached workers
+        self._segments: dict[int, Any] = {}
+        self._segment_names: dict[int, str] = {}
+        self._attached: dict[int, set[int]] = {}
+        self._current_version = 0
+        #: worker -> last version it acknowledged (ready/attached)
+        self.worker_versions: dict[int, int] = {}
+        #: worker -> (attach_s, swap_pause_s) of its last publish swap
+        self.last_swap: dict[int, dict[str, float]] = {}
+        self._lock = threading.RLock()
+        self._mutate_lock = threading.Lock()
+        self._publish_events: dict[int, threading.Event] = {}
+        self._metric_replies: dict[int, dict[int, Any]] = {}
+        self._metric_events: dict[int, threading.Event] = {}
+        self._request_seq = 0
+        self._reserve_sock: socket.socket | None = None
+        self._supervisor: threading.Thread | None = None
+        self._stopping = threading.Event()
+        self.port: int | None = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def oracle(self) -> Snapshot:
+        """The in-process snapshot identical to what workers serve."""
+        if self._oracle is None:
+            raise PoolError("pool not started")
+        return self._oracle
+
+    @property
+    def version(self) -> int:
+        return self._current_version
+
+    def live_workers(self) -> list[int]:
+        with self._lock:
+            return sorted(
+                w for w, p in self._procs.items() if p.is_alive() and w in self._conns
+            )
+
+    def segment_names(self) -> list[str]:
+        """Names of segments the pool still holds (leak check hook)."""
+        with self._lock:
+            return [self._segment_names[v] for v in sorted(self._segments)]
+
+    def start(self) -> "ServicePool":
+        snapshot = self._builder.build(self._staging)
+        self._adopt_version(snapshot)
+        self._reserve_port()
+        for worker_id in range(self.requested_workers):
+            self._spawn(worker_id)
+        self._supervisor = threading.Thread(
+            target=self._supervise, name="pool-supervisor", daemon=True
+        )
+        self._supervisor.start()
+        deadline = time.monotonic() + self.pool_config.start_timeout_s
+        while True:
+            with self._lock:
+                ready = [
+                    w
+                    for w in range(self.requested_workers)
+                    if self.worker_versions.get(w) == self._current_version
+                ]
+            if len(ready) == self.requested_workers:
+                return self
+            if time.monotonic() >= deadline:
+                self.stop(drain=False)
+                raise PoolError(
+                    f"only {len(ready)}/{self.requested_workers} workers came up "
+                    f"within {self.pool_config.start_timeout_s}s"
+                )
+            time.sleep(0.01)
+
+    def _adopt_version(self, snapshot: Snapshot) -> None:
+        segment = shm_codec.encode_snapshot(snapshot)
+        with self._lock:
+            self._segments[snapshot.version] = segment
+            self._segment_names[snapshot.version] = segment.name
+            self._attached[snapshot.version] = set()
+            previous = self._current_version
+            self._current_version = snapshot.version
+            self._oracle = snapshot
+        if previous:
+            self._maybe_unlink(previous)
+
+    def _reserve_port(self) -> None:
+        """Pin the port with a bound (never listening) SO_REUSEPORT socket.
+
+        With ``port=0`` this is what picks the ephemeral port all workers
+        then share; because the socket never listens, the kernel balances
+        incoming connections over the workers only.
+        """
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        sock.bind((self.config.host, self.config.port))
+        self._reserve_sock = sock
+        self.port = sock.getsockname()[1]
+
+    def _spawn(self, worker_id: int) -> None:
+        parent_conn, child_conn = self._ctx.Pipe()
+        config = ServiceConfig(**{**self.config.__dict__, "port": self.port})
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(
+                worker_id,
+                child_conn,
+                config,
+                self._segment_names[self._current_version],
+                self._current_version,
+                self.pool_config.sweep_interval_s,
+            ),
+            name=f"repro-serve-{worker_id}",
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        with self._lock:
+            self._procs[worker_id] = proc
+            self._conns[worker_id] = parent_conn
+
+    def stop(self, drain: bool = True) -> None:
+        """Shut the pool down; with ``drain`` workers finish in-flight
+        requests (bounded by ``drain_timeout_s``) before exiting."""
+        self._stopping.set()
+        with self._lock:
+            conns = dict(self._conns)
+        if drain:
+            for conn in conns.values():
+                _try_send(conn, {"op": "drain", "timeout_s": self.pool_config.drain_timeout_s})
+            deadline = time.monotonic() + self.pool_config.drain_timeout_s + 2.0
+            for proc in list(self._procs.values()):
+                proc.join(timeout=max(0.0, deadline - time.monotonic()))
+        for conn in conns.values():
+            _try_send(conn, {"op": "stop"})
+        for proc in list(self._procs.values()):
+            proc.join(timeout=2.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=2.0)
+        with self._lock:
+            for conn in self._conns.values():
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+            self._conns.clear()
+            self._procs.clear()
+            versions = list(self._segments)
+        for version in versions:
+            self._unlink(version)
+        if self._reserve_sock is not None:
+            self._reserve_sock.close()
+            self._reserve_sock = None
+        if self._supervisor is not None:
+            self._supervisor.join(timeout=2.0)
+            self._supervisor = None
+
+    def __enter__(self) -> "ServicePool":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- mutations: the parent is the single builder -------------------
+
+    def mutate(self, deltas: Sequence[dict[str, Any]], wait: bool = True) -> dict[str, Any]:
+        """Apply one mutation batch, build, seal, publish to all workers.
+
+        Mirrors :class:`GraphUpdater` semantics (staging copy, whole-batch
+        validation, incremental build) but runs synchronously in the
+        parent — the pool serializes batches, workers only forward.
+        """
+        if not deltas:
+            raise MutationError("empty delta batch")
+        with self._mutate_lock:
+            base = self._staging
+            candidate = base.copy()
+            batch = apply_deltas(candidate, deltas)  # MutationError -> 400 upstream
+            batch.base = base
+            batch.base_generation = base.generation
+            new_edges = None if batch.removed_any else batch.new_edges
+            started = time.perf_counter()
+            snapshot = self._builder.build(candidate, new_edges=new_edges, delta=batch)
+            self._staging = candidate
+            self._adopt_version(snapshot)
+            published = self._await_fleet(snapshot.version)
+            return {
+                "status": "published",
+                "applied": len(deltas),
+                "version": snapshot.version,
+                "build_s": round(time.perf_counter() - started, 4),
+                "warm_build": snapshot.warm,
+                "workers_attached": published,
+            }
+
+    def _await_fleet(self, version: int) -> list[int]:
+        """Broadcast ``publish`` and wait until every live worker swapped."""
+        event = threading.Event()
+        with self._lock:
+            self._publish_events[version] = event
+            conns = dict(self._conns)
+            name = self._segment_names[version]
+        for conn in conns.values():
+            _try_send(conn, {"op": "publish", "name": name, "version": version})
+        deadline = time.monotonic() + self.pool_config.publish_timeout_s
+        while not self._fleet_attached(version):
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                with self._lock:
+                    attached = sorted(self._attached.get(version, ()))
+                raise PoolError(
+                    f"version {version} reached only workers {attached} within "
+                    f"{self.pool_config.publish_timeout_s}s"
+                )
+            event.wait(timeout=min(remaining, 0.05))
+            event.clear()
+        with self._lock:
+            self._publish_events.pop(version, None)
+            return sorted(self._attached.get(version, ()))
+
+    def _fleet_attached(self, version: int) -> bool:
+        with self._lock:
+            live = {
+                w for w, p in self._procs.items() if p.is_alive() and w in self._conns
+            }
+            return live <= self._attached.get(version, set()) and bool(live)
+
+    # -- metrics aggregation -------------------------------------------
+
+    def cluster_metrics(self, timeout_s: float = 5.0) -> dict[str, Any]:
+        """Merged per-worker counters + supervisor state (the payload of
+        ``GET /metrics?scope=cluster`` on any worker)."""
+        with self._lock:
+            self._request_seq += 1
+            request_id = self._request_seq
+            self._metric_replies[request_id] = {}
+            event = self._metric_events[request_id] = threading.Event()
+            conns = dict(self._conns)
+        for conn in conns.values():
+            _try_send(conn, {"op": "metrics?", "id": request_id})
+        deadline = time.monotonic() + timeout_s
+        while True:
+            with self._lock:
+                replies = self._metric_replies[request_id]
+                live = set(self.live_workers())
+                done = live <= set(replies)
+            if done or time.monotonic() >= deadline:
+                break
+            event.wait(timeout=0.05)
+            event.clear()
+        with self._lock:
+            replies = self._metric_replies.pop(request_id)
+            self._metric_events.pop(request_id, None)
+            worker_versions = dict(self.worker_versions)
+            last_swap = {w: dict(s) for w, s in self.last_swap.items()}
+        ordered = [replies[w] for w in sorted(replies)]
+        return {
+            "scope": "cluster",
+            "workers": sorted(replies),
+            "snapshot_version": self._current_version,
+            "worker_versions": worker_versions,
+            "restarts": self.restarts,
+            "last_swap": last_swap,
+            "segments": self.segment_names(),
+            "merged": Metrics.merge([p for p in ordered if isinstance(p, dict)]),
+            "per_worker": {w: replies[w] for w in sorted(replies)},
+        }
+
+    # -- supervision ---------------------------------------------------
+
+    def _supervise(self) -> None:
+        while not self._stopping.is_set():
+            with self._lock:
+                conns = dict(self._conns)
+                sentinels = {p.sentinel: w for w, p in self._procs.items()}
+            waitable = list(conns.values()) + list(sentinels)
+            if not waitable:
+                return
+            try:
+                ready = multiprocessing.connection.wait(waitable, timeout=0.25)
+            except OSError:
+                continue
+            for item in ready:
+                if isinstance(item, multiprocessing.connection.Connection):
+                    worker_id = next(
+                        (w for w, c in conns.items() if c is item), None
+                    )
+                    if worker_id is None:
+                        continue
+                    try:
+                        message = item.recv()
+                    except (EOFError, OSError):
+                        self._on_worker_gone(worker_id)
+                        continue
+                    self._on_message(worker_id, message)
+                else:  # a process sentinel became ready: the worker died
+                    self._on_worker_gone(sentinels[item])
+
+    def _on_message(self, worker_id: int, message: dict[str, Any]) -> None:
+        op = message.get("op")
+        if op in ("ready", "attached"):
+            version = message["version"]
+            with self._lock:
+                self._attached.setdefault(version, set()).add(worker_id)
+                self.worker_versions[worker_id] = version
+                if op == "attached":
+                    self.last_swap[worker_id] = {
+                        "attach_s": message.get("attach_s", 0.0),
+                        "swap_pause_s": message.get("swap_pause_s", 0.0),
+                    }
+                event = self._publish_events.get(version)
+            if event is not None:
+                event.set()
+        elif op == "released":
+            version = message["version"]
+            with self._lock:
+                self._attached.get(version, set()).discard(worker_id)
+            self._maybe_unlink(version)
+        elif op == "metrics":
+            request_id = message.get("id")
+            with self._lock:
+                replies = self._metric_replies.get(request_id)
+                if replies is not None:
+                    replies[worker_id] = message.get("payload")
+                event = self._metric_events.get(request_id)
+            if event is not None:
+                event.set()
+        elif op == "mutate":
+            threading.Thread(
+                target=self._handle_forwarded_mutation,
+                args=(worker_id, message),
+                daemon=True,
+            ).start()
+        elif op == "metrics_cluster?":
+            threading.Thread(
+                target=self._handle_cluster_metrics,
+                args=(worker_id, message),
+                daemon=True,
+            ).start()
+
+    def _handle_forwarded_mutation(self, worker_id: int, message: dict[str, Any]) -> None:
+        request_id = message.get("id")
+        try:
+            result = self.mutate(message.get("deltas") or [], wait=True)
+            reply = {"op": "mutate_result", "id": request_id, "status": 200, "payload": result}
+        except MutationError as exc:
+            reply = {
+                "op": "mutate_result",
+                "id": request_id,
+                "status": 400,
+                "payload": {"error": str(exc)},
+            }
+        except Exception as exc:  # noqa: BLE001 - worker must get an answer
+            logger.exception("forwarded mutation failed")
+            reply = {
+                "op": "mutate_result",
+                "id": request_id,
+                "status": 500,
+                "payload": {"error": f"{type(exc).__name__}: {exc}"},
+            }
+        with self._lock:
+            conn = self._conns.get(worker_id)
+        if conn is not None:
+            _try_send(conn, reply)
+
+    def _handle_cluster_metrics(self, worker_id: int, message: dict[str, Any]) -> None:
+        payload = self.cluster_metrics()
+        with self._lock:
+            conn = self._conns.get(worker_id)
+        if conn is not None:
+            _try_send(
+                conn,
+                {"op": "metrics_cluster", "id": message.get("id"), "payload": payload},
+            )
+
+    def _on_worker_gone(self, worker_id: int) -> None:
+        with self._lock:
+            if worker_id not in self._procs and worker_id not in self._conns:
+                return  # sentinel + pipe EOF both fired; already handled
+            proc = self._procs.pop(worker_id, None)
+            conn = self._conns.pop(worker_id, None)
+            self.worker_versions.pop(worker_id, None)
+            # the kernel unmapped the dead worker's segments: that IS a release
+            touched = [v for v, who in self._attached.items() if worker_id in who]
+            for version in touched:
+                self._attached[version].discard(worker_id)
+            restarts = self._restarts.get(worker_id, 0)
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for version in touched:
+            self._maybe_unlink(version)
+        if proc is not None:
+            proc.join(timeout=0.5)
+        if self._stopping.is_set():
+            return
+        if restarts >= self.pool_config.restart_limit:
+            logger.error(
+                "worker %d exceeded restart limit (%d); slot abandoned",
+                worker_id,
+                self.pool_config.restart_limit,
+            )
+            return
+        logger.warning("worker %d died; restarting", worker_id)
+        with self._lock:
+            self._restarts[worker_id] = restarts + 1
+            self.restarts += 1
+        self._spawn(worker_id)
+
+    # -- segment retirement --------------------------------------------
+
+    def _maybe_unlink(self, version: int) -> None:
+        with self._lock:
+            retired = version != self._current_version
+            unreferenced = not self._attached.get(version)
+        if retired and unreferenced:
+            self._unlink(version)
+
+    def _unlink(self, version: int) -> None:
+        with self._lock:
+            segment = self._segments.pop(version, None)
+            self._segment_names.pop(version, None)
+            self._attached.pop(version, None)
+        if segment is None:
+            return
+        try:
+            segment.unlink()
+        except FileNotFoundError:
+            pass
+        try:
+            segment.close()
+        except BufferError:  # parent still holds views (oracle frame): harmless,
+            pass  # the kernel frees the pages once the mapping dies with us
+
+
+def _try_send(conn: multiprocessing.connection.Connection, message: dict[str, Any]) -> bool:
+    try:
+        conn.send(message)
+        return True
+    except (BrokenPipeError, OSError):
+        return False
+
+
+# ======================================================================
+# worker side
+# ======================================================================
+
+
+def _worker_main(
+    worker_id: int,
+    conn: multiprocessing.connection.Connection,
+    config: ServiceConfig,
+    segment_name: str,
+    version: int,
+    sweep_interval_s: float,
+) -> None:
+    """Entry point of one serving process (must stay picklable for spawn)."""
+    import signal
+
+    signal.signal(signal.SIGINT, signal.SIG_IGN)  # parent coordinates shutdown
+    try:
+        asyncio.run(
+            _Worker(worker_id, conn, config, segment_name, version, sweep_interval_s).run()
+        )
+    except Exception:  # pragma: no cover - crash path exercised via kill tests
+        logger.exception("worker %d crashed", worker_id)
+        raise
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+class _Worker:
+    """Asyncio half of a serving process: HTTP + the control channel."""
+
+    def __init__(
+        self,
+        worker_id: int,
+        conn: multiprocessing.connection.Connection,
+        config: ServiceConfig,
+        segment_name: str,
+        version: int,
+        sweep_interval_s: float,
+    ):
+        self.worker_id = worker_id
+        self.conn = conn
+        self.config = config
+        self.segment_name = segment_name
+        self.version = version
+        self.sweep_interval_s = sweep_interval_s
+        self.service: ReasoningService | None = None
+        self.manager = SnapshotManager()
+        #: (version, SharedMemory) of swapped-out snapshots; holding only
+        #: the handle (never the snapshot) lets the object graph die as
+        #: soon as the last in-flight read drops it
+        self._retired: list[tuple[int, Any]] = []
+        self._pending: dict[int, asyncio.Future] = {}
+        self._seq = 0
+        self._stop = asyncio.Event()
+        self._drain_timeout_s = 10.0
+        self._send_lock = threading.Lock()
+
+    def _send(self, message: dict[str, Any]) -> None:
+        with self._send_lock:
+            _try_send(self.conn, message)
+
+    async def run(self) -> None:
+        loop = asyncio.get_running_loop()
+        # no local binding: run() lives as long as the worker, and a local
+        # here would pin version 1's views (and so its segment) forever
+        self.manager.publish(shm_codec.attach_snapshot(self.segment_name))
+        service = ReasoningService(
+            self.manager, config=self.config, worker_id=self.worker_id
+        )
+        service.mutation_forwarder = self._forward_mutation
+        service.cluster_metrics_provider = self._cluster_metrics
+        self.service = service
+        await service.start(reuse_port=True)
+
+        queue: asyncio.Queue[dict[str, Any]] = asyncio.Queue()
+        reader = threading.Thread(
+            target=self._pump_control, args=(loop, queue), daemon=True
+        )
+        reader.start()
+        sweeper = asyncio.create_task(self._sweep_retired())
+        self._send(
+            {"op": "ready", "worker": self.worker_id, "pid": os.getpid(), "version": self.version}
+        )
+        try:
+            while not self._stop.is_set():
+                getter = asyncio.create_task(queue.get())
+                stopper = asyncio.create_task(self._stop.wait())
+                done, pending = await asyncio.wait(
+                    (getter, stopper), return_when=asyncio.FIRST_COMPLETED
+                )
+                for task in pending:
+                    task.cancel()
+                if getter in done:
+                    await self._handle(getter.result())
+        finally:
+            sweeper.cancel()
+            await service.stop()
+
+    def _pump_control(
+        self, loop: asyncio.AbstractEventLoop, queue: asyncio.Queue
+    ) -> None:
+        """Blocking pipe reads on a thread, messages into the loop."""
+        while True:
+            try:
+                message = self.conn.recv()
+            except (EOFError, OSError):
+                loop.call_soon_threadsafe(self._stop.set)
+                return
+            loop.call_soon_threadsafe(queue.put_nowait, message)
+
+    async def _handle(self, message: dict[str, Any]) -> None:
+        op = message.get("op")
+        if op == "publish":
+            await self._on_publish(message["name"], message["version"])
+        elif op == "drain":
+            self._drain_timeout_s = message.get("timeout_s", self._drain_timeout_s)
+            assert self.service is not None
+            await self.service.drain(self._drain_timeout_s)
+            self._send({"op": "drained", "worker": self.worker_id})
+            self._stop.set()
+        elif op == "stop":
+            self._stop.set()
+        elif op == "metrics?":
+            assert self.service is not None
+            self._send(
+                {
+                    "op": "metrics",
+                    "id": message.get("id"),
+                    "payload": self.service.metrics.to_dict(),
+                }
+            )
+        elif op in ("mutate_result", "metrics_cluster"):
+            future = self._pending.pop(message.get("id"), None)
+            if future is not None and not future.done():
+                future.set_result(message)
+
+    async def _on_publish(self, name: str, version: int) -> None:
+        loop = asyncio.get_running_loop()
+        started = time.perf_counter()
+        try:
+            snapshot = await loop.run_in_executor(None, shm_codec.attach_snapshot, name)
+        except Exception as exc:  # noqa: BLE001 - stay on the old version
+            logger.exception("worker %d failed to attach version %d", self.worker_id, version)
+            self._send(
+                {
+                    "op": "attach_failed",
+                    "worker": self.worker_id,
+                    "version": version,
+                    "error": f"{type(exc).__name__}: {exc}",
+                }
+            )
+            return
+        attach_s = time.perf_counter() - started
+        old = self.manager.current
+        self.manager.publish(snapshot)  # the swap: one reference store
+        swap_pause_s = self.manager.last_swap_pause_s
+        if isinstance(old, shm_codec.AttachedSnapshot):
+            self._retired.append((old.version, old.shm))
+        del old  # our reference; in-flight reads keep theirs
+        self._send(
+            {
+                "op": "attached",
+                "worker": self.worker_id,
+                "version": version,
+                "attach_s": attach_s,
+                "swap_pause_s": swap_pause_s,
+            }
+        )
+
+    async def _sweep_retired(self) -> None:
+        """Release retired segments once no in-flight read references them.
+
+        A retired snapshot's numpy views keep exported pointers into the
+        mapping, and ``SharedMemory.close`` refuses (``BufferError``) to
+        unmap while any exist — so "retry close until it succeeds" *is*
+        the refcount.  The local reference is dropped first; once the
+        cache keys, batcher groups, and executor reads referencing the
+        snapshot are gone, the close lands and the parent learns the
+        worker released the version.
+        """
+        import gc
+
+        while True:
+            await asyncio.sleep(self.sweep_interval_s)
+            if not self._retired:
+                continue
+            # graph <-> frame form a cycle, so the retired snapshot needs
+            # a collector pass even after the last reader dropped it
+            gc.collect()
+            survivors: list[tuple[int, Any]] = []
+            for version, handle in self._retired:
+                try:
+                    handle.close()
+                except BufferError:  # views still exported: a read is live
+                    survivors.append((version, handle))
+                    continue
+                self._send(
+                    {"op": "released", "worker": self.worker_id, "version": version}
+                )
+            self._retired = survivors
+
+    # -- forwarded endpoints -------------------------------------------
+
+    def _next_request(self) -> tuple[int, asyncio.Future]:
+        self._seq += 1
+        future = asyncio.get_running_loop().create_future()
+        self._pending[self._seq] = future
+        return self._seq, future
+
+    async def _forward_mutation(
+        self, deltas: list[Any], wait: bool
+    ) -> tuple[int, Any]:
+        request_id, future = self._next_request()
+        self._send(
+            {
+                "op": "mutate",
+                "id": request_id,
+                "worker": self.worker_id,
+                "deltas": deltas,
+                "wait": wait,
+            }
+        )
+        reply = await future
+        return reply.get("status", 500), reply.get("payload")
+
+    async def _cluster_metrics(self) -> Any:
+        request_id, future = self._next_request()
+        self._send({"op": "metrics_cluster?", "id": request_id, "worker": self.worker_id})
+        reply = await future
+        return reply.get("payload")

@@ -159,6 +159,25 @@ class TestErrorExitPaths:
         assert err.startswith("error: extract directory not found")
         assert "Traceback" not in err
 
+    def test_serve_rejects_bad_worker_counts(self, extract, capsys):
+        for workers in ("0", "-2", "65"):
+            assert main(["serve", str(extract), "--workers", workers]) == 2
+            err = capsys.readouterr().err
+            assert err.startswith("error: --workers must be in 1..64")
+            assert "Traceback" not in err
+
+    def test_serve_rejects_bad_max_concurrency(self, extract, capsys):
+        assert main(["serve", str(extract), "--max-concurrency", "0"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: --max-concurrency must be >= 1")
+        assert "Traceback" not in err
+
+    def test_serve_rejects_negative_max_queue(self, extract, capsys):
+        assert main(["serve", str(extract), "--max-queue", "-1"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: --max-queue must be >= 0")
+        assert "Traceback" not in err
+
     def test_serve_port_in_use(self, extract, capsys):
         import socket
 

@@ -329,3 +329,71 @@ def test_golden_pipeline_and_clustering(golden_graph):
         golden_graph, 4, config, feature_properties={"surname": 1.0, "address": 3.0}
     )
     assert _hash(sorted(assign.items(), key=lambda kv: str(kv[0]))) == "dbcc7d6260bcebe2"
+
+
+# ----------------------------------------------------------------------
+# buffer export / attach (the shared-memory codec's preconditions)
+# ----------------------------------------------------------------------
+
+
+def test_buffers_are_contiguous_and_dtype_stable():
+    """Every exported buffer must be C-contiguous with the dtype pinned
+    by EXPORT_DTYPES — scipy's csc index arrays in particular downcast to
+    int32 on small graphs, which the export must normalise away."""
+    from repro.graph.columnar import EXPORT_DTYPES
+
+    for persons in (6, 40):
+        graph, _ = realworld_like(persons, seed=3)
+        frame = GraphFrame.of(graph)
+        buffers = frame.buffers()
+        assert set(buffers) == set(EXPORT_DTYPES)
+        for name, array in buffers.items():
+            assert array.flags.c_contiguous, name
+            assert array.dtype == EXPORT_DTYPES[name], (
+                f"{name}: {array.dtype} != {EXPORT_DTYPES[name]}"
+            )
+        assert frame.nbytes == sum(a.nbytes for a in buffers.values())
+        assert frame.nbytes > 0
+
+
+def test_buffers_round_trip_through_attach():
+    """attach() over exported buffers reproduces every cached view
+    bit-identically, and adopt_as_cache_of makes GraphFrame.of find it."""
+    graph, _ = realworld_like(25, seed=5)
+    frame = GraphFrame.of(graph)
+    buffers = {name: array.copy() for name, array in frame.buffers().items()}
+
+    clone = graph.copy()
+    attached = GraphFrame.attach(clone, buffers)
+    attached.adopt_as_cache_of(clone)
+    assert GraphFrame.of(clone) is attached
+
+    for (a_indptr, a_minor, a_pos), (b_indptr, b_minor, b_pos) in (
+        (frame.csr(), attached.csr()),
+        (frame.csc(), attached.csc()),
+    ):
+        np.testing.assert_array_equal(a_indptr, b_indptr)
+        np.testing.assert_array_equal(a_minor, b_minor)
+        np.testing.assert_array_equal(a_pos, b_pos)
+    np.testing.assert_array_equal(frame.edge_src, attached.edge_src)
+    np.testing.assert_array_equal(frame.walk_weights, attached.walk_weights)
+    assert (frame.ownership_w() != attached.ownership_w()).nnz == 0
+    for original, rebuilt in zip(frame.walker_csr(), attached.walker_csr()):
+        if isinstance(original, np.ndarray) and original.dtype != object:
+            np.testing.assert_array_equal(original, rebuilt)
+        else:
+            assert list(original) == list(rebuilt)
+    # integrated-ownership solves over the attached frame stay identical
+    source = next(iter(graph.persons())).id
+    np.testing.assert_array_equal(
+        integrated_ownership_from(graph, source),
+        integrated_ownership_from(clone, source),
+    )
+
+
+def test_attach_rejects_mismatched_buffers():
+    graph, _ = realworld_like(10, seed=1)
+    buffers = GraphFrame.of(graph).buffers()
+    other, _ = realworld_like(20, seed=2)
+    with pytest.raises(ValueError):
+        GraphFrame.attach(other, buffers)

@@ -476,3 +476,138 @@ class TestRebuildFailureRecovery:
         assert held == 1  # referenced while in flight, dropped after
         assert stats["rebuilds"] == 1
         assert stats["rebuild_failures"] == 0
+
+
+class TestMetricsAccounting:
+    def test_bypass_endpoints_stay_out_of_latency_histograms(self, graph):
+        service = make_service(graph)
+
+        async def main():
+            await service.start()
+            port = service.port
+            for _ in range(3):
+                await http_request(port, "GET", "/healthz")
+                await http_request(port, "GET", "/metrics")
+            await http_request(port, "GET", "/control")
+            _, payload = await http_request(port, "GET", "/metrics")
+            await service.stop()
+            return payload
+
+        payload = asyncio.run(main())
+        # counted as requests ...
+        assert payload["requests"]["healthz"] == 3
+        assert payload["requests"]["metrics"] >= 3
+        assert payload["bypass_requests"] >= 6
+        # ... but absent from the latency accounting they used to skew
+        assert "healthz" not in payload["latency_histogram"]
+        assert "metrics" not in payload["latency_histogram"]
+        assert "healthz" not in payload["latency_sum_s"]
+        # admitted endpoints still get full latency accounting
+        assert sum(payload["latency_histogram"]["control"]) == 1
+        assert payload["latency_sum_s"]["control"] > 0
+
+    def test_identity_fields_on_stats_and_metrics(self, graph):
+        service = make_service(graph)
+
+        async def main():
+            await service.start()
+            port = service.port
+            _, stats = await http_request(port, "GET", "/stats")
+            _, stats_again = await http_request(port, "GET", "/stats")
+            _, metrics = await http_request(port, "GET", "/metrics")
+            _, health = await http_request(port, "GET", "/healthz")
+            await service.stop()
+            return stats, stats_again, metrics, health
+
+        stats, stats_again, metrics, health = asyncio.run(main())
+        assert stats["snapshot_version"] == 1
+        assert stats["worker_id"] is None  # single-process serving
+        assert stats_again == stats  # cache hit keeps the identity fields
+        assert metrics["snapshot_version"] == 1
+        assert metrics["worker_id"] is None
+        assert health["worker_id"] is None
+
+    def test_metrics_merge_folds_worker_payloads(self):
+        from repro.service import Metrics
+
+        a, b = Metrics(), Metrics()
+        a.observe("control", 0.004, 200)
+        a.observe("control", 0.030, 200)
+        a.observe("healthz", 0.001, 200, bypass=True)
+        b.observe("control", 0.004, 200)
+        b.observe("ubo", 0.200, 404)
+        merged = Metrics.merge([a.to_dict(), b.to_dict()])
+        assert merged["requests"] == {"control": 3, "healthz": 1, "ubo": 1}
+        assert merged["statuses"] == {"2xx": 4, "4xx": 1}
+        assert merged["bypass_requests"] == 1
+        assert sum(merged["latency_histogram"]["control"]) == 3
+        assert merged["latency_sum_s"]["control"] == pytest.approx(0.038)
+        assert "healthz" not in merged["latency_histogram"]
+
+
+class TestPoolHooks:
+    def test_drain_finishes_in_flight_then_reports_idle(self, graph):
+        service = make_service(graph)
+
+        async def main():
+            await service.start()
+            port = service.port
+            slow_payload(service.manager.current, "family_payload", 0.2)
+            request_task = asyncio.create_task(http_request(port, "GET", "/family"))
+            await asyncio.sleep(0.05)  # the read is now executor-side
+            drained = await service.drain(timeout_s=5.0)
+            status, _ = await request_task
+            return drained, status
+
+        drained, status = asyncio.run(main())
+        assert drained is True
+        assert status == 200  # the in-flight request completed during drain
+
+    def test_mutation_forwarder_replaces_local_updater(self, graph):
+        from repro.service import ReasoningService, SnapshotBuilder, SnapshotManager
+
+        manager = SnapshotManager()
+        manager.publish(SnapshotBuilder().build(graph))
+        service = ReasoningService(manager, config=ServiceConfig(port=0))
+        assert service.updater is None
+        forwarded = []
+
+        async def forwarder(deltas, wait):
+            forwarded.append((deltas, wait))
+            return 200, {"status": "published", "version": 99}
+
+        service.mutation_forwarder = forwarder
+
+        async def main():
+            await service.start()
+            port = service.port
+            result = await http_request(
+                port, "POST", "/mutations?wait=1", {"deltas": [{"op": "x"}]}
+            )
+            await service.stop()
+            return result
+
+        status, payload = asyncio.run(main())
+        assert status == 200
+        assert payload["version"] == 99
+        assert forwarded == [([{"op": "x"}], True)]
+
+    def test_cluster_metrics_provider_answers_scoped_metrics(self, graph):
+        service = make_service(graph)
+
+        async def provider():
+            return {"scope": "cluster", "workers": [0, 1]}
+
+        service.cluster_metrics_provider = provider
+
+        async def main():
+            await service.start()
+            port = service.port
+            scoped = await http_request(port, "GET", "/metrics?scope=cluster")
+            plain = await http_request(port, "GET", "/metrics")
+            await service.stop()
+            return scoped, plain
+
+        (s_status, s_payload), (p_status, p_payload) = asyncio.run(main())
+        assert s_status == 200 and s_payload == {"scope": "cluster", "workers": [0, 1]}
+        assert p_status == 200 and "requests" in p_payload

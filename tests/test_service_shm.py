@@ -1,0 +1,197 @@
+"""Shared-memory snapshot codec: encode/attach round trips.
+
+The acceptance-critical property is **per-row identity**: a snapshot
+attached from a segment must answer every endpoint payload byte-equal
+to the in-process snapshot it was encoded from — including the
+custom-threshold paths that recompute over the (attached, zero-copy)
+columnar frame.
+"""
+
+import gc
+
+import numpy as np
+import pytest
+
+from repro.datagen.company_generator import CompanySpec, generate_company_graph
+from repro.graph.columnar import EXPORT_DTYPES, GraphFrame
+from repro.service import shm as shm_codec
+from repro.service.snapshot import SnapshotBuilder, SnapshotConfig
+
+
+@pytest.fixture(scope="module")
+def graph():
+    g, _truth = generate_company_graph(CompanySpec(persons=30, companies=24, seed=11))
+    return g
+
+
+@pytest.fixture(scope="module")
+def snapshot(graph):
+    return SnapshotBuilder(SnapshotConfig()).build(graph)
+
+
+@pytest.fixture()
+def segment(snapshot):
+    seg = shm_codec.encode_snapshot(snapshot)
+    try:
+        yield seg
+    finally:
+        try:
+            seg.unlink()
+        except FileNotFoundError:
+            pass
+        try:
+            seg.close()
+        except BufferError:
+            _PARKED_HANDLES.append(seg)
+
+
+#: handles whose mapping outlived the test (views still referenced
+#: somewhere in the frame); held so their __del__ never runs
+_PARKED_HANDLES = []
+
+
+def detach(attached):
+    """Best-effort test cleanup of an attachment.
+
+    The caller's own frame still references the snapshot, so the close
+    may legitimately refuse (``BufferError``) — that contract is proven
+    positively in ``test_close_succeeds_once_references_drop``, where
+    the last reference is really gone.  The segment itself is unlinked
+    by the fixture either way.
+    """
+    handle = attached.shm
+    del attached
+    gc.collect()
+    try:
+        handle.close()
+    except BufferError:
+        # park the handle: letting __del__ retry the close during a later
+        # GC would surface as an unraisable-exception warning mid-suite
+        _PARKED_HANDLES.append(handle)
+
+
+class TestRoundTrip:
+    def test_every_payload_is_identical(self, graph, snapshot, segment):
+        attached = shm_codec.attach_snapshot(segment.name)
+        companies = sorted((n.id for n in graph.companies()), key=str)
+        persons = sorted((n.id for n in graph.persons()), key=str)
+        try:
+            assert attached.version == snapshot.version
+            assert attached.created_at == snapshot.created_at
+            assert attached.control_payload() == snapshot.control_payload()
+            assert attached.close_links_payload() == snapshot.close_links_payload()
+            assert attached.family_payload() == snapshot.family_payload()
+            assert attached.ubo_payloads(companies) == snapshot.ubo_payloads(companies)
+            assert attached.stats_payload() == snapshot.stats_payload()
+            for node in persons[:5] + companies[:5]:
+                assert attached.neighbors_payload(node, 2, None) == (
+                    snapshot.neighbors_payload(node, 2, None)
+                )
+        finally:
+            detach(attached)
+
+    def test_custom_threshold_paths_recompute_identically(
+        self, graph, snapshot, segment
+    ):
+        """Non-default thresholds bypass precomputed rows and reach the
+        attached frame through ``GraphFrame.of`` — still identical."""
+        attached = shm_codec.attach_snapshot(segment.name)
+        companies = sorted((n.id for n in graph.companies()), key=str)[:10]
+        try:
+            assert GraphFrame.of(attached.graph) is attached.frame
+            assert attached.control_payload(threshold=0.4) == (
+                snapshot.control_payload(threshold=0.4)
+            )
+            assert attached.close_links_payload(0.35) == (
+                snapshot.close_links_payload(0.35)
+            )
+            assert attached.ubo_payloads(companies, 0.15) == (
+                snapshot.ubo_payloads(companies, 0.15)
+            )
+        finally:
+            detach(attached)
+
+    def test_buffers_are_zero_copy_readonly_views(self, segment):
+        attached = shm_codec.attach_snapshot(segment.name)
+        try:
+            indptr, targets, positions = attached.frame.csr()
+            for view in (indptr, targets, positions):
+                assert not view.flags.owndata  # a view over the mapping
+                assert not view.flags.writeable
+            with pytest.raises(ValueError):
+                targets[0] = 7
+        finally:
+            detach(attached)
+
+    def test_two_attachments_share_physical_buffers(self, segment):
+        a = shm_codec.attach_snapshot(segment.name)
+        b = shm_codec.attach_snapshot(segment.name)
+        try:
+            src_a = a.frame.edge_src
+            src_b = b.frame.edge_src
+            assert np.shares_memory(src_a, src_a)  # sanity
+            assert src_a.tolist() == src_b.tolist()
+            # same segment offset: both are views at identical addresses
+            # within their own mmaps of one shared object
+            assert a.segment_name == b.segment_name
+        finally:
+            detach(a)
+            detach(b)
+
+
+class TestLifecycle:
+    def test_close_refuses_while_views_are_alive(self, segment):
+        attached = shm_codec.attach_snapshot(segment.name)
+        view = attached.frame.edge_src
+        with pytest.raises(BufferError):
+            attached.close()
+        del view
+        detach(attached)
+
+    def test_close_succeeds_once_references_drop(self, segment):
+        """The refcount contract the worker sweep is built on: close
+        refuses while the snapshot lives, lands once it is collected."""
+        attached = shm_codec.attach_snapshot(segment.name)
+        handle = attached.shm
+        with pytest.raises(BufferError):
+            handle.close()
+        attached = None  # noqa: F841 - drop the one strong reference
+        gc.collect()  # graph <-> frame cycle needs the collector
+        handle.close()  # must not raise now
+
+    def test_unlink_segment(self, snapshot):
+        seg = shm_codec.encode_snapshot(snapshot)
+        name = seg.name
+        assert shm_codec.unlink_segment(name) is True
+        seg.close()
+        assert shm_codec.unlink_segment(name) is False
+        with pytest.raises(shm_codec.SegmentError):
+            shm_codec.attach_snapshot(name)
+
+    def test_segment_info_without_rehydration(self, snapshot, segment):
+        info = shm_codec.read_segment_info(segment.name)
+        assert info.snapshot_version == snapshot.version
+        assert info.meta["nodes"] == snapshot.frame.node_count
+        assert set(EXPORT_DTYPES) <= set(info.buffers)
+        for entry in info.buffers.values():
+            assert entry["offset"] % shm_codec.ALIGNMENT == 0
+
+    def test_foreign_segment_is_rejected(self):
+        from multiprocessing import shared_memory
+
+        foreign = shared_memory.SharedMemory(create=True, size=4096)
+        try:
+            with pytest.raises(shm_codec.SegmentError, match="magic"):
+                shm_codec.attach_snapshot(foreign.name)
+        finally:
+            foreign.unlink()
+            foreign.close()
+
+    def test_format_version_skew_is_rejected(self, segment):
+        import struct
+
+        header = bytearray(segment.buf[: shm_codec._HEADER.size])
+        struct.pack_into("<H", header, 4, shm_codec.FORMAT_VERSION + 1)
+        segment.buf[: len(header)] = header
+        with pytest.raises(shm_codec.SegmentError, match="format"):
+            shm_codec.attach_snapshot(segment.name)
