@@ -69,6 +69,10 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--density", default="sparse",
                           choices=("sparse", "normal", "dense", "superdense"))
     generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--store", type=Path, metavar="DIR",
+                          help="stream the graph into a durable frame store "
+                               "(out-of-core: the graph never fully "
+                               "materializes in RAM; no CSV is written)")
 
     profile_cmd = commands.add_parser("profile", help="Section 2 statistics of an extract")
     profile_cmd.add_argument("directory", type=Path)
@@ -120,7 +124,17 @@ def build_parser() -> argparse.ArgumentParser:
     serve = commands.add_parser(
         "serve", help="asyncio HTTP reasoning API over versioned KG snapshots"
     )
-    serve.add_argument("directory", type=Path)
+    serve.add_argument("directory", type=Path, nargs="?",
+                       help="CSV extract to build from (optional when "
+                            "--store has a published snapshot to attach)")
+    serve.add_argument("--store", type=Path, metavar="DIR",
+                       help="durable frame store: with an extract, every "
+                            "published version is also persisted here; "
+                            "alone, boot by mmap-attaching the latest "
+                            "stored version instead of rebuilding")
+    serve.add_argument("--version", type=int, default=None,
+                       help="attach this stored version instead of the "
+                            "latest (rollback; requires --store)")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8707,
                        help="TCP port (0 picks a free one)")
@@ -159,9 +173,36 @@ def _generate(args: argparse.Namespace) -> int:
         persons=args.persons, companies=args.companies,
         density=args.density, seed=args.seed,
     )
+    if args.store is not None:
+        return _generate_streamed(args, spec)
     graph, truth = generate_company_graph(spec)
     write_company_csv(graph, args.directory)
-    truth_path = args.directory / "ground_truth.json"
+    truth_path = _write_truth(args.directory, truth)
+    print(f"wrote {graph.node_count} nodes / {graph.edge_count} edges to {args.directory}")
+    print(f"ground truth ({len(truth.links)} links) in {truth_path}")
+    return 0
+
+
+def _generate_streamed(args: argparse.Namespace, spec: CompanySpec) -> int:
+    """``generate --store``: stream straight into the durable store."""
+    from .storage import FrameStore, StoreError, generate_company_graph_stream
+
+    try:
+        store = FrameStore.open_or_create(args.store)
+        version, truth = generate_company_graph_stream(spec, store)
+    except StoreError as exc:
+        raise CLIError(str(exc)) from exc
+    args.directory.mkdir(parents=True, exist_ok=True)
+    truth_path = _write_truth(args.directory, truth)
+    (info,) = [v for v in store.versions(kind="graph") if v["version"] == version]
+    print(f"streamed {info['nodes']} nodes / {info['edges']} edges "
+          f"into {args.store} as graph version {version}")
+    print(f"ground truth ({len(truth.links)} links) in {truth_path}")
+    return 0
+
+
+def _write_truth(directory: Path, truth) -> Path:
+    truth_path = directory / "ground_truth.json"
     with open(truth_path, "w") as handle:
         json.dump(
             {
@@ -170,9 +211,7 @@ def _generate(args: argparse.Namespace) -> int:
             },
             handle,
         )
-    print(f"wrote {graph.node_count} nodes / {graph.edge_count} edges to {args.directory}")
-    print(f"ground truth ({len(truth.links)} links) in {truth_path}")
-    return 0
+    return truth_path
 
 
 def _profile(args: argparse.Namespace) -> int:
@@ -318,8 +357,25 @@ def _serve(args: argparse.Namespace) -> int:
         raise CLIError(f"--max-concurrency must be >= 1, got {args.max_concurrency}")
     if args.max_queue < 0:
         raise CLIError(f"--max-queue must be >= 0, got {args.max_queue}")
+    if args.version is not None and args.store is None:
+        raise CLIError("--version requires --store")
+    if args.version is not None and args.directory is not None:
+        raise CLIError("--version attaches a stored snapshot; "
+                       "drop the extract directory argument")
+    if args.directory is None and args.store is None:
+        raise CLIError("serve needs an extract directory or --store")
+    if args.directory is None:
+        return _serve_attached(args)
     if not args.directory.is_dir():
         raise CLIError(f"extract directory not found: {args.directory}")
+    store = None
+    if args.store is not None:
+        from .storage import FrameStore, StoreError
+
+        try:
+            store = FrameStore.open_or_create(args.store)
+        except StoreError as exc:
+            raise CLIError(str(exc)) from exc
     graph = read_company_csv(args.directory)
     classifiers = None
     truth_path = args.directory / "ground_truth.json"
@@ -338,15 +394,23 @@ def _serve(args: argparse.Namespace) -> int:
         request_timeout_s=args.request_timeout,
         cache_capacity=args.cache_capacity,
     )
+    start_version = store.latest_version() or 0 if store is not None else 0
     if args.workers > 1:
-        return _serve_pool(args, graph, service_config, snapshot_config, classifiers)
+        return _serve_pool(
+            args, graph, service_config, snapshot_config, classifiers,
+            store=store, start_version=start_version,
+        )
     service = build_service(
         graph,
         config=service_config,
         snapshot_config=snapshot_config,
         classifiers=classifiers,
         tracer=_tracer_of(args),
+        start_version=start_version,
     )
+    if store is not None:
+        _persist_initial(store, service.manager.current)
+        service.updater.persist_hook = store.persist
 
     def ready(svc) -> None:
         snapshot = svc.manager.current
@@ -365,7 +429,84 @@ def _serve(args: argparse.Namespace) -> int:
     return 0
 
 
-def _serve_pool(args, graph, service_config, snapshot_config, classifiers) -> int:
+def _persist_initial(store, snapshot) -> None:
+    """Persist the boot snapshot; a version collision just means a
+    snapshot with this number is already durable — not fatal."""
+    from .storage import StoreError
+
+    try:
+        store.persist(snapshot)
+    except StoreError as exc:
+        print(f"# store: initial persist skipped ({exc})", file=sys.stderr)
+
+
+def _serve_attached(args: argparse.Namespace) -> int:
+    """``serve --store DIR`` with no extract: mmap-attach a durable
+    version and serve it without running the build pipeline."""
+    import asyncio
+
+    from .service import ReasoningService, ServiceConfig, SnapshotBuilder, SnapshotManager
+    from .storage import FrameStore, StoreError
+
+    try:
+        store = FrameStore.open(args.store)
+        if args.version is not None:
+            attached = store.attach(args.version)
+        else:
+            attached = store.attach_latest()
+    except StoreError as exc:
+        raise CLIError(str(exc)) from exc
+    service_config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        max_concurrency=args.max_concurrency,
+        max_queue=args.max_queue,
+        request_timeout_s=args.request_timeout,
+        cache_capacity=args.cache_capacity,
+    )
+    if args.workers > 1:
+        return _serve_pool(
+            args, attached.graph, service_config, attached.config, None,
+            store=store, start_version=attached.version,
+            initial_snapshot=attached,
+        )
+    manager = SnapshotManager()
+    manager.publish(attached)
+    # mutations keep working: the builder resumes the version sequence
+    # from the attached snapshot, and every rebuild is persisted back.
+    # (link classifiers are not stored, so re-augmentation after a
+    # mutation detects family links without them — see docs/STORAGE.md)
+    builder = SnapshotBuilder(
+        attached.config, tracer=_tracer_of(args), start_version=attached.version
+    )
+    service = ReasoningService(
+        manager,
+        builder=builder,
+        base_graph=attached.graph,
+        config=service_config,
+        tracer=_tracer_of(args),
+    )
+    service.updater.persist_hook = store.persist
+
+    def ready(svc) -> None:
+        snapshot = svc.manager.current
+        print(
+            f"serving snapshot v{snapshot.version} "
+            f"({snapshot.graph.node_count} nodes, {snapshot.graph.edge_count} edges, "
+            f"attached from {args.store}) "
+            f"on http://{args.host}:{svc.port}",
+            flush=True,
+        )
+
+    try:
+        asyncio.run(service.run(ready=ready))
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    return 0
+
+
+def _serve_pool(args, graph, service_config, snapshot_config, classifiers,
+                store=None, start_version=0, initial_snapshot=None) -> int:
     """``serve --workers N``: the SO_REUSEPORT pool, SIGTERM drains."""
     import signal
     import threading
@@ -379,6 +520,9 @@ def _serve_pool(args, graph, service_config, snapshot_config, classifiers) -> in
         snapshot_config=snapshot_config,
         classifiers=classifiers,
         tracer=_tracer_of(args),
+        start_version=start_version,
+        initial_snapshot=initial_snapshot,
+        persist_hook=store.persist if store is not None else None,
     )
     stop = threading.Event()
     for signum in (signal.SIGTERM, signal.SIGINT):

@@ -47,29 +47,39 @@ def write_company_csv(graph: CompanyGraph, directory: str | Path) -> None:
             )
 
 
-def read_company_csv(directory: str | Path) -> CompanyGraph:
-    """Load a company graph written by :func:`write_company_csv`."""
+def load_company_csv_into(directory: str | Path, sink):
+    """Stream a CSV extract row-by-row into ``sink``; returns the sink.
+
+    ``sink`` is anything with the ``add_company`` / ``add_person`` /
+    ``add_shareholding`` surface — a :class:`CompanyGraph`, or a
+    :class:`~repro.storage.StreamingGraphWriter` when the extract is too
+    large to hold in memory.  Only one CSV row is resident at a time.
+    """
     directory = Path(directory)
-    graph = CompanyGraph()
 
     with open(directory / "companies.csv", newline="") as handle:
         for row in csv.DictReader(handle):
             properties = {k: v for k, v in row.items() if k != "id" and v}
-            graph.add_company(row["id"], **properties)
+            sink.add_company(row["id"], **properties)
 
     with open(directory / "persons.csv", newline="") as handle:
         for row in csv.DictReader(handle):
             properties = {k: v for k, v in row.items() if k != "id" and v}
-            graph.add_person(row["id"], **properties)
+            sink.add_person(row["id"], **properties)
 
     with open(directory / "shareholdings.csv", newline="") as handle:
         for row in csv.DictReader(handle):
             extra: dict[str, Any] = {}
             if row.get("right"):
                 extra["right"] = row["right"]
-            graph.add_shareholding(row["owner"], row["company"], float(row["w"]), **extra)
+            sink.add_shareholding(row["owner"], row["company"], float(row["w"]), **extra)
 
-    return graph
+    return sink
+
+
+def read_company_csv(directory: str | Path) -> CompanyGraph:
+    """Load a company graph written by :func:`write_company_csv`."""
+    return load_company_csv_into(directory, CompanyGraph())
 
 
 def to_json(graph: PropertyGraph) -> dict[str, Any]:
@@ -92,6 +102,25 @@ def to_json(graph: PropertyGraph) -> dict[str, Any]:
     }
 
 
+def _add_json_node(graph: PropertyGraph, node: dict[str, Any]) -> None:
+    graph.add_node(node["id"], node.get("label"), **node.get("properties", {}))
+
+
+def _add_json_edge(graph: PropertyGraph, edge: dict[str, Any], company_graph: bool) -> None:
+    properties = dict(edge.get("properties", {}))
+    if company_graph and edge.get("label") == SHAREHOLDING:
+        share = properties.pop("w")
+        graph.add_shareholding(  # type: ignore[union-attr]
+            edge["source"], edge["target"], share,
+            edge_id=edge.get("id"), **properties,
+        )
+    else:
+        graph.add_edge(
+            edge["source"], edge["target"], edge.get("label"),
+            edge_id=edge.get("id"), **properties,
+        )
+
+
 def from_json(payload: dict[str, Any], company_graph: bool = True) -> PropertyGraph:
     """Rebuild a graph serialised by :func:`to_json`.
 
@@ -101,20 +130,9 @@ def from_json(payload: dict[str, Any], company_graph: bool = True) -> PropertyGr
     """
     graph: PropertyGraph = CompanyGraph() if company_graph else PropertyGraph()
     for node in payload.get("nodes", ()):
-        graph.add_node(node["id"], node.get("label"), **node.get("properties", {}))
+        _add_json_node(graph, node)
     for edge in payload.get("edges", ()):
-        properties = dict(edge.get("properties", {}))
-        if company_graph and edge.get("label") == SHAREHOLDING:
-            share = properties.pop("w")
-            graph.add_shareholding(  # type: ignore[union-attr]
-                edge["source"], edge["target"], share,
-                edge_id=edge.get("id"), **properties,
-            )
-        else:
-            graph.add_edge(
-                edge["source"], edge["target"], edge.get("label"),
-                edge_id=edge.get("id"), **properties,
-            )
+        _add_json_edge(graph, edge, company_graph)
     return graph
 
 
@@ -123,6 +141,90 @@ def save_json(graph: PropertyGraph, path: str | Path) -> None:
         json.dump(to_json(graph), handle)
 
 
-def load_json(path: str | Path, company_graph: bool = True) -> PropertyGraph:
+def iter_graph_json(path: str | Path, chunk_size: int = 1 << 16):
+    """Incrementally parse a :func:`to_json` document.
+
+    Yields ``(key, element)`` pairs — ``("nodes", {...})`` then
+    ``("edges", {...})`` in document order — holding one array element
+    plus one read chunk in memory, never the whole file.  Top-level keys
+    whose value is not an array are decoded and skipped.
+    """
+    decoder = json.JSONDecoder()
     with open(path) as handle:
-        return from_json(json.load(handle), company_graph=company_graph)
+        buf = ""
+        pos = 0
+
+        def skip_ws() -> str:
+            """Advance past whitespace; returns the next character."""
+            nonlocal buf, pos
+            while True:
+                while pos < len(buf):
+                    if buf[pos] not in " \t\r\n":
+                        return buf[pos]
+                    pos += 1
+                buf = handle.read(chunk_size)  # everything before pos consumed
+                pos = 0
+                if not buf:
+                    raise ValueError(f"malformed graph JSON: truncated {path}")
+
+        def decode_value() -> Any:
+            """One JSON value at the cursor, pulling chunks as needed."""
+            nonlocal buf, pos
+            skip_ws()
+            buf = buf[pos:]  # bound memory: drop the consumed prefix
+            pos = 0
+            while True:
+                try:
+                    value, end = decoder.raw_decode(buf)
+                except ValueError:
+                    chunk = handle.read(chunk_size)
+                    if not chunk:  # not a truncation — genuinely malformed
+                        raise
+                    buf += chunk
+                else:
+                    pos = end
+                    return value
+
+        def expect(char: str) -> None:
+            nonlocal pos
+            if skip_ws() != char:
+                raise ValueError(
+                    f"malformed graph JSON: expected {char!r}, got {buf[pos]!r}"
+                )
+            pos += 1
+
+        expect("{")
+        if skip_ws() == "}":
+            return
+        while True:
+            key = decode_value()
+            if not isinstance(key, str):
+                raise ValueError(f"malformed graph JSON: non-string key {key!r}")
+            expect(":")
+            if skip_ws() == "[":
+                pos += 1
+                if skip_ws() == "]":
+                    pos += 1
+                else:
+                    while True:
+                        yield key, decode_value()
+                        if skip_ws() == "]":
+                            pos += 1
+                            break
+                        expect(",")
+            else:
+                decode_value()  # non-array value: decode and drop
+            if skip_ws() == "}":
+                return
+            expect(",")
+
+
+def load_json(path: str | Path, company_graph: bool = True) -> PropertyGraph:
+    """Load a graph JSON file, streaming one element at a time."""
+    graph: PropertyGraph = CompanyGraph() if company_graph else PropertyGraph()
+    for key, element in iter_graph_json(path):
+        if key == "nodes":
+            _add_json_node(graph, element)
+        elif key == "edges":
+            _add_json_edge(graph, element, company_graph)
+    return graph

@@ -655,9 +655,18 @@ def build_service(
     snapshot_config: SnapshotConfig | None = None,
     classifiers: Sequence[BayesianLinkClassifier] | None = None,
     tracer=None,
+    start_version: int = 0,
 ) -> ReasoningService:
-    """Build version 1 from ``graph``, publish it, and wire the service."""
-    builder = SnapshotBuilder(snapshot_config, classifiers=classifiers, tracer=tracer)
+    """Build the next version from ``graph``, publish it, wire the service.
+
+    ``start_version`` seeds the builder's version counter — a service
+    booting against a durable store with history passes the store's
+    latest version so the freshly built snapshot extends it.
+    """
+    builder = SnapshotBuilder(
+        snapshot_config, classifiers=classifiers, tracer=tracer,
+        start_version=start_version,
+    )
     manager = SnapshotManager()
     manager.publish(builder.build(graph))
     return ReasoningService(

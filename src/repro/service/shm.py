@@ -52,9 +52,9 @@ from typing import Any
 import numpy as np
 
 from ..graph.columnar import _CACHE_ATTR, EXPORT_DTYPES, GraphFrame
-from ..graph.property_graph import NodeId, PropertyGraph
+from ..graph.property_graph import PropertyGraph
 from ..graph.store import GraphStore
-from ..ownership.ubo import BeneficialOwner
+from ..storage.layout import ROW_DTYPES, decode_rows, encode_rows
 from .snapshot import Snapshot
 
 #: Segment magic — "Repro KG Snapshot".
@@ -67,20 +67,9 @@ ALIGNMENT = 64
 _HEADER = struct.Struct("<4sHHQQQQ")  # magic, format, flags, version, toc_off, toc_len, total
 HEADER_SIZE = ALIGNMENT
 
-#: dtypes of the row-state arrays (the frame buffers use EXPORT_DTYPES)
-_ROW_DTYPES: dict[str, np.dtype] = {
-    "control_x": np.dtype(np.int64),
-    "control_y": np.dtype(np.int64),
-    "close_x": np.dtype(np.int64),
-    "close_y": np.dtype(np.int64),
-    "family_x": np.dtype(np.int64),
-    "family_y": np.dtype(np.int64),
-    "family_class": np.dtype(np.int64),
-    "ubo_company": np.dtype(np.int64),
-    "ubo_person": np.dtype(np.int64),
-    "ubo_share": np.dtype(np.float64),
-    "ubo_controls": np.dtype(np.uint8),
-}
+#: Row-state dtypes — shared with the durable store (repro.storage.layout)
+#: so the shm segment and the on-disk columns cannot drift.
+_ROW_DTYPES = ROW_DTYPES
 
 
 class SegmentError(RuntimeError):
@@ -114,11 +103,6 @@ def _restore_graph(payload: tuple[type, dict[str, Any]]) -> PropertyGraph:
     graph = object.__new__(cls)
     graph.__dict__.update(state)
     return graph
-
-
-def _codes(frame: GraphFrame, ids: list[NodeId]) -> np.ndarray:
-    index = frame.index
-    return np.fromiter((index[i] for i in ids), dtype=np.int64, count=len(ids))
 
 
 class AttachedSnapshot(Snapshot):
@@ -165,37 +149,8 @@ def encode_snapshot(
     if not frame.is_current(snapshot.graph):  # out-of-band mutation: re-pin
         frame = GraphFrame.of(snapshot.graph)
     buffers = dict(frame.buffers())
-
-    control = sorted(snapshot.control, key=lambda p: (str(p[0]), str(p[1])))
-    buffers["control_x"] = _codes(frame, [x for x, _ in control])
-    buffers["control_y"] = _codes(frame, [y for _, y in control])
-    close = sorted(snapshot.close_links, key=lambda p: (str(p[0]), str(p[1])))
-    buffers["close_x"] = _codes(frame, [x for x, _ in close])
-    buffers["close_y"] = _codes(frame, [y for _, y in close])
-    family = sorted(snapshot.family_links, key=lambda l: (str(l[0]), str(l[1]), l[2]))
-    classes = sorted({cls for _, _, cls in family})
-    class_code = {cls: i for i, cls in enumerate(classes)}
-    buffers["family_x"] = _codes(frame, [x for x, _, _ in family])
-    buffers["family_y"] = _codes(frame, [y for _, y, _ in family])
-    buffers["family_class"] = np.fromiter(
-        (class_code[cls] for _, _, cls in family), dtype=np.int64, count=len(family)
-    )
-    flat: list[tuple[int, int, float, int]] = []
-    index = frame.index
-    for company in sorted(snapshot.ubo, key=lambda c: index[c]):
-        for owner in snapshot.ubo[company]:
-            flat.append(
-                (
-                    index[company],
-                    index[owner.person],
-                    owner.integrated_share,
-                    1 if owner.controls else 0,
-                )
-            )
-    buffers["ubo_company"] = np.asarray([f[0] for f in flat], dtype=np.int64)
-    buffers["ubo_person"] = np.asarray([f[1] for f in flat], dtype=np.int64)
-    buffers["ubo_share"] = np.asarray([f[2] for f in flat], dtype=np.float64)
-    buffers["ubo_controls"] = np.asarray([f[3] for f in flat], dtype=np.uint8)
+    row_buffers, classes = encode_rows(snapshot, frame)
+    buffers.update(row_buffers)
 
     blob = pickle.dumps(
         {
@@ -357,36 +312,9 @@ def attach_snapshot(name: str) -> AttachedSnapshot:
             weight_property=blob["weight_property"],
         )
         frame.adopt_as_cache_of(graph)
-        nodes = frame.nodes
-
-        control = {
-            (nodes[x], nodes[y])
-            for x, y in zip(views["control_x"].tolist(), views["control_y"].tolist())
-        }
-        close = {
-            (nodes[x], nodes[y])
-            for x, y in zip(views["close_x"].tolist(), views["close_y"].tolist())
-        }
-        classes = blob["family_classes"]
-        family = {
-            (nodes[x], nodes[y], classes[c])
-            for x, y, c in zip(
-                views["family_x"].tolist(),
-                views["family_y"].tolist(),
-                views["family_class"].tolist(),
-            )
-        }
-        ubo: dict[NodeId, list[BeneficialOwner]] = {}
-        for company_code, person_code, share, controls in zip(
-            views["ubo_company"].tolist(),
-            views["ubo_person"].tolist(),
-            views["ubo_share"].tolist(),
-            views["ubo_controls"].tolist(),
-        ):
-            company = nodes[company_code]
-            ubo.setdefault(company, []).append(
-                BeneficialOwner(nodes[person_code], company, share, bool(controls))
-            )
+        control, close, family, ubo = decode_rows(
+            views, frame.nodes, blob["family_classes"]
+        )
 
         store = GraphStore(augmented)
         for prop in config.index_properties:

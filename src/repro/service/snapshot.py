@@ -332,11 +332,15 @@ class SnapshotBuilder:
         config: SnapshotConfig | None = None,
         classifiers: Sequence[BayesianLinkClassifier] | None = None,
         tracer=None,
+        start_version: int = 0,
     ):
         self.config = config if config is not None else SnapshotConfig()
         self.classifiers = classifiers
         self.tracer = tracer if tracer is not None else NULL_TRACER
-        self._version = 0
+        # ``start_version`` seeds the counter when the service resumes
+        # from a durable store: the first build then continues the
+        # persisted history instead of colliding with it.
+        self._version = start_version
         self._state: _BuilderState | None = None
         self._embedder: IncrementalEmbedder | None = None
         if self.config.use_embeddings and self.config.first_level_clusters > 1:

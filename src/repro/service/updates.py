@@ -162,6 +162,15 @@ class GraphUpdater:
         self.staging_rollbacks = 0
         self.last_rebuild_error: str | None = None
         self.last_rebuild_s = 0.0
+        #: when set (a callable taking the snapshot, e.g.
+        #: ``FrameStore.persist``), every published version is also
+        #: written to the durable store — in the executor, *after* the
+        #: in-memory publish, and non-fatally: serving never stalls or
+        #: fails because a disk write did
+        self.persist_hook = None
+        self.persists = 0
+        self.persist_failures = 0
+        self.last_persist_error: str | None = None
         #: test / bench hook — artificial build slowdown (seconds)
         self.build_delay_s = 0.0
         self._rebuilding = 0
@@ -229,6 +238,10 @@ class GraphUpdater:
                 self._manager.publish(snapshot)
                 self.rebuilds += 1
                 self.last_rebuild_s = time.perf_counter() - started
+                if self.persist_hook is not None:
+                    await asyncio.get_running_loop().run_in_executor(
+                        None, self._persist_sync, snapshot
+                    )
                 return snapshot
             except BaseException as exc:
                 self.rebuild_failures += 1
@@ -271,6 +284,16 @@ class GraphUpdater:
         new_edges = None if batch.removed_any else batch.new_edges
         return self._builder.build(graph, new_edges=new_edges, delta=batch)
 
+    def _persist_sync(self, snapshot) -> None:
+        try:
+            self.persist_hook(snapshot)
+            self.persists += 1
+        except Exception as exc:
+            self.persist_failures += 1
+            self.last_persist_error = repr(exc)
+            with self.tracer.span("persist.failed", error=repr(exc)):
+                logger.exception("durable persist of version %s failed", snapshot.version)
+
     def stats(self) -> dict[str, Any]:
         return {
             "batches_accepted": self.batches_accepted,
@@ -282,6 +305,9 @@ class GraphUpdater:
             "last_rebuild_error": self.last_rebuild_error,
             "rebuild_in_progress": self.rebuild_in_progress,
             "last_rebuild_s": round(self.last_rebuild_s, 4),
+            "persists": self.persists,
+            "persist_failures": self.persist_failures,
+            "last_persist_error": self.last_persist_error,
             "staging_nodes": self._staging.node_count,
             "staging_edges": self._staging.edge_count,
         }

@@ -111,6 +111,9 @@ class ServicePool:
         classifiers: Sequence[BayesianLinkClassifier] | None = None,
         tracer=None,
         pool_config: PoolConfig | None = None,
+        start_version: int = 0,
+        initial_snapshot: Snapshot | None = None,
+        persist_hook=None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -119,8 +122,19 @@ class ServicePool:
         self.pool_config = pool_config if pool_config is not None else PoolConfig()
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self._builder = SnapshotBuilder(
-            snapshot_config, classifiers=classifiers, tracer=self.tracer
+            snapshot_config, classifiers=classifiers, tracer=self.tracer,
+            start_version=start_version,
         )
+        #: pre-built snapshot adopted by ``start()`` instead of a cold
+        #: build — how ``serve --store --workers N`` boots from a durable
+        #: attach.  Not re-persisted (it came from the store).
+        self._initial_snapshot = initial_snapshot
+        #: callable(snapshot) persisting each freshly built version
+        #: (e.g. ``FrameStore.persist``); failures are counted, not fatal
+        self.persist_hook = persist_hook
+        self.persists = 0
+        self.persist_failures = 0
+        self.last_persist_error: str | None = None
         self._staging = graph
         self._oracle: Snapshot | None = None
         self._ctx = multiprocessing.get_context(self.pool_config.start_method)
@@ -173,7 +187,11 @@ class ServicePool:
             return [self._segment_names[v] for v in sorted(self._segments)]
 
     def start(self) -> "ServicePool":
-        snapshot = self._builder.build(self._staging)
+        if self._initial_snapshot is not None:
+            snapshot = self._initial_snapshot
+        else:
+            snapshot = self._builder.build(self._staging)
+            self._persist(snapshot)
         self._adopt_version(snapshot)
         self._reserve_port()
         for worker_id in range(self.requested_workers):
@@ -199,6 +217,17 @@ class ServicePool:
                     f"within {self.pool_config.start_timeout_s}s"
                 )
             time.sleep(0.01)
+
+    def _persist(self, snapshot: Snapshot) -> None:
+        if self.persist_hook is None:
+            return
+        try:
+            self.persist_hook(snapshot)
+            self.persists += 1
+        except Exception as exc:
+            self.persist_failures += 1
+            self.last_persist_error = repr(exc)
+            logger.exception("durable persist of version %s failed", snapshot.version)
 
     def _adopt_version(self, snapshot: Snapshot) -> None:
         segment = shm_codec.encode_snapshot(snapshot)
@@ -312,6 +341,7 @@ class ServicePool:
             snapshot = self._builder.build(candidate, new_edges=new_edges, delta=batch)
             self._staging = candidate
             self._adopt_version(snapshot)
+            self._persist(snapshot)
             published = self._await_fleet(snapshot.version)
             return {
                 "status": "published",

@@ -1,0 +1,52 @@
+"""Durable columnar storage for graphs and snapshots.
+
+The subsystem splits dual-layer, mirroring the in-memory design: numeric
+columns live as per-version ``.npy`` files attached read-only via mmap
+(:mod:`~repro.storage.npyio`, :mod:`~repro.storage.store`), while the
+object side — node/edge properties, value interning, version metadata
+and the atomic-publish manifest — lives in a SQLite catalog
+(:mod:`~repro.storage.catalog`).  :mod:`~repro.storage.layout` is the
+buffer-layout contract shared with the shared-memory codec
+(``repro.service.shm``) so the two serialisation paths cannot drift, and
+:mod:`~repro.storage.stream` adds out-of-core graph construction plus
+point queries over stores bigger than RAM.
+
+``store``/``stream`` symbols are re-exported lazily: they import
+``repro.service`` (which itself imports :mod:`~repro.storage.layout`),
+and the deferral keeps either import order acyclic.
+"""
+
+from . import catalog, layout, npyio  # noqa: F401
+from .layout import ROW_DTYPES, decode_rows, encode_rows  # noqa: F401
+
+_LAZY = {
+    "FrameStore": "store",
+    "StoreError": "store",
+    "StoredSnapshot": "store",
+    "InjectedCrash": "store",
+    "GRAPH_CLASSES": "store",
+    "SNAPSHOT_COLUMNS": "store",
+    "StreamingGraphWriter": "stream",
+    "OutOfCoreGraph": "stream",
+    "GRAPH_COLUMNS": "stream",
+    "generate_company_graph_stream": "stream",
+}
+
+__all__ = [
+    "ROW_DTYPES",
+    "decode_rows",
+    "encode_rows",
+    "catalog",
+    "layout",
+    "npyio",
+    *_LAZY,
+]
+
+
+def __getattr__(name: str):
+    module = _LAZY.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(f".{module}", __name__), name)

@@ -1,0 +1,266 @@
+"""The SQLite catalog behind the durable frame store.
+
+One ``catalog.db`` per store holds everything that is not a numeric
+column: version metadata (state machine, lineage, checksum manifest) and
+the full node/edge property model, value-interned so a property value is
+stored once no matter how many rows carry it.
+
+Schema overview (all tables keyed by ``version`` where versioned):
+
+``store_meta``
+    key/value pairs for the store itself — format version, creation time.
+``versions``
+    one row per persisted version.  ``state`` is the publish state
+    machine: rows are born ``staging``, flip to ``published`` in a single
+    ``UPDATE`` (the atomic-publish instant), and can be demoted to
+    ``corrupt`` by the self-heal path when an attach fails verification.
+    ``kind`` distinguishes full service snapshots from bare streamed
+    graphs.
+``columns``
+    the per-version manifest: one row per npy column file with dtype,
+    length, byte size, and data CRC-32.  Attach refuses any column whose
+    on-disk bytes disagree with this manifest.
+``vals``
+    the value-intern table.  Every node id, label, property name, and
+    property value is one row, referenced by integer id from the graph
+    tables.  ``kind`` is a one-byte type tag (see :func:`encode_value`);
+    ``value`` is the encoded BLOB.  For strings the BLOB is UTF-8, whose
+    bytewise order equals Python ``str`` order — the streaming writer's
+    disk-backed sort relies on that.
+``nodes`` / ``node_props`` / ``edges`` / ``edge_props``
+    the property-graph model in insertion order (``pos``), with
+    ``intern`` carrying the frame's intern code per node and ``layer``
+    separating base-graph edges (0) from snapshot-derived augmented
+    edges (1).
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import sqlite3
+from typing import Any, Iterable
+
+#: Bump on incompatible schema changes; open rejects mismatches.
+CATALOG_FORMAT = 1
+
+SCHEMA = """
+CREATE TABLE IF NOT EXISTS store_meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS versions (
+    version       INTEGER PRIMARY KEY,
+    state         TEXT NOT NULL CHECK (state IN ('staging', 'published', 'corrupt')),
+    kind          TEXT NOT NULL CHECK (kind IN ('snapshot', 'graph')),
+    parent        INTEGER,
+    generation    INTEGER,
+    created_at    REAL NOT NULL,
+    published_at  REAL,
+    built_s       REAL,
+    nodes         INTEGER,
+    edges         INTEGER,
+    graph_class   TEXT,
+    next_edge_id  INTEGER,
+    aug_next_edge_id INTEGER,
+    meta          BLOB
+);
+CREATE TABLE IF NOT EXISTS columns (
+    version INTEGER NOT NULL,
+    name    TEXT NOT NULL,
+    dtype   TEXT NOT NULL,
+    length  INTEGER NOT NULL,
+    nbytes  INTEGER NOT NULL,
+    crc32   INTEGER NOT NULL,
+    PRIMARY KEY (version, name)
+);
+CREATE TABLE IF NOT EXISTS vals (
+    id    INTEGER PRIMARY KEY,
+    kind  TEXT NOT NULL,
+    value BLOB NOT NULL,
+    UNIQUE (kind, value)
+);
+CREATE TABLE IF NOT EXISTS nodes (
+    version   INTEGER NOT NULL,
+    pos       INTEGER NOT NULL,
+    id_ref    INTEGER NOT NULL,
+    label_ref INTEGER,
+    intern    INTEGER,
+    PRIMARY KEY (version, pos)
+);
+CREATE INDEX IF NOT EXISTS nodes_by_id ON nodes (version, id_ref);
+CREATE INDEX IF NOT EXISTS nodes_by_intern ON nodes (version, intern);
+CREATE TABLE IF NOT EXISTS node_props (
+    version   INTEGER NOT NULL,
+    pos       INTEGER NOT NULL,
+    ordinal   INTEGER NOT NULL,
+    name_ref  INTEGER NOT NULL,
+    value_ref INTEGER NOT NULL,
+    PRIMARY KEY (version, pos, ordinal)
+);
+CREATE TABLE IF NOT EXISTS edges (
+    version     INTEGER NOT NULL,
+    layer       INTEGER NOT NULL,
+    pos         INTEGER NOT NULL,
+    edge_id_ref INTEGER NOT NULL,
+    src_pos     INTEGER NOT NULL,
+    dst_pos     INTEGER NOT NULL,
+    label_ref   INTEGER,
+    PRIMARY KEY (version, layer, pos)
+);
+CREATE TABLE IF NOT EXISTS edge_props (
+    version   INTEGER NOT NULL,
+    layer     INTEGER NOT NULL,
+    pos       INTEGER NOT NULL,
+    ordinal   INTEGER NOT NULL,
+    name_ref  INTEGER NOT NULL,
+    value_ref INTEGER NOT NULL,
+    PRIMARY KEY (version, layer, pos, ordinal)
+);
+"""
+
+#: Tables carrying per-version rows, in a purge-safe order.
+VERSIONED_TABLES = (
+    "edge_props",
+    "edges",
+    "node_props",
+    "nodes",
+    "columns",
+    "versions",
+)
+
+
+def connect(path: str) -> sqlite3.Connection:
+    # isolation_level=None puts the driver in autocommit so transaction
+    # boundaries are exactly the explicit BEGIN/COMMIT the store issues —
+    # the publish-flip atomicity depends on owning those boundaries.
+    conn = sqlite3.connect(path, isolation_level=None)
+    conn.execute("PRAGMA journal_mode=WAL")
+    conn.execute("PRAGMA synchronous=FULL")
+    conn.execute("PRAGMA foreign_keys=ON")
+    return conn
+
+
+def init_schema(conn: sqlite3.Connection) -> None:
+    conn.executescript(SCHEMA)
+    conn.execute(
+        "INSERT OR IGNORE INTO store_meta (key, value) VALUES ('format', ?)",
+        (str(CATALOG_FORMAT),),
+    )
+    conn.commit()
+
+
+def check_format(conn: sqlite3.Connection) -> None:
+    row = conn.execute(
+        "SELECT value FROM store_meta WHERE key = 'format'"
+    ).fetchone()
+    if row is None:
+        raise ValueError("catalog carries no format marker")
+    if int(row[0]) != CATALOG_FORMAT:
+        raise ValueError(
+            f"catalog format {row[0]} unsupported (this build reads {CATALOG_FORMAT})"
+        )
+
+
+# -- value codec ------------------------------------------------------
+#
+# One-byte kind tag + BLOB, chosen so the common cases (strings, ints,
+# floats) are human-readable in the sqlite shell and strings sort
+# bytewise in Python str order.  bool is checked before int (bool is an
+# int subclass); json containers must survive an exact round-trip or
+# they fall back to pickle (tuples, non-string dict keys).
+
+
+def encode_value(value: Any) -> tuple[str, bytes]:
+    if value is None:
+        return "n", b""
+    if isinstance(value, bool):
+        return "b", b"1" if value else b"0"
+    if isinstance(value, int):
+        return "i", str(value).encode("ascii")
+    if isinstance(value, float):
+        return "f", repr(value).encode("ascii")
+    if isinstance(value, str):
+        return "s", value.encode("utf-8")
+    if isinstance(value, (list, dict)):
+        try:
+            payload = json.dumps(value, separators=(",", ":"))
+            if json.loads(payload) == value:
+                return "j", payload.encode("utf-8")
+        except (TypeError, ValueError):
+            pass
+    return "p", pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def decode_value(kind: str, blob: bytes) -> Any:
+    if kind == "n":
+        return None
+    if kind == "b":
+        return blob == b"1"
+    if kind == "i":
+        return int(blob)
+    if kind == "f":
+        return float(blob)
+    if kind == "s":
+        return blob.decode("utf-8")
+    if kind == "j":
+        return json.loads(blob)
+    if kind == "p":
+        return pickle.loads(blob)
+    raise ValueError(f"unknown value kind {kind!r}")
+
+
+class ValueInterner:
+    """Write-side intern cache over the ``vals`` table.
+
+    The cache is bounded: mostly-unique value streams (every node id,
+    every birth date) would otherwise grow it linearly with graph size,
+    which is exactly what the out-of-core writer must not do.  On
+    overflow it is simply cleared — the table stays authoritative.
+    """
+
+    def __init__(self, conn: sqlite3.Connection, cache_limit: int = 1 << 17) -> None:
+        self._conn = conn
+        self._cache: dict[tuple[str, bytes], int] = {}
+        self._cache_limit = cache_limit
+
+    def ref(self, value: Any) -> int:
+        key = encode_value(value)
+        ref = self._cache.get(key)
+        if ref is None:
+            kind, blob = key
+            self._conn.execute(
+                "INSERT OR IGNORE INTO vals (kind, value) VALUES (?, ?)", (kind, blob)
+            )
+            ref = self._conn.execute(
+                "SELECT id FROM vals WHERE kind = ? AND value = ?", (kind, blob)
+            ).fetchone()[0]
+            if len(self._cache) >= self._cache_limit:
+                self._cache.clear()
+            self._cache[key] = ref
+        return ref
+
+
+class ValueLoader:
+    """Read-side decode cache; prefetch in batches to cut round trips."""
+
+    def __init__(self, conn: sqlite3.Connection) -> None:
+        self._conn = conn
+        self._cache: dict[int, Any] = {}
+
+    def prefetch(self, refs: Iterable[int]) -> None:
+        missing = [r for r in set(refs) if r is not None and r not in self._cache]
+        for start in range(0, len(missing), 500):
+            chunk = missing[start : start + 500]
+            marks = ",".join("?" * len(chunk))
+            for ref, kind, blob in self._conn.execute(
+                f"SELECT id, kind, value FROM vals WHERE id IN ({marks})", chunk
+            ):
+                self._cache[ref] = decode_value(kind, blob)
+
+    def get(self, ref: int | None) -> Any:
+        if ref is None:
+            return None
+        if ref not in self._cache:
+            self.prefetch([ref])
+        return self._cache[ref]

@@ -1,0 +1,635 @@
+"""The durable frame store: versioned on-disk snapshots, mmap attach.
+
+A store is one directory::
+
+    store/
+      catalog.db            # SQLite catalog (see repro.storage.catalog)
+      versions/
+        v00000001/          # one directory per persisted version
+          edge_src.npy      # every GraphFrame buffer (EXPORT_DTYPES)...
+          ...
+          control_x.npy     # ...plus the snapshot row state (ROW_DTYPES)
+
+:meth:`FrameStore.persist` writes a complete snapshot — numeric columns
+as npy files, the graph object model and value-interned properties into
+the catalog — using the same publish discipline as the in-memory
+:class:`~repro.service.snapshot.SnapshotManager` swap:
+
+1. **claim** — a ``versions`` row is inserted in state ``staging``
+   (its own transaction, so a concurrent persist of the same version
+   fails fast);
+2. **write** — column files land in a fresh version directory and are
+   fsynced (file and directory), then the manifest and graph rows are
+   inserted, all still ``staging``;
+3. **flip** — one ``UPDATE versions SET state='published'`` commits.
+   That single row flip *is* the publish: a crash anywhere before it
+   leaves a ``staging`` carcass that :meth:`open` purges on the next
+   boot, and a crash after it leaves a fully published version.
+
+:meth:`FrameStore.attach` is the inverse of
+``service.shm.attach_snapshot`` with the disk as the segment: columns
+come back as read-only ``np.load(..., mmap_mode="r")`` views — the
+kernel pages them in on demand, so attach cost is catalog metadata, not
+buffer size — and the graph object model is rebuilt from the catalog.
+Both paths share :mod:`repro.storage.layout`, so a snapshot persisted
+here decodes exactly like one served from shared memory.
+
+:meth:`FrameStore.attach_latest` self-heals: a published version that
+fails verification (truncated column, checksum mismatch) is demoted to
+``corrupt`` in the catalog and the next older published version is
+tried, so one bad version never bricks a store.
+"""
+
+from __future__ import annotations
+
+import pickle
+import shutil
+import sqlite3
+import threading
+import time
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from ..graph.columnar import EXPORT_DTYPES, GraphFrame
+from ..graph.company_graph import CompanyGraph
+from ..graph.property_graph import PropertyGraph
+from ..graph.store import GraphStore
+from ..service.snapshot import Snapshot
+from . import catalog as cat
+from .layout import ROW_DTYPES, decode_rows, encode_rows
+from .npyio import data_crc32, fsync_dir, write_column
+
+#: Graph classes a stored model may rebuild into.
+GRAPH_CLASSES: dict[str, type[PropertyGraph]] = {
+    "PropertyGraph": PropertyGraph,
+    "CompanyGraph": CompanyGraph,
+}
+
+#: Columns a snapshot version must carry, exactly.
+SNAPSHOT_COLUMNS = dict(EXPORT_DTYPES) | dict(ROW_DTYPES)
+
+
+class StoreError(RuntimeError):
+    """A store that is missing, corrupt, or asked for an unknown version."""
+
+
+class InjectedCrash(RuntimeError):
+    """Raised by the test-only crash hook; never caught by the store."""
+
+
+class StoredSnapshot(Snapshot):
+    """A snapshot whose frame buffers are read-only mmaps of store files.
+
+    Behaves exactly like a built :class:`Snapshot` (the per-row identity
+    tests assert it); additionally records where it came from.
+    """
+
+    store_path: Path
+    store_version: int
+
+
+class FrameStore:
+    """One durable store directory; every public method is self-contained.
+
+    Connections are opened per operation (SQLite WAL handles concurrent
+    readers); :meth:`persist` is additionally serialised in-process so a
+    service's updater thread and control plane cannot interleave claims.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.catalog_path = self.root / "catalog.db"
+        self.versions_root = self.root / "versions"
+        #: test-only fault injection: set to a stage name to raise
+        #: :class:`InjectedCrash` mid-persist (no cleanup runs — the
+        #: point is to leave exactly what a kill would leave).
+        self.crash_point: str | None = None
+        self._persist_lock = threading.Lock()
+
+    # -- lifecycle ------------------------------------------------------
+
+    @classmethod
+    def create(cls, root: str | Path) -> "FrameStore":
+        store = cls(root)
+        store.root.mkdir(parents=True, exist_ok=True)
+        store.versions_root.mkdir(exist_ok=True)
+        with store._connect(init=True) as conn:
+            cat.init_schema(conn)
+        fsync_dir(store.root)
+        return store
+
+    @classmethod
+    def open(cls, root: str | Path) -> "FrameStore":
+        store = cls(root)
+        if not store.root.is_dir() or not store.catalog_path.is_file():
+            raise StoreError(f"store not found: {store.root}")
+        with store._connect() as conn:
+            store._recover(conn)
+        return store
+
+    @classmethod
+    def open_or_create(cls, root: str | Path) -> "FrameStore":
+        store = cls(root)
+        if store.catalog_path.is_file():
+            return cls.open(root)
+        return cls.create(root)
+
+    def _connect(self, init: bool = False) -> sqlite3.Connection:
+        try:
+            conn = cat.connect(str(self.catalog_path))
+            if not init:
+                cat.check_format(conn)
+            return conn
+        except (sqlite3.DatabaseError, ValueError) as exc:
+            raise StoreError(f"corrupt store catalog: {exc}") from exc
+
+    def _recover(self, conn: sqlite3.Connection) -> None:
+        """Purge staging carcasses left by a crash mid-persist."""
+        staged = [
+            row[0]
+            for row in conn.execute(
+                "SELECT version FROM versions WHERE state = 'staging'"
+            )
+        ]
+        for version in staged:
+            for table in cat.VERSIONED_TABLES:
+                conn.execute(f"DELETE FROM {table} WHERE version = ?", (version,))
+        conn.commit()
+        known = {
+            row[0] for row in conn.execute("SELECT version FROM versions")
+        }
+        if self.versions_root.is_dir():
+            for entry in self.versions_root.iterdir():
+                name = entry.name
+                if not (name.startswith("v") and name[1:].isdigit()):
+                    continue
+                if int(name[1:]) not in known:
+                    shutil.rmtree(entry, ignore_errors=True)
+
+    def version_dir(self, version: int) -> Path:
+        return self.versions_root / f"v{version:08d}"
+
+    def _maybe_crash(self, stage: str) -> None:
+        if self.crash_point == stage:
+            raise InjectedCrash(stage)
+
+    # -- introspection --------------------------------------------------
+
+    def versions(self, kind: str | None = None) -> list[dict[str, Any]]:
+        """Catalog rows for every version, oldest first."""
+        query = (
+            "SELECT version, state, kind, parent, generation, created_at,"
+            " published_at, built_s, nodes, edges FROM versions"
+        )
+        params: tuple = ()
+        if kind is not None:
+            query += " WHERE kind = ?"
+            params = (kind,)
+        query += " ORDER BY version"
+        with self._connect() as conn:
+            rows = conn.execute(query, params).fetchall()
+        keys = (
+            "version", "state", "kind", "parent", "generation",
+            "created_at", "published_at", "built_s", "nodes", "edges",
+        )
+        return [dict(zip(keys, row)) for row in rows]
+
+    def published_versions(self, kind: str = "snapshot") -> list[int]:
+        with self._connect() as conn:
+            return [
+                row[0]
+                for row in conn.execute(
+                    "SELECT version FROM versions"
+                    " WHERE state = 'published' AND kind = ? ORDER BY version",
+                    (kind,),
+                )
+            ]
+
+    def latest_version(self, kind: str = "snapshot") -> int | None:
+        published = self.published_versions(kind)
+        return published[-1] if published else None
+
+    # -- persist --------------------------------------------------------
+
+    def persist(self, snapshot: Snapshot) -> int:
+        """Write ``snapshot`` as a durable version; returns its number."""
+        with self._persist_lock:
+            return self._persist(snapshot)
+
+    def _persist(self, snapshot: Snapshot) -> int:
+        frame = snapshot.frame
+        if not frame.is_current(snapshot.graph):  # out-of-band mutation: re-pin
+            frame = GraphFrame.of(snapshot.graph)
+        buffers = dict(frame.buffers())
+        row_buffers, classes = encode_rows(snapshot, frame)
+        buffers.update(row_buffers)
+
+        graph, augmented = snapshot.graph, snapshot.augmented
+        meta = pickle.dumps(
+            {
+                "config": snapshot.config,
+                "family_classes": classes,
+                "weight_property": frame.weight_property,
+                "created_at": snapshot.created_at,
+                "warm": snapshot.warm,
+                "incremental": snapshot.incremental,
+            },
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+
+        version = snapshot.version
+        conn = self._connect()
+        try:
+            # 1. claim: a staging row, committed on its own so concurrent
+            #    persists of the same version fail before any file I/O.
+            conn.execute("BEGIN IMMEDIATE")
+            existing = conn.execute(
+                "SELECT state FROM versions WHERE version = ?", (version,)
+            ).fetchone()
+            if existing is not None:
+                conn.rollback()
+                raise StoreError(
+                    f"version {version} already persisted (state={existing[0]})"
+                )
+            parent = conn.execute(
+                "SELECT MAX(version) FROM versions"
+                " WHERE state = 'published' AND kind = 'snapshot'"
+            ).fetchone()[0]
+            conn.execute(
+                "INSERT INTO versions (version, state, kind, parent, generation,"
+                " created_at, built_s, nodes, edges, graph_class, next_edge_id,"
+                " aug_next_edge_id, meta)"
+                " VALUES (?, 'staging', 'snapshot', ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    version,
+                    parent,
+                    graph.generation,
+                    time.time(),
+                    snapshot.built_s,
+                    frame.node_count,
+                    frame.edge_count,
+                    type(graph).__name__,
+                    graph._next_edge_id,
+                    augmented._next_edge_id,
+                    meta,
+                ),
+            )
+            conn.commit()
+
+            # 2. write: column files into a fresh version directory.
+            vdir = self.version_dir(version)
+            vdir.mkdir(parents=True, exist_ok=True)
+            self._maybe_crash("before_files")
+            manifest: list[tuple[int, str, str, int, int, int]] = []
+            for i, name in enumerate(SNAPSHOT_COLUMNS):
+                array = np.ascontiguousarray(buffers[name], dtype=SNAPSHOT_COLUMNS[name])
+                crc = write_column(vdir / f"{name}.npy", array)
+                manifest.append(
+                    (version, name, array.dtype.str, array.shape[0], array.nbytes, crc)
+                )
+                if i == 0:
+                    self._maybe_crash("mid_files")
+            self._maybe_crash("after_files")
+            fsync_dir(vdir)
+            fsync_dir(self.versions_root)
+
+            # 3. manifest + graph model + the atomic flip, one transaction.
+            conn.execute("BEGIN IMMEDIATE")
+            conn.executemany(
+                "INSERT INTO columns (version, name, dtype, length, nbytes, crc32)"
+                " VALUES (?, ?, ?, ?, ?, ?)",
+                manifest,
+            )
+            self._write_graph_model(conn, version, graph, augmented, frame)
+            self._maybe_crash("before_publish")
+            conn.execute(
+                "UPDATE versions SET state = 'published', published_at = ?"
+                " WHERE version = ?",
+                (time.time(), version),
+            )
+            conn.commit()
+        finally:
+            conn.close()
+        return version
+
+    def _write_graph_model(
+        self,
+        conn: sqlite3.Connection,
+        version: int,
+        graph: PropertyGraph,
+        augmented: PropertyGraph,
+        frame: GraphFrame,
+    ) -> None:
+        interner = cat.ValueInterner(conn)
+        index = frame.index
+        node_pos: dict[Any, int] = {}
+        node_rows = []
+        prop_rows = []
+        for pos, node in enumerate(graph.nodes()):
+            node_pos[node.id] = pos
+            label_ref = None if node.label is None else interner.ref(node.label)
+            node_rows.append(
+                (version, pos, interner.ref(node.id), label_ref, index[node.id])
+            )
+            for ordinal, (name, value) in enumerate(node.properties.items()):
+                prop_rows.append(
+                    (version, pos, ordinal, interner.ref(name), interner.ref(value))
+                )
+        conn.executemany(
+            "INSERT INTO nodes (version, pos, id_ref, label_ref, intern)"
+            " VALUES (?, ?, ?, ?, ?)",
+            node_rows,
+        )
+        conn.executemany(
+            "INSERT INTO node_props (version, pos, ordinal, name_ref, value_ref)"
+            " VALUES (?, ?, ?, ?, ?)",
+            prop_rows,
+        )
+
+        base_edge_ids = {edge.id for edge in graph.edges()}
+        layers = [
+            (0, list(graph.edges())),
+            (1, [e for e in augmented.edges() if e.id not in base_edge_ids]),
+        ]
+        edge_rows = []
+        edge_prop_rows = []
+        for layer, edges in layers:
+            for pos, edge in enumerate(edges):
+                label_ref = None if edge.label is None else interner.ref(edge.label)
+                edge_rows.append(
+                    (
+                        version,
+                        layer,
+                        pos,
+                        interner.ref(edge.id),
+                        node_pos[edge.source],
+                        node_pos[edge.target],
+                        label_ref,
+                    )
+                )
+                for ordinal, (name, value) in enumerate(edge.properties.items()):
+                    edge_prop_rows.append(
+                        (
+                            version,
+                            layer,
+                            pos,
+                            ordinal,
+                            interner.ref(name),
+                            interner.ref(value),
+                        )
+                    )
+        conn.executemany(
+            "INSERT INTO edges (version, layer, pos, edge_id_ref, src_pos, dst_pos,"
+            " label_ref) VALUES (?, ?, ?, ?, ?, ?, ?)",
+            edge_rows,
+        )
+        conn.executemany(
+            "INSERT INTO edge_props (version, layer, pos, ordinal, name_ref,"
+            " value_ref) VALUES (?, ?, ?, ?, ?, ?)",
+            edge_prop_rows,
+        )
+
+    # -- attach ---------------------------------------------------------
+
+    def attach(self, version: int | None = None, verify: bool = True) -> StoredSnapshot:
+        """Rehydrate a published snapshot version as a serving snapshot.
+
+        ``version=None`` attaches the newest published version.  With
+        ``verify`` every column file's data CRC-32 is checked against the
+        catalog manifest before it is mapped.
+        """
+        conn = self._connect()
+        try:
+            if version is None:
+                row = conn.execute(
+                    "SELECT MAX(version) FROM versions"
+                    " WHERE state = 'published' AND kind = 'snapshot'"
+                ).fetchone()
+                if row[0] is None:
+                    raise StoreError("store has no published snapshot versions")
+                version = row[0]
+            row = conn.execute(
+                "SELECT state, kind, graph_class, next_edge_id, aug_next_edge_id,"
+                " meta, built_s FROM versions WHERE version = ?",
+                (version,),
+            ).fetchone()
+            if row is None:
+                published = ", ".join(
+                    str(v)
+                    for (v,) in conn.execute(
+                        "SELECT version FROM versions WHERE state = 'published'"
+                        " AND kind = 'snapshot' ORDER BY version"
+                    )
+                ) or "none"
+                raise StoreError(
+                    f"version {version} not found in store (published: {published})"
+                )
+            state, kind, graph_class, next_edge_id, aug_next_edge_id, blob, built_s = row
+            if state != "published":
+                raise StoreError(f"version {version} is not published (state={state})")
+            if kind != "snapshot":
+                raise StoreError(
+                    f"version {version} is a bare graph, not a servable snapshot"
+                )
+            meta = pickle.loads(blob)
+            views = self._load_columns(conn, version, SNAPSHOT_COLUMNS, verify=verify)
+            graph, augmented = self._rebuild_graphs(
+                conn, version, graph_class, next_edge_id, aug_next_edge_id
+            )
+        finally:
+            conn.close()
+
+        frame = GraphFrame.attach(
+            graph,
+            {k: views[k] for k in EXPORT_DTYPES},
+            weight_property=meta["weight_property"],
+        )
+        frame.adopt_as_cache_of(graph)
+        control, close, family, ubo = decode_rows(
+            views, frame.nodes, meta["family_classes"]
+        )
+        config = meta["config"]
+        store = GraphStore(augmented)
+        for prop in config.index_properties:
+            store.ensure_index(prop)
+        snapshot = StoredSnapshot(
+            version=version,
+            graph=graph,
+            augmented=augmented,
+            store=store,
+            config=config,
+            control=control,
+            close_links=close,
+            family_links=family,
+            ubo=ubo,
+            built_s=built_s,
+            warm=meta["warm"],
+            frame=frame,
+            incremental=meta["incremental"],
+        )
+        snapshot.created_at = meta["created_at"]
+        snapshot.store_path = self.root
+        snapshot.store_version = version
+        return snapshot
+
+    def attach_latest(self, verify: bool = True) -> StoredSnapshot:
+        """Attach the newest version that survives verification.
+
+        A candidate that fails (truncated file, checksum mismatch, bad
+        metadata) is demoted to ``corrupt`` in the catalog and the next
+        older published version is tried — the self-heal path after a
+        torn write that somehow made it past publish.
+        """
+        candidates = self.published_versions("snapshot")
+        last_error: StoreError | None = None
+        for version in reversed(candidates):
+            try:
+                return self.attach(version, verify=verify)
+            except StoreError as exc:
+                last_error = exc
+                with self._connect() as conn:
+                    conn.execute(
+                        "UPDATE versions SET state = 'corrupt' WHERE version = ?",
+                        (version,),
+                    )
+                    conn.commit()
+        if last_error is not None:
+            raise StoreError(
+                f"no attachable version (all candidates corrupt; last: {last_error})"
+            )
+        raise StoreError("store has no published snapshot versions")
+
+    def _load_columns(
+        self,
+        conn: sqlite3.Connection,
+        version: int,
+        expected: dict[str, np.dtype],
+        verify: bool,
+    ) -> dict[str, np.ndarray]:
+        manifest = {
+            name: (dtype, length, nbytes, crc)
+            for name, dtype, length, nbytes, crc in conn.execute(
+                "SELECT name, dtype, length, nbytes, crc32 FROM columns"
+                " WHERE version = ?",
+                (version,),
+            )
+        }
+        missing = set(expected) - set(manifest)
+        if missing:
+            raise StoreError(
+                f"version {version} manifest is incomplete (missing {sorted(missing)})"
+            )
+        vdir = self.version_dir(version)
+        views: dict[str, np.ndarray] = {}
+        for name, (dtype_str, length, nbytes, crc) in manifest.items():
+            path = vdir / f"{name}.npy"
+            if not path.is_file():
+                raise StoreError(f"version {version} column file missing: {path.name}")
+            if verify:
+                try:
+                    actual = data_crc32(path)
+                except (OSError, ValueError) as exc:
+                    raise StoreError(
+                        f"version {version} column {name} unreadable: {exc}"
+                    ) from exc
+                if actual != crc:
+                    raise StoreError(
+                        f"checksum mismatch in version {version} column {name}"
+                    )
+            try:
+                if length == 0:
+                    view = np.empty(0, dtype=np.dtype(dtype_str))
+                else:
+                    view = np.load(path, mmap_mode="r")
+            except (OSError, ValueError) as exc:
+                raise StoreError(
+                    f"version {version} column {name} unreadable: {exc}"
+                ) from exc
+            if view.dtype.str != dtype_str or view.shape != (length,):
+                raise StoreError(
+                    f"version {version} column {name} does not match its manifest"
+                    f" (file {view.dtype.str}{view.shape},"
+                    f" manifest {dtype_str}({length},))"
+                )
+            view.flags.writeable = False
+            views[name] = view
+        return views
+
+    def _rebuild_graphs(
+        self,
+        conn: sqlite3.Connection,
+        version: int,
+        graph_class: str,
+        next_edge_id: int,
+        aug_next_edge_id: int,
+    ) -> tuple[PropertyGraph, PropertyGraph]:
+        cls = GRAPH_CLASSES.get(graph_class)
+        if cls is None:
+            raise StoreError(f"version {version} uses unknown graph class {graph_class}")
+        loader = cat.ValueLoader(conn)
+
+        node_rows = conn.execute(
+            "SELECT pos, id_ref, label_ref FROM nodes WHERE version = ? ORDER BY pos",
+            (version,),
+        ).fetchall()
+        loader.prefetch(r for row in node_rows for r in row[1:] if r is not None)
+        graph = cls()
+        ids_by_pos: list[Any] = []
+        for _pos, id_ref, label_ref in node_rows:
+            node = graph.add_node(loader.get(id_ref), loader.get(label_ref))
+            ids_by_pos.append(node.id)
+        prop_rows = conn.execute(
+            "SELECT pos, name_ref, value_ref FROM node_props WHERE version = ?"
+            " ORDER BY pos, ordinal",
+            (version,),
+        ).fetchall()
+        loader.prefetch(r for row in prop_rows for r in row[1:])
+        for pos, name_ref, value_ref in prop_rows:
+            graph.node(ids_by_pos[pos]).properties[loader.get(name_ref)] = loader.get(
+                value_ref
+            )
+
+        edge_rows = conn.execute(
+            "SELECT layer, pos, edge_id_ref, src_pos, dst_pos, label_ref FROM edges"
+            " WHERE version = ? ORDER BY layer, pos",
+            (version,),
+        ).fetchall()
+        loader.prefetch(
+            r
+            for row in edge_rows
+            for r in (row[2], row[5])
+            if r is not None
+        )
+        eprop_rows = conn.execute(
+            "SELECT layer, pos, name_ref, value_ref FROM edge_props WHERE version = ?"
+            " ORDER BY layer, pos, ordinal",
+            (version,),
+        ).fetchall()
+        loader.prefetch(r for row in eprop_rows for r in row[2:])
+        eprops: dict[tuple[int, int], list[tuple[str, Any]]] = {}
+        for layer, pos, name_ref, value_ref in eprop_rows:
+            eprops.setdefault((layer, pos), []).append(
+                (loader.get(name_ref), loader.get(value_ref))
+            )
+
+        def add_layer(target: PropertyGraph, layer: int) -> None:
+            for row_layer, pos, edge_id_ref, src_pos, dst_pos, label_ref in edge_rows:
+                if row_layer != layer:
+                    continue
+                edge = target.add_edge(
+                    ids_by_pos[src_pos],
+                    ids_by_pos[dst_pos],
+                    loader.get(label_ref),
+                    edge_id=loader.get(edge_id_ref),
+                )
+                for name, value in eprops.get((layer, pos), ()):
+                    edge.properties[name] = value
+
+        add_layer(graph, 0)
+        graph._next_edge_id = next_edge_id
+        augmented = graph.copy()
+        add_layer(augmented, 1)
+        augmented._next_edge_id = aug_next_edge_id
+        return graph, augmented

@@ -243,3 +243,85 @@ class TestProfileFlags:
         assert main(["control", str(extract)]) == 0
         err = capsys.readouterr().err
         assert "control.procedural" not in err
+
+
+class TestServeStoreValidation:
+    """``serve --store`` misuse -> exit 2 with one ``error:`` line."""
+
+    def assert_one_line_error(self, capsys, fragment):
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert fragment in err
+        assert "Traceback" not in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_version_without_store(self, capsys):
+        assert main(["serve", "--version", "3"]) == 2
+        self.assert_one_line_error(capsys, "--version requires --store")
+
+    def test_version_with_extract_directory(self, extract, tmp_path, capsys):
+        assert main([
+            "serve", str(extract), "--store", str(tmp_path / "s"), "--version", "1",
+        ]) == 2
+        self.assert_one_line_error(capsys, "drop the extract directory")
+
+    def test_neither_directory_nor_store(self, capsys):
+        assert main(["serve"]) == 2
+        self.assert_one_line_error(capsys, "extract directory or --store")
+
+    def test_store_directory_missing(self, tmp_path, capsys):
+        assert main(["serve", "--store", str(tmp_path / "nowhere")]) == 2
+        self.assert_one_line_error(capsys, "store not found")
+
+    def test_corrupt_catalog(self, tmp_path, capsys):
+        root = tmp_path / "bad"
+        root.mkdir()
+        (root / "catalog.db").write_text("definitely not a database")
+        assert main(["serve", "--store", str(root)]) == 2
+        self.assert_one_line_error(capsys, "corrupt store catalog")
+
+    def test_version_not_found(self, extract, tmp_path, capsys):
+        store_dir = tmp_path / "store"
+        from repro.datagen.company_generator import CompanySpec, generate_company_graph
+        from repro.service import SnapshotBuilder, SnapshotConfig
+        from repro.storage import FrameStore
+
+        graph, _ = generate_company_graph(CompanySpec(persons=20, companies=15, seed=1))
+        snapshot = SnapshotBuilder(SnapshotConfig(augment=False)).build(graph)
+        FrameStore.create(store_dir).persist(snapshot)
+        assert main(["serve", "--store", str(store_dir), "--version", "42"]) == 2
+        self.assert_one_line_error(capsys, "not found in store")
+
+    def test_empty_store_has_nothing_to_attach(self, tmp_path, capsys):
+        from repro.storage import FrameStore
+
+        root = tmp_path / "empty"
+        FrameStore.create(root)
+        assert main(["serve", "--store", str(root)]) == 2
+        self.assert_one_line_error(capsys, "no published snapshot versions")
+
+
+class TestGenerateStore:
+    def test_generate_streams_into_store(self, tmp_path, capsys):
+        truth_dir = tmp_path / "truth"
+        store_dir = tmp_path / "store"
+        assert main([
+            "generate", str(truth_dir),
+            "--persons", "30", "--companies", "20", "--seed", "6",
+            "--store", str(store_dir),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "streamed" in out and "graph version 1" in out
+        assert (truth_dir / "ground_truth.json").exists()
+        assert not (truth_dir / "companies.csv").exists()  # no CSV in stream mode
+
+        from repro.storage import FrameStore, OutOfCoreGraph
+
+        store = FrameStore.open(store_dir)
+        (info,) = store.versions(kind="graph")
+        assert info["state"] == "published"
+        ooc = OutOfCoreGraph(store, info["version"])
+        try:
+            assert ooc.node_count == info["nodes"] > 0
+        finally:
+            ooc.close()

@@ -74,3 +74,76 @@ class TestJson:
         back = load_json(path)
         assert back.node_count == 10
         assert back.share("P1", "C") == pytest.approx(0.8)
+
+
+class TestStreamingLoaders:
+    def test_iter_graph_json_streams_elements(self, tmp_path):
+        from repro.graph.io import iter_graph_json
+
+        graph = figure1_graph()
+        path = tmp_path / "fig1.json"
+        save_json(graph, path)
+        # a 7-byte chunk forces refills inside keys, strings, and numbers
+        elems = list(iter_graph_json(path, chunk_size=7))
+        assert [k for k, _ in elems].count("nodes") == graph.node_count
+        assert [k for k, _ in elems].count("edges") == graph.edge_count
+
+    def test_streamed_load_matches_in_memory(self, tmp_path):
+        import json as jsonlib
+
+        graph = figure1_graph()
+        path = tmp_path / "fig1.json"
+        save_json(graph, path)
+        streamed = load_json(path)
+        in_memory = from_json(jsonlib.loads(path.read_text()))
+
+        def model(g):
+            return (
+                [(n.id, n.label, n.properties) for n in g.nodes()],
+                [(e.id, e.source, e.target, e.label, e.properties) for e in g.edges()],
+            )
+
+        assert model(streamed) == model(in_memory)
+
+    def test_extra_top_level_keys_skipped(self, tmp_path):
+        import json as jsonlib
+
+        path = tmp_path / "extra.json"
+        path.write_text(jsonlib.dumps({
+            "meta": {"exported": "today", "count": 1},
+            "nodes": [{"id": "P1", "label": "P"}],
+            "edges": [],
+        }))
+        back = load_json(path)
+        assert back.node_count == 1
+        assert back.edge_count == 0
+
+    def test_truncated_json_raises(self, tmp_path):
+        path = tmp_path / "trunc.json"
+        path.write_text('{"nodes": [{"id": "P1"')
+        with pytest.raises(ValueError):
+            load_json(path)
+
+    def test_csv_sink_streams_rows(self, tmp_path, graph):
+        from repro.graph.io import load_company_csv_into
+
+        write_company_csv(graph, tmp_path)
+
+        class Recorder:
+            def __init__(self):
+                self.calls = []
+
+            def add_company(self, company_id, **props):
+                self.calls.append(("company", company_id))
+
+            def add_person(self, person_id, **props):
+                self.calls.append(("person", person_id))
+
+            def add_shareholding(self, owner, company, share, **props):
+                self.calls.append(("share", owner, company, share))
+
+        sink = load_company_csv_into(tmp_path, Recorder())
+        kinds = [c[0] for c in sink.calls]
+        assert kinds.count("company") == sum(1 for _ in graph.companies())
+        assert kinds.count("person") == sum(1 for _ in graph.persons())
+        assert kinds.count("share") == sum(1 for _ in graph.shareholdings())

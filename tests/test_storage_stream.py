@@ -1,0 +1,189 @@
+"""Streaming generation into the store: column parity with the
+in-memory frame, out-of-core point queries, and loader sinks."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.company_generator import CompanySpec, generate_company_graph
+from repro.graph.columnar import GraphFrame
+from repro.graph.company_graph import SHAREHOLDING
+from repro.graph.io import load_company_csv_into, write_company_csv
+from repro.storage import (
+    FrameStore,
+    GRAPH_COLUMNS,
+    OutOfCoreGraph,
+    StoreError,
+    StreamingGraphWriter,
+    generate_company_graph_stream,
+)
+
+SPEC = CompanySpec(persons=70, companies=50, seed=13, add_family_nodes=True)
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    """The same spec generated fully in memory."""
+    return generate_company_graph(SPEC)
+
+
+@pytest.fixture(scope="module")
+def streamed(tmp_path_factory, oracle):
+    root = tmp_path_factory.mktemp("stream") / "store"
+    store = FrameStore.create(root)
+    # tiny chunks so every chunk-boundary path is exercised
+    writer = StreamingGraphWriter(store, chunk_rows=64, pos_cache_limit=32)
+    from repro.datagen.company_generator import generate_company_graph_into
+
+    truth = generate_company_graph_into(writer, SPEC)
+    version = writer.finalize()
+    return store, version, truth
+
+
+class TestStreamingParity:
+    def test_ground_truth_rng_identical(self, oracle, streamed):
+        _, _, truth = streamed
+        _, expected = oracle
+        assert truth.links == expected.links
+        assert truth.families == expected.families
+
+    def test_catalog_counts(self, oracle, streamed):
+        graph, _ = oracle
+        store, version, _ = streamed
+        (info,) = [v for v in store.versions(kind="graph") if v["version"] == version]
+        assert info["state"] == "published"
+        assert info["nodes"] == graph.node_count
+        assert info["edges"] == graph.edge_count
+
+    def test_columns_byte_identical_to_frame(self, oracle, streamed):
+        graph, _ = oracle
+        store, version, _ = streamed
+        frame = GraphFrame.of(graph)
+        buffers = dict(frame.buffers())
+        vdir = store.version_dir(version)
+        for name in ("edge_src", "edge_dst", "csr_indptr", "csr_targets",
+                     "csr_positions", "csc_indptr", "csc_sources", "csc_positions"):
+            stored = np.load(vdir / f"{name}.npy", mmap_mode="r")
+            assert np.array_equal(stored, buffers[name]), name
+
+    def test_manifest_covers_graph_columns(self, streamed):
+        store, version, _ = streamed
+        vdir = store.version_dir(version)
+        for name in dict(GRAPH_COLUMNS):
+            assert (vdir / f"{name}.npy").exists(), name
+
+
+class TestOutOfCoreGraph:
+    def test_point_queries_match_in_memory(self, oracle, streamed):
+        graph, _ = oracle
+        store, version, _ = streamed
+        ooc = OutOfCoreGraph(store, version)
+        try:
+            assert ooc.node_count == graph.node_count
+            assert ooc.edge_count == graph.edge_count
+            for node in list(graph.nodes())[:40]:
+                info = ooc.node(node.id)
+                assert info["label"] == node.label
+                assert info["properties"] == node.properties
+                succ = sorted(
+                    (t, lbl, None if w is None else round(w, 12))
+                    for t, lbl, w in ooc.successors(node.id)
+                )
+                expected = sorted(
+                    (e.target, e.label,
+                     None if e.get("w") is None else round(e.get("w"), 12))
+                    for e in graph.out_edges(node.id)
+                )
+                assert succ == expected, node.id
+        finally:
+            ooc.close()
+
+    def test_share_sums_shareholdings(self, oracle, streamed):
+        graph, _ = oracle
+        store, version, _ = streamed
+        ooc = OutOfCoreGraph(store, version)
+        try:
+            edge = next(e for e in graph.edges() if e.label == SHAREHOLDING)
+            expected = sum(
+                e.get("w") for e in graph.out_edges(edge.source, SHAREHOLDING)
+                if e.target == edge.target
+            )
+            assert ooc.share(edge.source, edge.target) == pytest.approx(expected)
+            assert ooc.share(edge.target, edge.source) == 0.0
+        finally:
+            ooc.close()
+
+    def test_missing_node_raises(self, streamed):
+        from repro.graph.property_graph import GraphError
+
+        store, version, _ = streamed
+        ooc = OutOfCoreGraph(store, version)
+        try:
+            with pytest.raises(GraphError):
+                ooc.node("NO_SUCH_NODE")
+        finally:
+            ooc.close()
+
+
+class TestWriterValidation:
+    def test_non_string_id_rejected(self, tmp_path):
+        store = FrameStore.create(tmp_path / "store")
+        writer = StreamingGraphWriter(store)
+        with pytest.raises(StoreError, match="string node ids"):
+            writer.add_node(42)
+        writer.abort()
+
+    def test_bad_share_rejected(self, tmp_path):
+        from repro.graph.property_graph import GraphError
+
+        store = FrameStore.create(tmp_path / "store")
+        writer = StreamingGraphWriter(store)
+        writer.add_person("P1")
+        writer.add_company("C1")
+        with pytest.raises(GraphError):  # same contract as CompanyGraph
+            writer.add_shareholding("P1", "C1", 1.5)
+        writer.abort()
+
+    def test_abort_leaves_no_trace(self, tmp_path):
+        store = FrameStore.create(tmp_path / "store")
+        writer = StreamingGraphWriter(store)
+        writer.add_person("P1")
+        version = writer.version
+        writer.abort()
+        assert store.versions() == []
+        assert not store.version_dir(version).exists()
+
+
+class TestCsvSink:
+    def test_csv_streams_into_writer(self, tmp_path, oracle):
+        graph, _ = oracle
+        extract = tmp_path / "extract"
+        write_company_csv(graph, extract)
+        store = FrameStore.create(tmp_path / "store")
+        writer = StreamingGraphWriter(store, chunk_rows=32)
+        load_company_csv_into(extract, writer)
+        version = writer.finalize()
+        # the CSV layout only carries companies/persons/shareholdings, so
+        # the stream must match the in-memory CSV round-trip exactly
+        from repro.graph.io import read_company_csv
+
+        expected = read_company_csv(extract)
+        ooc = OutOfCoreGraph(store, version)
+        try:
+            assert ooc.node_count == expected.node_count
+            assert ooc.edge_count == expected.edge_count
+            edge = next(e for e in expected.edges() if e.label == SHAREHOLDING)
+            assert ooc.share(edge.source, edge.target) == pytest.approx(
+                sum(e.get("w") for e in expected.out_edges(edge.source, SHAREHOLDING)
+                    if e.target == edge.target)
+            )
+        finally:
+            ooc.close()
+
+
+class TestStreamedGenerateHelper:
+    def test_helper_matches_in_memory(self, tmp_path, oracle):
+        _, expected = oracle
+        store = FrameStore.create(tmp_path / "store")
+        version, truth = generate_company_graph_stream(SPEC, store)
+        assert truth.links == expected.links
+        assert store.versions(kind="graph")[0]["version"] == version
