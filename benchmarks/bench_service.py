@@ -13,6 +13,11 @@ HTTP/1.1 clients on an asyncio loop) and reports three sections:
   ``/control`` throughout the re-augmentation: reader p99 during the
   rebuild, the snapshot-swap pause, and the versions readers observed
   (only the old one, then only the new one — never a half state);
+* **multitenant** — N tenants behind one registry service (routed via
+  ``/t/{tenant}/...``) vs N independent single-tenant servers on the
+  same workload: req/s for both deployments, every sampled response
+  byte-compared between the two, and a mutation cycle on one tenant
+  asserted to leave every other tenant's payloads untouched;
 * **multiproc** — the same mixed read workload against a
   ``ServicePool`` (SO_REUSEPORT workers on shared-memory snapshots):
   N-worker req/s vs a 1-worker pool baseline on the same graph,
@@ -53,6 +58,8 @@ COLD_QUERIES = {"smoke": 15, "full": 40}
 HOT_QUERIES = {"smoke": 150, "full": 400}
 #: serving processes of the multiproc section
 POOL_WORKERS = {"smoke": 2, "full": 4}
+#: tenants of the multitenant section (one registry service vs N solos)
+MT_TENANTS = {"smoke": 2, "full": 3}
 #: multiproc acceptance floor: N-worker req/s vs the 1-worker baseline
 POOL_SPEEDUP_TARGET = 3.0
 
@@ -216,6 +223,146 @@ async def _bench_mutation(service) -> dict:
     }
 
 
+#: /stats fields that identify the serving process/tenant or carry build
+#: timings — legitimately different between a registry tenant and its
+#: solo twin, so the identity check strips them
+_STATS_IDENTITY_FIELDS = ("tenant", "worker_id", "persist", "built_s", "created_at")
+
+
+def _canonical(path: str, payload) -> object:
+    if path.split("?")[0].endswith("/stats"):
+        return {
+            k: v for k, v in payload.items() if k not in _STATS_IDENTITY_FIELDS
+        }
+    return payload
+
+
+async def _bench_multitenant(mode: str) -> dict:
+    """N tenants behind one registry service vs N single-tenant solos.
+
+    The same per-tenant workload runs interleaved against ``/t/{tenant}``
+    routes of one service and un-prefixed against N independent servers.
+    Every sampled response must be byte-identical between the two
+    deployments, including across a mutation cycle on one tenant that
+    must leave every other tenant's payloads untouched.
+    """
+    persons, total, connections = SCALES[mode]
+    tenants = [f"tenant{i}" for i in range(MT_TENANTS[mode])]
+    graphs = {
+        t: realworld_like(persons, seed=20 + i)[0]
+        for i, t in enumerate(tenants)
+    }
+    multi = build_service(
+        graphs[tenants[0]], config=ServiceConfig(port=0), tenant=tenants[0]
+    )
+    for t in tenants[1:]:
+        multi.registry.create(t, graph=graphs[t])
+    solos = {
+        t: build_service(graphs[t], config=ServiceConfig(port=0)) for t in tenants
+    }
+    await multi.start()
+    for solo in solos.values():
+        await solo.start()
+    try:
+        share = max(1, total // len(tenants))
+        per_tenant = {t: _mixed_paths(graphs[t], share) for t in tenants}
+        # round-robin so every connection mixes tenants in one window
+        multi_paths = [
+            f"/t/{t}{per_tenant[t][i]}"
+            for i in range(share)
+            for t in tenants
+        ]
+        started = time.perf_counter()
+        latencies = await _drive(multi.port, multi_paths, connections)
+        multi_wall = time.perf_counter() - started
+        solo_wall = 0.0
+        solo_requests = 0
+        for t in tenants:
+            started = time.perf_counter()
+            solo_requests += len(
+                await _drive(solos[t].port, per_tenant[t], connections)
+            )
+            solo_wall += time.perf_counter() - started
+
+        async def assert_identity(t: str, paths) -> int:
+            checked = 0
+            for path in dict.fromkeys(paths):
+                s_multi, p_multi = await _get(multi.port, f"/t/{t}{path}")
+                s_solo, p_solo = await _get(solos[t].port, path)
+                if s_multi != s_solo or (
+                    _canonical(path, p_multi) != _canonical(path, p_solo)
+                ):
+                    raise SystemExit(
+                        f"FATAL: multitenant /t/{t}{path} diverged from the "
+                        f"single-tenant twin"
+                    )
+                checked += 1
+            return checked
+
+        identity_checked = 0
+        for t in tenants:
+            identity_checked += await assert_identity(t, per_tenant[t])
+
+        # mutate tenant 0 in both deployments; every other tenant must
+        # answer byte-identically to its pre-mutation payloads
+        target, bystanders = tenants[0], tenants[1:]
+        frozen = {
+            t: await _get(multi.port, f"/t/{t}/control") for t in bystanders
+        }
+        owner = next(graphs[target].companies()).id
+        deltas = [
+            {"op": "add_company", "id": "MTCO", "properties": {"name": "MtCo"}},
+            {"op": "add_shareholding", "owner": owner, "company": "MTCO",
+             "share": 0.7},
+        ]
+        body = json.dumps({"deltas": deltas}).encode()
+        for port, path in (
+            (multi.port, f"/t/{target}/mutations?wait=1"),
+            (solos[target].port, "/mutations?wait=1"),
+        ):
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            try:
+                status, payload = await _request(reader, writer, "POST", path, body)
+            finally:
+                writer.close()
+                await writer.wait_closed()
+            if status != 200:
+                raise SystemExit(f"FATAL: multitenant mutation on {path} "
+                                 f"answered {status}: {payload}")
+        identity_after = await assert_identity(target, per_tenant[target])
+        for t in bystanders:
+            if await _get(multi.port, f"/t/{t}/control") != frozen[t]:
+                raise SystemExit(
+                    f"FATAL: mutating {target} changed /t/{t}/control"
+                )
+        return {
+            "tenants": len(tenants),
+            "registry_service": {
+                "requests": len(latencies),
+                "wall_s": round(multi_wall, 4),
+                "req_per_s": round(len(latencies) / multi_wall, 1),
+                "p50_ms": round(_percentile(latencies, 0.50) * 1000, 3),
+                "p99_ms": round(_percentile(latencies, 0.99) * 1000, 3),
+            },
+            "solo_services": {
+                "requests": solo_requests,
+                "wall_s": round(solo_wall, 4),
+                "req_per_s": round(solo_requests / solo_wall, 1),
+            },
+            "identity_checked_paths": identity_checked,
+            "mutation_isolation": {
+                "mutated_tenant": target,
+                "published_version": multi.registry.get(target).version,
+                "identity_after_mutation": identity_after,
+                "bystanders_unchanged": len(bystanders),
+            },
+        }
+    finally:
+        await multi.stop()
+        for solo in solos.values():
+            await solo.stop()
+
+
 def _norm(payload) -> object:
     """Oracle payloads as they appear on the wire (JSON round trip)."""
     return json.loads(json.dumps(payload, default=str))
@@ -357,6 +504,7 @@ def run_benchmark(smoke: bool) -> dict:
             "mutation": await _bench_mutation(service),
         }
         await service.stop()
+        sections["multitenant"] = await _bench_multitenant(mode)
         return sections
 
     sections = asyncio.run(main())
@@ -380,6 +528,13 @@ def run_benchmark(smoke: bool) -> dict:
         f"{'mutation':>12} rebuild={m['rebuild_s']:.2f}s "
         f"swap_pause={m['swap_pause_ms']:.3f}ms "
         f"reader_p99={m['reader_p99_ms']:.2f}ms versions={m['versions_observed']}"
+    )
+    mt = payload["multitenant"]
+    print(
+        f"{'multitenant':>12} {mt['registry_service']['req_per_s']:8.1f} req/s "
+        f"@{mt['tenants']} tenants (solos={mt['solo_services']['req_per_s']:.1f}"
+        f" req/s)  identity={mt['identity_checked_paths']}"
+        f"+{mt['mutation_isolation']['identity_after_mutation']} paths"
     )
     mp = payload["multiproc"]
     scaled = mp[f"pool_{mp['workers']}w"]

@@ -13,7 +13,11 @@ shareholdings.csv):
 * ``augment``     — run the whole pipeline, write the augmented KG JSON;
 * ``reason``      — run a Vadalog program file against the extract;
 * ``export-dot``  — render the (optionally augmented) graph as Graphviz DOT;
-* ``serve``       — the asyncio HTTP reasoning API over versioned snapshots.
+* ``serve``       — the asyncio HTTP reasoning API over versioned snapshots
+  (``--tenant`` names the seeded tenant; ``--store`` restarts re-attach
+  every tenant the store holds);
+* ``store``       — inspect (``versions``) and maintain (``gc``) a
+  durable frame store.
 
 Every command exits nonzero with a one-line ``error: ...`` message (no
 traceback) on bad input paths, unreadable extracts, malformed programs,
@@ -133,8 +137,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "alone, boot by mmap-attaching the latest "
                             "stored version instead of rebuilding")
     serve.add_argument("--version", type=int, default=None,
-                       help="attach this stored version instead of the "
-                            "latest (rollback; requires --store)")
+                       help="attach this stored version of --tenant instead "
+                            "of the latest (rollback; requires --store)")
+    serve.add_argument("--tenant", default="default",
+                       help="tenant the extract (or pinned --version) seeds; "
+                            "un-prefixed routes alias to it "
+                            "(default: %(default)s)")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8707,
                        help="TCP port (0 picks a free one)")
@@ -152,6 +160,30 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--request-timeout", type=float, default=30.0,
                        help="per-request deadline in seconds (exceeded -> 504)")
     serve.add_argument("--cache-capacity", type=int, default=1024)
+
+    store_cmd = commands.add_parser(
+        "store", help="inspect and maintain a durable frame store"
+    )
+    store_sub = store_cmd.add_subparsers(dest="store_command", required=True)
+    store_versions = store_sub.add_parser(
+        "versions", help="list every catalog version (tenant,version,state,...)"
+    )
+    store_versions.add_argument("directory", type=Path)
+    store_versions.add_argument("--tenant", default=None,
+                                help="restrict to one tenant's stream")
+    store_versions.add_argument("--kind", default=None,
+                                choices=("snapshot", "graph"))
+    store_gc = store_sub.add_parser(
+        "gc", help="prune old published versions (never the latest published "
+                   "or staging)"
+    )
+    store_gc.add_argument("directory", type=Path)
+    store_gc.add_argument("--keep", type=int, required=True,
+                          help="published versions to keep per (tenant, kind) "
+                               "stream (>= 1)")
+    store_gc.add_argument("--tenant", default=None,
+                          help="restrict pruning to one tenant")
+    store_gc.add_argument("--kind", default=None, choices=("snapshot", "graph"))
     return parser
 
 
@@ -344,11 +376,21 @@ def _reason(args: argparse.Namespace) -> int:
 MAX_WORKERS = 64
 
 
+def _tenant_persist_hook(store, tenant: str):
+    """A 1-arg updater persist hook bound to one tenant's stream."""
+    return lambda snapshot: store.persist(snapshot, tenant=tenant)
+
+
 def _serve(args: argparse.Namespace) -> int:
     import asyncio
 
-    from .service import ServiceConfig, SnapshotConfig, build_service
+    from .service import ServiceConfig, SnapshotConfig, TenantError, build_service
+    from .service import validate_tenant
 
+    try:
+        validate_tenant(args.tenant)
+    except TenantError as exc:
+        raise CLIError(str(exc)) from exc
     if not 0 <= args.port <= 65535:
         raise CLIError(f"port must be in 0..65535, got {args.port}")
     if not 1 <= args.workers <= MAX_WORKERS:
@@ -394,7 +436,9 @@ def _serve(args: argparse.Namespace) -> int:
         request_timeout_s=args.request_timeout,
         cache_capacity=args.cache_capacity,
     )
-    start_version = store.latest_version() or 0 if store is not None else 0
+    start_version = (
+        store.latest_version(tenant=args.tenant) or 0 if store is not None else 0
+    )
     if args.workers > 1:
         return _serve_pool(
             args, graph, service_config, snapshot_config, classifiers,
@@ -407,10 +451,15 @@ def _serve(args: argparse.Namespace) -> int:
         classifiers=classifiers,
         tracer=_tracer_of(args),
         start_version=start_version,
+        tenant=args.tenant,
     )
     if store is not None:
-        _persist_initial(store, service.manager.current)
-        service.updater.persist_hook = store.persist
+        _persist_initial(store, service.manager.current, args.tenant)
+        service.updater.persist_hook = _tenant_persist_hook(store, args.tenant)
+        # tenants created later over PUT /t/{tenant} persist too
+        service.registry.persist_hook_factory = (
+            lambda name: _tenant_persist_hook(store, name)
+        )
 
     def ready(svc) -> None:
         snapshot = svc.manager.current
@@ -429,33 +478,50 @@ def _serve(args: argparse.Namespace) -> int:
     return 0
 
 
-def _persist_initial(store, snapshot) -> None:
+def _persist_initial(store, snapshot, tenant: str) -> None:
     """Persist the boot snapshot; a version collision just means a
     snapshot with this number is already durable — not fatal."""
     from .storage import StoreError
 
     try:
-        store.persist(snapshot)
+        store.persist(snapshot, tenant=tenant)
     except StoreError as exc:
         print(f"# store: initial persist skipped ({exc})", file=sys.stderr)
 
 
 def _serve_attached(args: argparse.Namespace) -> int:
-    """``serve --store DIR`` with no extract: mmap-attach a durable
-    version and serve it without running the build pipeline."""
+    """``serve --store DIR`` with no extract: mmap-attach every tenant's
+    durable version and serve them without running the build pipeline."""
     import asyncio
 
-    from .service import ReasoningService, ServiceConfig, SnapshotBuilder, SnapshotManager
+    from .service import (
+        GraphRegistry,
+        ReasoningService,
+        ServiceConfig,
+        SnapshotBuilder,
+        SnapshotManager,
+    )
     from .storage import FrameStore, StoreError
 
     try:
         store = FrameStore.open(args.store)
         if args.version is not None:
-            attached = store.attach(args.version)
+            attached = store.attach(args.version, tenant=args.tenant)
         else:
-            attached = store.attach_latest()
+            attached = store.attach_latest(tenant=args.tenant)
     except StoreError as exc:
         raise CLIError(str(exc)) from exc
+    # every other tenant with a published snapshot comes back too; a
+    # tenant whose stream holds only bare graphs (or is corrupt) is
+    # reported and skipped rather than failing the boot
+    extras = {}
+    for name in store.tenants():
+        if name == args.tenant:
+            continue
+        try:
+            extras[name] = store.attach_latest(tenant=name)
+        except StoreError as exc:
+            print(f"# store: tenant {name} not attached ({exc})", file=sys.stderr)
     service_config = ServiceConfig(
         host=args.host,
         port=args.port,
@@ -468,7 +534,7 @@ def _serve_attached(args: argparse.Namespace) -> int:
         return _serve_pool(
             args, attached.graph, service_config, attached.config, None,
             store=store, start_version=attached.version,
-            initial_snapshot=attached,
+            initial_snapshot=attached, initial_snapshots=extras,
         )
     manager = SnapshotManager()
     manager.publish(attached)
@@ -476,6 +542,10 @@ def _serve_attached(args: argparse.Namespace) -> int:
     # from the attached snapshot, and every rebuild is persisted back.
     # (link classifiers are not stored, so re-augmentation after a
     # mutation detects family links without them — see docs/STORAGE.md)
+    registry = GraphRegistry(
+        snapshot_config=attached.config, tracer=_tracer_of(args)
+    )
+    registry.persist_hook_factory = lambda name: _tenant_persist_hook(store, name)
     builder = SnapshotBuilder(
         attached.config, tracer=_tracer_of(args), start_version=attached.version
     )
@@ -485,15 +555,30 @@ def _serve_attached(args: argparse.Namespace) -> int:
         base_graph=attached.graph,
         config=service_config,
         tracer=_tracer_of(args),
+        registry=registry,
+        tenant=args.tenant,
     )
-    service.updater.persist_hook = store.persist
+    for name, snapshot in extras.items():
+        extra_manager = SnapshotManager()
+        extra_manager.publish(snapshot)
+        registry.adopt(
+            name,
+            extra_manager,
+            builder=SnapshotBuilder(
+                snapshot.config,
+                tracer=_tracer_of(args),
+                start_version=snapshot.version,
+            ),
+            base_graph=snapshot.graph,
+        )
 
     def ready(svc) -> None:
         snapshot = svc.manager.current
         print(
             f"serving snapshot v{snapshot.version} "
             f"({snapshot.graph.node_count} nodes, {snapshot.graph.edge_count} edges, "
-            f"attached from {args.store}) "
+            f"attached from {args.store}, "
+            f"{len(svc.registry)} tenant(s)) "
             f"on http://{args.host}:{svc.port}",
             flush=True,
         )
@@ -506,13 +591,19 @@ def _serve_attached(args: argparse.Namespace) -> int:
 
 
 def _serve_pool(args, graph, service_config, snapshot_config, classifiers,
-                store=None, start_version=0, initial_snapshot=None) -> int:
+                store=None, start_version=0, initial_snapshot=None,
+                initial_snapshots=None) -> int:
     """``serve --workers N``: the SO_REUSEPORT pool, SIGTERM drains."""
     import signal
     import threading
 
     from .service.workers import PoolError, ServicePool
 
+    persist_hook = None
+    if store is not None:
+        persist_hook = lambda snapshot, tenant: store.persist(
+            snapshot, tenant=tenant
+        )
     pool = ServicePool(
         graph,
         workers=args.workers,
@@ -522,7 +613,9 @@ def _serve_pool(args, graph, service_config, snapshot_config, classifiers,
         tracer=_tracer_of(args),
         start_version=start_version,
         initial_snapshot=initial_snapshot,
-        persist_hook=store.persist if store is not None else None,
+        initial_snapshots=initial_snapshots,
+        persist_hook=persist_hook,
+        tenant=args.tenant,
     )
     stop = threading.Event()
     for signum in (signal.SIGTERM, signal.SIGINT):
@@ -548,6 +641,33 @@ def _serve_pool(args, graph, service_config, snapshot_config, classifiers,
     return 0
 
 
+def _store_cmd(args: argparse.Namespace) -> int:
+    from .storage import FrameStore, StoreError
+
+    try:
+        store = FrameStore.open(args.directory)
+        if args.store_command == "versions":
+            rows = store.versions(kind=args.kind, tenant=args.tenant)
+            print("tenant,version,state,kind,nodes,edges")
+            for row in rows:
+                print(
+                    f"{row['tenant']},{row['version']},{row['state']},"
+                    f"{row['kind']},{row['nodes'] if row['nodes'] is not None else ''},"
+                    f"{row['edges'] if row['edges'] is not None else ''}"
+                )
+            print(f"# {len(rows)} versions", file=sys.stderr)
+            return 0
+        # gc — the store refuses keep < 1, so the latest published
+        # version of every stream (and all staging rows) always survive
+        pruned = store.gc(args.keep, tenant=args.tenant, kind=args.kind)
+        for row in pruned:
+            print(f"{row['tenant']},{row['version']},{row['kind']}")
+        print(f"# pruned {len(pruned)} version(s)", file=sys.stderr)
+        return 0
+    except StoreError as exc:
+        raise CLIError(str(exc)) from exc
+
+
 _HANDLERS = {
     "generate": _generate,
     "profile": _profile,
@@ -559,6 +679,7 @@ _HANDLERS = {
     "reason": _reason,
     "export-dot": _export_dot,
     "serve": _serve,
+    "store": _store_cmd,
 }
 
 

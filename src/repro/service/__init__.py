@@ -11,8 +11,13 @@ snapshots.
   graph, control closure, close links, UBO indexes, property indexes),
   identified by a monotonically increasing version and swapped
   atomically so readers never block;
+* :mod:`~repro.service.registry` — the tenant dimension: a
+  :class:`GraphRegistry` maps tenant ids to their own snapshot manager,
+  builder and updater, so one service hosts many isolated graphs
+  (``/t/{tenant}/...`` routing; un-prefixed routes alias to the seeded
+  tenant);
 * :mod:`~repro.service.cache` — bounded LRU keyed by
-  ``(snapshot_version, endpoint, params)`` with single-flight
+  ``(tenant, snapshot_version, endpoint, params)`` with single-flight
   coalescing and a micro-batcher for point lookups;
 * :mod:`~repro.service.server` — the stdlib asyncio HTTP/1.1 server
   with admission control (concurrency semaphore, bounded queue -> 429,
@@ -31,6 +36,14 @@ snapshots.
 
 from .cache import LRUCache, MicroBatcher, ReasoningCache, SingleFlight
 from .incremental import DeltaBatch
+from .registry import (
+    DEFAULT_TENANT,
+    GraphRegistry,
+    TenantBinding,
+    TenantError,
+    UnknownTenantError,
+    validate_tenant,
+)
 from .server import HttpError, Metrics, ReasoningService, ServiceConfig, build_service
 from .shm import (
     AttachedSnapshot,
@@ -45,7 +58,9 @@ from .workers import PoolConfig, PoolError, ServicePool
 
 __all__ = [
     "AttachedSnapshot",
+    "DEFAULT_TENANT",
     "DeltaBatch",
+    "GraphRegistry",
     "GraphUpdater",
     "HttpError",
     "LRUCache",
@@ -64,9 +79,13 @@ __all__ = [
     "SnapshotBuilder",
     "SnapshotConfig",
     "SnapshotManager",
+    "TenantBinding",
+    "TenantError",
+    "UnknownTenantError",
     "apply_deltas",
     "attach_snapshot",
     "build_service",
     "encode_snapshot",
     "unlink_segment",
+    "validate_tenant",
 ]

@@ -5,8 +5,11 @@ mutation happens on the loop; the heavy computations themselves run in
 executor threads but their *registration* is loop-side):
 
 * :class:`LRUCache` — a bounded mapping with hit/miss/eviction counters.
-  Keys include the snapshot version, so entries for superseded versions
-  age out naturally instead of needing invalidation.
+  Keys are ``(tenant, snapshot_version, endpoint, params)`` tuples (see
+  :func:`~repro.service.snapshot.snapshot_key`): the tenant keeps
+  co-hosted graphs in disjoint keyspaces, and the snapshot version makes
+  entries for superseded versions age out naturally instead of needing
+  invalidation.
 * :class:`SingleFlight` — coalesces concurrent identical computations:
   the first caller becomes the leader and actually computes; followers
   await the leader's future.  N concurrent identical requests trigger
@@ -67,6 +70,23 @@ class LRUCache:
 
     def clear(self) -> None:
         self._entries.clear()
+
+    def evict_prefix(self, prefix: Any) -> int:
+        """Drop every entry whose tuple key leads with ``prefix``.
+
+        Used when a tenant is deleted: a later same-named tenant restarts
+        its version counter, so the dropped tenant's entries would
+        otherwise be indistinguishable from the new tenant's.
+        """
+        doomed = [
+            key
+            for key in self._entries
+            if isinstance(key, tuple) and key and key[0] == prefix
+        ]
+        for key in doomed:
+            del self._entries[key]
+        self.evictions += len(doomed)
+        return len(doomed)
 
     def stats(self) -> dict[str, int]:
         return {
@@ -138,6 +158,10 @@ class ReasoningCache:
     @property
     def computations(self) -> int:
         return self.flight.leaders
+
+    def evict_tenant(self, tenant: str) -> int:
+        """Drop a deleted tenant's cached payloads (keys lead with it)."""
+        return self.lru.evict_prefix(tenant)
 
     async def get_or_compute(
         self, key: Hashable, compute: Callable[[], Awaitable[Any]]

@@ -2,8 +2,8 @@
 
 The serving path, per request::
 
-    accept -> admission control -> route -> LRU -> single-flight /
-    micro-batch -> snapshot read (executor thread) -> JSON
+    accept -> admission control -> route (tenant, endpoint) -> LRU ->
+    single-flight / micro-batch -> snapshot read (executor thread) -> JSON
 
 Admission control keeps the event loop honest under overload: at most
 ``max_concurrency`` requests execute at once (semaphore); up to
@@ -14,20 +14,31 @@ thread finishes in the background (its result still lands in the cache
 for the next caller).  ``/healthz`` and ``/metrics`` bypass admission so
 the service stays observable while saturated.
 
+Multi-tenancy: the service serves every tenant bound in its
+:class:`~repro.service.registry.GraphRegistry`.  Reasoning endpoints are
+reachable both un-prefixed (they resolve to the *alias* tenant — the one
+the service was seeded with, ``default`` unless renamed) and under
+``/t/{tenant}/...``.  Tenant admin lives at ``/t`` / ``/t/{tenant}``.
+
 Endpoints
 ---------
 
-========================  ====================================================
-``GET /control``          control pairs; ``?source=&threshold=``
-``GET /close-links``      close-link pairs; ``?threshold=``
-``GET /ubo/{id}``         beneficial owners of a company; ``?threshold=``
-``GET /family``           detected personal links
-``GET /neighbors/{id}``   a node with its incident edges; ``?depth=&label=``
-``GET /stats``            snapshot statistics
-``GET /healthz``          liveness + served snapshot version
-``GET /metrics``          counters, latency histograms, cache + updater stats
-``POST /mutations``       apply deltas, re-augment in background; ``?wait=1``
-========================  ====================================================
+==============================  ==============================================
+``GET /control``                control pairs; ``?source=&threshold=``
+``GET /close-links``            close-link pairs; ``?threshold=``
+``GET /ubo/{id}``               beneficial owners of a company; ``?threshold=``
+``GET /family``                 detected personal links
+``GET /neighbors/{id}``         a node with its incident edges; ``?depth=&label=``
+``GET /stats``                  snapshot statistics (+ tenant, persist health)
+``GET /healthz``                liveness + served snapshot version
+``GET /metrics``                counters, histograms, per-tenant snapshot stats
+``POST /mutations``             apply deltas, re-augment in background; ``?wait=1``
+``GET /t``                      list tenants
+``GET /t/{tenant}``             one tenant's info
+``PUT /t/{tenant}``             create a tenant (idempotent)
+``DELETE /t/{tenant}``          drop a tenant (the alias tenant is protected)
+``/t/{tenant}/<reasoning>``     any reasoning endpoint, scoped to ``tenant``
+==============================  ==============================================
 
 Every read carries the snapshot version it was answered from, so clients
 can observe exactly when a mutation's new version starts serving.
@@ -49,7 +60,14 @@ from ..graph.property_graph import GraphError
 from ..linkage.bayes import BayesianLinkClassifier
 from ..telemetry import NULL_TRACER
 from .cache import MicroBatcher, ReasoningCache
+from .registry import (
+    GraphRegistry,
+    TenantError,
+    UnknownTenantError,
+    validate_tenant,
+)
 from .snapshot import (
+    DEFAULT_TENANT,
     Snapshot,
     SnapshotBuilder,
     SnapshotConfig,
@@ -60,6 +78,7 @@ from .updates import GraphUpdater, MutationError
 
 _REASONS = {
     200: "OK",
+    201: "Created",
     202: "Accepted",
     400: "Bad Request",
     404: "Not Found",
@@ -82,7 +101,41 @@ _ENDPOINTS = (
     "healthz",
     "metrics",
     "mutations",
+    "tenants",
 )
+
+#: Endpoints that may appear under a ``/t/{tenant}/`` prefix.  ``healthz``
+#: and ``metrics`` stay process-level: one fleet, one liveness signal.
+_TENANT_ENDPOINTS = (
+    "control",
+    "close-links",
+    "ubo",
+    "family",
+    "neighbors",
+    "stats",
+    "mutations",
+)
+
+
+def _route(path: str) -> tuple[str | None, str, list[str]]:
+    """Split a request path into ``(tenant, endpoint, rest)``.
+
+    ``tenant`` is ``None`` for un-prefixed routes (the caller resolves
+    them to the registry alias) and for ``GET /t`` (the tenant listing,
+    endpoint ``"tenants"``).  ``/t/{name}`` routes to the ``"tenants"``
+    admin endpoint with the tenant set; ``/t/{name}/<ep>/...`` routes to
+    ``<ep>`` with the tenant set.
+    """
+    segments = [unquote(s) for s in path.strip("/").split("/") if s]
+    if not segments:
+        return None, "", []
+    if segments[0] == "t":
+        if len(segments) == 1:
+            return None, "tenants", []
+        if len(segments) == 2:
+            return segments[1], "tenants", []
+        return segments[1], segments[2], segments[3:]
+    return None, segments[0], segments[1:]
 
 
 @dataclass
@@ -129,6 +182,10 @@ class Metrics:
         self.statuses: dict[str, int] = defaultdict(int)
         self.latency_sum_s: dict[str, float] = defaultdict(float)
         self.histogram: dict[str, list[int]] = {}
+        #: requests per tenant (reasoning endpoints only) — the tenant
+        #: dimension of the surface, merged across workers like any
+        #: other counter
+        self.tenant_requests: dict[str, int] = defaultdict(int)
         self.in_flight = 0
         self.queued = 0
         self.rejected_429 = 0
@@ -136,7 +193,12 @@ class Metrics:
         self.bypass_requests = 0
 
     def observe(
-        self, endpoint: str, seconds: float, status: int, bypass: bool = False
+        self,
+        endpoint: str,
+        seconds: float,
+        status: int,
+        bypass: bool = False,
+        tenant: str | None = None,
     ) -> None:
         """Record one served request.
 
@@ -147,6 +209,8 @@ class Metrics:
         """
         self.requests[endpoint] += 1
         self.statuses[f"{status // 100}xx"] += 1
+        if tenant is not None:
+            self.tenant_requests[tenant] += 1
         if bypass:
             self.bypass_requests += 1
             return
@@ -164,6 +228,7 @@ class Metrics:
             "bypass_requests": self.bypass_requests,
             "requests": dict(self.requests),
             "statuses": dict(self.statuses),
+            "tenant_requests": dict(self.tenant_requests),
             "latency_sum_s": {k: round(v, 6) for k, v in self.latency_sum_s.items()},
             "latency_buckets_ms": list(self.BUCKETS_MS),
             "latency_histogram": {k: list(v) for k, v in self.histogram.items()},
@@ -186,6 +251,7 @@ class Metrics:
             "bypass_requests": 0,
             "requests": {},
             "statuses": {},
+            "tenant_requests": {},
             "latency_sum_s": {},
             "latency_buckets_ms": list(cls.BUCKETS_MS),
             "latency_histogram": {},
@@ -200,7 +266,7 @@ class Metrics:
                 "bypass_requests",
             ):
                 merged[counter] += payload.get(counter, 0)
-            for field in ("requests", "statuses", "latency_sum_s"):
+            for field in ("requests", "statuses", "tenant_requests", "latency_sum_s"):
                 for key, value in payload.get(field, {}).items():
                     merged[field][key] = merged[field].get(key, 0) + value
             for key, counts in payload.get("latency_histogram", {}).items():
@@ -214,26 +280,49 @@ class Metrics:
 
 
 class ReasoningService:
-    """The HTTP reasoning API over a :class:`SnapshotManager`."""
+    """The HTTP reasoning API over a :class:`GraphRegistry` of tenants.
+
+    The historical single-graph constructor still works: a bare
+    ``manager`` (plus optional build chain) is adopted into a fresh
+    registry under ``tenant`` (``default`` unless named), and the
+    ``manager`` / ``updater`` attributes keep resolving to that alias
+    tenant's binding.  Passing ``registry`` serves every tenant bound in
+    it — one cache, one admission controller, disjoint keyspaces.
+    """
 
     def __init__(
         self,
-        manager: SnapshotManager,
+        manager: SnapshotManager | None = None,
         builder: SnapshotBuilder | None = None,
         base_graph: CompanyGraph | None = None,
         config: ServiceConfig | None = None,
         tracer=None,
         worker_id: int | None = None,
+        registry: GraphRegistry | None = None,
+        tenant: str = DEFAULT_TENANT,
     ):
-        self.manager = manager
         self.config = config if config is not None else ServiceConfig()
         self.tracer = tracer if tracer is not None else NULL_TRACER
         #: set under ``repro serve --workers N``; None when single-process
         self.worker_id = worker_id
+        if registry is None:
+            registry = GraphRegistry(tracer=self.tracer)
+        self.registry = registry
+        if manager is not None:
+            self.registry.adopt(tenant, manager, builder=builder, base_graph=base_graph)
+        elif len(self.registry) == 0:
+            raise ValueError("service needs a manager or a non-empty registry")
         #: pool hook — routes ``POST /mutations`` to the builder process
-        #: when this service has no local updater (read-only worker)
+        #: when this service has no local updater (read-only worker);
+        #: called as ``(tenant, deltas, wait)``
         self.mutation_forwarder: (
-            Callable[[list[Any], bool], Awaitable[tuple[int, Any]]] | None
+            Callable[[str, list[Any], bool], Awaitable[tuple[int, Any]]] | None
+        ) = None
+        #: pool hook — routes tenant create/delete to the parent so the
+        #: whole fleet (not one worker) gains or drops the tenant;
+        #: called as ``(action, tenant)``
+        self.admin_forwarder: (
+            Callable[[str, str], Awaitable[tuple[int, Any]]] | None
         ) = None
         #: pool hook — answers ``GET /metrics?scope=cluster`` with the
         #: parent's merged per-worker counters
@@ -241,9 +330,7 @@ class ReasoningService:
         self.metrics = Metrics()
         self.cache = ReasoningCache(self.config.cache_capacity)
         self._semaphore = asyncio.Semaphore(self.config.max_concurrency)
-        self.updater: GraphUpdater | None = None
-        if builder is not None and base_graph is not None:
-            self.updater = GraphUpdater(manager, builder, base_graph, tracer=self.tracer)
+        self._admin_lock = asyncio.Lock()
         self._ubo_batcher = MicroBatcher(
             self._ubo_batch, self.config.batch_max, self.config.batch_delay_s
         )
@@ -252,6 +339,17 @@ class ReasoningService:
         )
         self._server: asyncio.AbstractServer | None = None
         self.port: int | None = None
+
+    @property
+    def manager(self) -> SnapshotManager:
+        """The alias (un-prefixed-route) tenant's snapshot manager."""
+        return self.registry.get(self.registry.alias).manager
+
+    @property
+    def updater(self) -> GraphUpdater | None:
+        """The alias tenant's updater, if this process builds for it."""
+        binding = self.registry.peek(self.registry.alias)
+        return binding.updater if binding is not None else None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -326,12 +424,6 @@ class ReasoningService:
                 endpoint, status, payload = await self.handle_request(
                     method, split.path, query, body
                 )
-                self.metrics.observe(
-                    endpoint,
-                    time.perf_counter() - started,
-                    status,
-                    bypass=endpoint in ("healthz", "metrics"),
-                )
                 await self._write(writer, status, payload, keep_alive)
                 if not keep_alive:
                     break
@@ -398,30 +490,55 @@ class ReasoningService:
     ) -> tuple[str, int, Any]:
         """Returns ``(endpoint, status, json_payload)`` — also the entry
         point the tests and the benchmark drive directly."""
-        endpoint = self._endpoint_name(path)
+        tenant, head, rest = _route(path)
+        endpoint = head if head in _ENDPOINTS else "unknown"
+        started = time.perf_counter()
+        bypass = endpoint in ("healthz", "metrics")
         with self.tracer.span(f"http.{endpoint}"):
             try:
-                if endpoint in ("healthz", "metrics"):
+                if bypass:
                     # observability must answer even when saturated
-                    status, payload = await self._dispatch(method, path, query, body)
+                    status, payload = await self._dispatch(
+                        method, tenant, head, rest, query, body
+                    )
                 else:
-                    status, payload = await self._admitted(method, path, query, body)
+                    status, payload = await self._admitted(
+                        method, tenant, head, rest, query, body
+                    )
             except HttpError as exc:
                 status, payload = exc.status, {"error": exc.message}
-            except MutationError as exc:
+            except (MutationError, TenantError) as exc:
                 status, payload = 400, {"error": str(exc)}
+            except UnknownTenantError as exc:
+                status, payload = 404, {"error": str(exc)}
             except GraphError as exc:
                 status, payload = 404, {"error": str(exc)}
             except Exception as exc:  # never leak a traceback to the socket
                 status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+        label = None
+        if endpoint in _TENANT_ENDPOINTS:
+            label = tenant if tenant is not None else self.registry.alias
+        self.metrics.observe(
+            endpoint,
+            time.perf_counter() - started,
+            status,
+            bypass=bypass,
+            tenant=label,
+        )
         return endpoint, status, payload
 
     def _endpoint_name(self, path: str) -> str:
-        head = path.strip("/").split("/", 1)[0]
+        head = _route(path)[1]
         return head if head in _ENDPOINTS else "unknown"
 
     async def _admitted(
-        self, method: str, path: str, query: dict[str, str], body: bytes
+        self,
+        method: str,
+        tenant: str | None,
+        head: str,
+        rest: list[str],
+        query: dict[str, str],
+        body: bytes,
     ) -> tuple[int, Any]:
         metrics = self.metrics
         config = self.config
@@ -443,7 +560,8 @@ class ReasoningService:
         metrics.in_flight += 1
         try:
             return await asyncio.wait_for(
-                self._dispatch(method, path, query, body), config.request_timeout_s
+                self._dispatch(method, tenant, head, rest, query, body),
+                config.request_timeout_s,
             )
         except asyncio.TimeoutError:
             metrics.timeouts_504 += 1
@@ -456,30 +574,41 @@ class ReasoningService:
             self._semaphore.release()
 
     async def _dispatch(
-        self, method: str, path: str, query: dict[str, str], body: bytes
+        self,
+        method: str,
+        tenant: str | None,
+        head: str,
+        rest: list[str],
+        query: dict[str, str],
+        body: bytes,
     ) -> tuple[int, Any]:
-        segments = [unquote(s) for s in path.strip("/").split("/") if s]
-        if not segments:
+        if not head:
             raise HttpError(404, "no such endpoint; see /stats for the surface")
-        head, rest = segments[0], segments[1:]
+        if head == "tenants":
+            return await self._tenants_admin(method, tenant)
+        if tenant is not None and head not in _TENANT_ENDPOINTS:
+            raise HttpError(
+                404, f"no such tenant endpoint: {head} (process-level; drop the /t prefix)"
+            )
+        name = tenant if tenant is not None else self.registry.alias
         if head == "control" and not rest:
             self._require(method, "GET")
-            return 200, await self._control(query)
+            return 200, await self._control(name, query)
         if head == "close-links" and not rest:
             self._require(method, "GET")
-            return 200, await self._close_links(query)
+            return 200, await self._close_links(name, query)
         if head == "ubo" and len(rest) == 1:
             self._require(method, "GET")
-            return 200, await self._ubo(rest[0], query)
+            return 200, await self._ubo(name, rest[0], query)
         if head == "family" and not rest:
             self._require(method, "GET")
-            return 200, await self._family()
+            return 200, await self._family(name)
         if head == "neighbors" and len(rest) == 1:
             self._require(method, "GET")
-            return 200, await self._neighbors(rest[0], query)
+            return 200, await self._neighbors(name, rest[0], query)
         if head == "stats" and not rest:
             self._require(method, "GET")
-            return 200, await self._stats()
+            return 200, await self._stats(name)
         if head == "healthz" and not rest:
             self._require(method, "GET")
             return 200, self._healthz()
@@ -493,13 +622,71 @@ class ReasoningService:
             return 200, self._metrics_payload()
         if head == "mutations" and not rest:
             self._require(method, "POST")
-            return await self._mutations(query, body)
-        raise HttpError(404, f"no such endpoint: /{'/'.join(segments)}")
+            return await self._mutations(name, query, body)
+        target = head if not rest else "/".join([head, *rest])
+        raise HttpError(404, f"no such endpoint: /{target}")
 
     @staticmethod
     def _require(method: str, expected: str) -> None:
         if method != expected:
             raise HttpError(405, f"use {expected}")
+
+    # ------------------------------------------------------------------
+    # tenant admin
+    # ------------------------------------------------------------------
+
+    async def _tenants_admin(
+        self, method: str, tenant: str | None
+    ) -> tuple[int, Any]:
+        if tenant is None:
+            self._require(method, "GET")
+            return 200, {
+                "alias": self.registry.alias,
+                "tenants": [
+                    binding.info()
+                    for _, binding in sorted(self.registry.items())
+                ],
+            }
+        if method == "GET":
+            return 200, self.registry.get(tenant).info()
+        if method == "PUT":
+            return await self._create_tenant(tenant)
+        if method == "DELETE":
+            return await self._delete_tenant(tenant)
+        raise HttpError(405, "use GET, PUT or DELETE")
+
+    async def _create_tenant(self, tenant: str) -> tuple[int, Any]:
+        validate_tenant(tenant)
+        if self.admin_forwarder is not None:
+            return await self.admin_forwarder("create", tenant)
+        async with self._admin_lock:
+            existing = self.registry.peek(tenant)
+            if existing is not None:
+                return 200, {"status": "exists", **existing.info()}
+            # the initial (empty-graph) build is synchronous — run it off
+            # the event loop like any other build
+            binding = await asyncio.get_running_loop().run_in_executor(
+                None, self.registry.create, tenant
+            )
+        return 201, {"status": "created", **binding.info()}
+
+    async def _delete_tenant(self, tenant: str) -> tuple[int, Any]:
+        if self.admin_forwarder is not None:
+            return await self.admin_forwarder("delete", tenant)
+        async with self._admin_lock:
+            if tenant == self.registry.alias:
+                raise HttpError(
+                    400, f"cannot delete the alias tenant {tenant!r}"
+                )
+            binding = self.registry.drop(tenant)  # UnknownTenantError -> 404
+            # a same-named tenant created later restarts at version 1;
+            # stale cached payloads keyed (tenant, 1, ...) must not serve
+            self.cache.evict_tenant(tenant)
+        return 200, {
+            "status": "deleted",
+            "tenant": tenant,
+            "version": binding.version,
+        }
 
     # ------------------------------------------------------------------
     # endpoint implementations
@@ -514,92 +701,128 @@ class ReasoningService:
 
         return await self.cache.get_or_compute(key, compute)
 
-    async def _control(self, query: dict[str, str]) -> Any:
+    async def _control(self, tenant: str, query: dict[str, str]) -> Any:
         source = query.get("source")
         threshold = _float_param(query, "threshold")
-        snapshot = self.manager.current
-        key = snapshot_key(snapshot.version, "control", (source, threshold))
+        snapshot = self.registry.get(tenant).manager.current
+        key = snapshot_key(snapshot.version, "control", (source, threshold), tenant)
         return await self._cached(key, lambda: snapshot.control_payload(source, threshold))
 
-    async def _close_links(self, query: dict[str, str]) -> Any:
+    async def _close_links(self, tenant: str, query: dict[str, str]) -> Any:
         threshold = _float_param(query, "threshold")
-        snapshot = self.manager.current
-        key = snapshot_key(snapshot.version, "close-links", (threshold,))
+        snapshot = self.registry.get(tenant).manager.current
+        key = snapshot_key(snapshot.version, "close-links", (threshold,), tenant)
         return await self._cached(key, lambda: snapshot.close_links_payload(threshold))
 
-    async def _family(self) -> Any:
-        snapshot = self.manager.current
-        key = snapshot_key(snapshot.version, "family", ())
+    async def _family(self, tenant: str) -> Any:
+        snapshot = self.registry.get(tenant).manager.current
+        key = snapshot_key(snapshot.version, "family", (), tenant)
         return await self._cached(key, snapshot.family_payload)
 
-    async def _stats(self) -> Any:
-        snapshot = self.manager.current
-        key = snapshot_key(snapshot.version, "stats", ())
+    async def _stats(self, tenant: str) -> Any:
+        binding = self.registry.get(tenant)
+        snapshot = binding.manager.current
+        key = snapshot_key(snapshot.version, "stats", (), tenant)
         payload = dict(await self._cached(key, snapshot.stats_payload))
         # identity fields land outside the cached payload: the cache is
         # version-keyed and must stay byte-identical across workers
         payload["snapshot_version"] = snapshot.version
         payload["worker_id"] = self.worker_id
+        payload["tenant"] = binding.name
+        if binding.updater is not None:
+            updater = binding.updater
+            payload["persist"] = {
+                "persists": updater.persists,
+                "persist_failures": updater.persist_failures,
+                "last_persist_error": updater.last_persist_error,
+            }
         return payload
 
-    async def _ubo(self, company: str, query: dict[str, str]) -> Any:
+    async def _ubo(self, tenant: str, company: str, query: dict[str, str]) -> Any:
         threshold = _float_param(query, "threshold")
-        snapshot = self.manager.current
+        snapshot = self.registry.get(tenant).manager.current
         if not snapshot.graph.has_node(company):
             raise HttpError(404, f"unknown node: {company}")
         if snapshot.graph.node(company).label != COMPANY:
             raise HttpError(400, f"{company} is not a company")
-        key = snapshot_key(snapshot.version, "ubo", (company, threshold))
+        key = snapshot_key(snapshot.version, "ubo", (company, threshold), tenant)
 
         async def compute() -> Any:
-            return await self._ubo_batcher.submit((snapshot, company, threshold))
+            return await self._ubo_batcher.submit((tenant, snapshot, company, threshold))
 
         return await self.cache.get_or_compute(key, compute)
 
-    async def _neighbors(self, node_id: str, query: dict[str, str]) -> Any:
+    async def _neighbors(self, tenant: str, node_id: str, query: dict[str, str]) -> Any:
         depth = _int_param(query, "depth", default=1, low=1, high=8)
         label = query.get("label")
-        snapshot = self.manager.current
+        snapshot = self.registry.get(tenant).manager.current
         if not snapshot.augmented.has_node(node_id):
             raise HttpError(404, f"unknown node: {node_id}")
-        key = snapshot_key(snapshot.version, "neighbors", (node_id, depth, label))
+        key = snapshot_key(snapshot.version, "neighbors", (node_id, depth, label), tenant)
 
         async def compute() -> Any:
-            return await self._neighbors_batcher.submit((snapshot, node_id, depth, label))
+            return await self._neighbors_batcher.submit(
+                (tenant, snapshot, node_id, depth, label)
+            )
 
         return await self.cache.get_or_compute(key, compute)
 
     def _healthz(self) -> Any:
+        try:
+            version = self.manager.version
+        except UnknownTenantError:
+            version = None
+        updater = self.updater if self.registry.alias in self.registry else None
         return {
             "status": "ok",
-            "version": self.manager.version,
+            "version": version,
             "worker_id": self.worker_id,
+            "tenants": len(self.registry),
             "uptime_s": round(time.time() - self.metrics.started_at, 3),
             "rebuild_in_progress": (
-                self.updater.rebuild_in_progress if self.updater else False
+                updater.rebuild_in_progress if updater else False
             ),
         }
 
     def _metrics_payload(self) -> Any:
         payload = self.metrics.to_dict()
-        payload["snapshot_version"] = self.manager.version
         payload["worker_id"] = self.worker_id
         payload["cache"] = self.cache.stats()
         payload["batchers"] = {
             "ubo": self._ubo_batcher.stats(),
             "neighbors": self._neighbors_batcher.stats(),
         }
+        payload["registry"] = self.registry.stats()
+        tenants: dict[str, Any] = {}
+        for name, binding in sorted(self.registry.items()):
+            entry: dict[str, Any] = {
+                "version": binding.manager.version,
+                "swaps": binding.manager.swaps,
+                "last_swap_pause_s": round(binding.manager.last_swap_pause_s, 6),
+            }
+            if binding.updater is not None:
+                entry["updater"] = binding.updater.stats()
+            tenants[name] = entry
+        payload["tenants"] = tenants
+        # alias-tenant views, kept for pre-tenancy dashboards
+        alias = self.registry.peek(self.registry.alias)
+        payload["snapshot_version"] = alias.manager.version if alias else None
         payload["snapshot"] = {
-            "version": self.manager.version,
-            "swaps": self.manager.swaps,
-            "last_swap_pause_s": round(self.manager.last_swap_pause_s, 6),
+            "version": alias.manager.version if alias else None,
+            "swaps": alias.manager.swaps if alias else 0,
+            "last_swap_pause_s": (
+                round(alias.manager.last_swap_pause_s, 6) if alias else 0.0
+            ),
         }
-        if self.updater is not None:
-            payload["updater"] = self.updater.stats()
+        if alias is not None and alias.updater is not None:
+            payload["updater"] = alias.updater.stats()
         return payload
 
-    async def _mutations(self, query: dict[str, str], body: bytes) -> tuple[int, Any]:
-        if self.updater is None and self.mutation_forwarder is None:
+    async def _mutations(
+        self, tenant: str, query: dict[str, str], body: bytes
+    ) -> tuple[int, Any]:
+        binding = self.registry.get(tenant)
+        if binding.updater is None and self.mutation_forwarder is None:
             raise HttpError(503, "mutations disabled: service started without a builder")
         try:
             payload = json.loads(body.decode("utf-8") or "{}")
@@ -609,10 +832,10 @@ class ReasoningService:
         if not isinstance(deltas, list):
             raise HttpError(400, 'body must be {"deltas": [...]}')
         wait = query.get("wait", "").lower() in ("1", "true", "yes")
-        if self.updater is None:
+        if binding.updater is None:
             assert self.mutation_forwarder is not None
-            return await self.mutation_forwarder(deltas, wait)
-        result = await self.updater.apply(deltas, wait=wait)
+            return await self.mutation_forwarder(tenant, deltas, wait)
+        result = await binding.updater.apply(deltas, wait=wait)
         return (200 if wait else 202), result
 
     # ------------------------------------------------------------------
@@ -626,14 +849,17 @@ class ReasoningService:
 
     @staticmethod
     def _ubo_batch_sync(keys: list[Any]) -> dict[Any, Any]:
-        groups: dict[tuple[Snapshot, float | None], list[str]] = {}
-        for snapshot, company, threshold in keys:
-            groups.setdefault((snapshot, threshold), []).append(company)
+        # grouping keeps the tenant in the group key: two tenants' point
+        # lookups never share a solve even if their snapshots collide in
+        # version and node ids
+        groups: dict[tuple[str, Snapshot, float | None], list[str]] = {}
+        for tenant, snapshot, company, threshold in keys:
+            groups.setdefault((tenant, snapshot, threshold), []).append(company)
         results: dict[Any, Any] = {}
-        for (snapshot, threshold), companies in groups.items():
+        for (tenant, snapshot, threshold), companies in groups.items():
             payloads = snapshot.ubo_payloads(companies, threshold)
             for company in companies:
-                results[(snapshot, company, threshold)] = payloads[company]
+                results[(tenant, snapshot, company, threshold)] = payloads[company]
         return results
 
     async def _neighbors_batch(self, keys: list[Any]) -> dict[Any, Any]:
@@ -644,7 +870,7 @@ class ReasoningService:
     @staticmethod
     def _neighbors_batch_sync(keys: list[Any]) -> dict[Any, Any]:
         return {
-            key: key[0].neighbors_payload(key[1], depth=key[2], label=key[3])
+            key: key[1].neighbors_payload(key[2], depth=key[3], label=key[4])
             for key in keys
         }
 
@@ -656,12 +882,14 @@ def build_service(
     classifiers: Sequence[BayesianLinkClassifier] | None = None,
     tracer=None,
     start_version: int = 0,
+    tenant: str = DEFAULT_TENANT,
 ) -> ReasoningService:
     """Build the next version from ``graph``, publish it, wire the service.
 
     ``start_version`` seeds the builder's version counter — a service
     booting against a durable store with history passes the store's
-    latest version so the freshly built snapshot extends it.
+    latest version so the freshly built snapshot extends it.  ``tenant``
+    names the seeded (alias) tenant; un-prefixed routes resolve to it.
     """
     builder = SnapshotBuilder(
         snapshot_config, classifiers=classifiers, tracer=tracer,
@@ -669,8 +897,17 @@ def build_service(
     )
     manager = SnapshotManager()
     manager.publish(builder.build(graph))
+    registry = GraphRegistry(
+        snapshot_config=snapshot_config, classifiers=classifiers, tracer=tracer
+    )
     return ReasoningService(
-        manager, builder=builder, base_graph=graph, config=config, tracer=tracer
+        manager,
+        builder=builder,
+        base_graph=graph,
+        config=config,
+        tracer=tracer,
+        registry=registry,
+        tenant=tenant,
     )
 
 

@@ -55,7 +55,7 @@ from ..graph.columnar import _CACHE_ATTR, EXPORT_DTYPES, GraphFrame
 from ..graph.property_graph import PropertyGraph
 from ..graph.store import GraphStore
 from ..storage.layout import ROW_DTYPES, decode_rows, encode_rows
-from .snapshot import Snapshot
+from .snapshot import DEFAULT_TENANT, Snapshot
 
 #: Segment magic — "Repro KG Snapshot".
 MAGIC = b"RKGS"
@@ -118,6 +118,8 @@ class AttachedSnapshot(Snapshot):
 
     segment_name: str
     shm: shared_memory.SharedMemory
+    #: the tenant the segment was encoded for (``default`` pre-tenancy)
+    tenant: str
 
     def close(self) -> None:
         """Unmap the segment (creator processes must use ``unlink``)."""
@@ -137,13 +139,15 @@ class SegmentInfo:
 
 
 def encode_snapshot(
-    snapshot: Snapshot, name: str | None = None
+    snapshot: Snapshot, name: str | None = None, tenant: str = DEFAULT_TENANT
 ) -> shared_memory.SharedMemory:
     """Lay ``snapshot`` into one named shared-memory segment.
 
     Returns the created :class:`SharedMemory`; the caller (the builder
     process) owns it and is responsible for ``unlink`` once every reader
-    has released its attachment.
+    has released its attachment.  ``tenant`` is recorded in the TOC so a
+    worker attaching a handed-off segment can bind it to the right
+    registry entry without trusting the segment *name*.
     """
     frame = snapshot.frame
     if not frame.is_current(snapshot.graph):  # out-of-band mutation: re-pin
@@ -194,6 +198,7 @@ def encode_snapshot(
             "objects": {"offset": origin + blob_rel, "nbytes": len(blob)},
             "meta": {
                 "snapshot_version": snapshot.version,
+                "tenant": tenant,
                 "nodes": frame.node_count,
                 "edges": frame.edge_count,
                 "created_at": time.time(),
@@ -338,6 +343,7 @@ def attach_snapshot(name: str) -> AttachedSnapshot:
         snapshot.created_at = blob["created_at"]
         snapshot.segment_name = name
         snapshot.shm = shm
+        snapshot.tenant = toc.get("meta", {}).get("tenant", DEFAULT_TENANT)
         return snapshot
     except BaseException:
         shm.close()

@@ -61,6 +61,11 @@ from .incremental import (
     phi_rows,
 )
 
+#: The tenant un-prefixed routes and single-graph callers resolve to.
+#: Lives here (not in ``registry``) so the cache-key helper below can use
+#: it without an import cycle — ``registry`` imports this module.
+DEFAULT_TENANT = "default"
+
 
 @dataclass
 class SnapshotConfig:
@@ -640,7 +645,12 @@ class SnapshotManager:
 
 
 def snapshot_key(
-    version: int, endpoint: str, params: Iterable[Any]
-) -> tuple[int, str, tuple[Any, ...]]:
-    """The canonical cache key: ``(snapshot_version, endpoint, params)``."""
-    return (version, endpoint, tuple(params))
+    version: int, endpoint: str, params: Iterable[Any], tenant: str = DEFAULT_TENANT
+) -> tuple[str, int, str, tuple[Any, ...]]:
+    """The canonical cache key: ``(tenant, snapshot_version, endpoint, params)``.
+
+    The tenant leads the key on purpose: two tenants whose graphs collide
+    in node ids *and* version numbers (the adversarial case the isolation
+    tests construct) still occupy disjoint LRU / single-flight keyspaces.
+    """
+    return (tenant, version, endpoint, tuple(params))

@@ -170,7 +170,10 @@ class GraphUpdater:
         self.persist_hook = None
         self.persists = 0
         self.persist_failures = 0
-        self.last_persist_error: str | None = None
+        #: ``{"version": int, "error": str}`` of the most recent persist
+        #: failure — surfaced in ``/stats`` so an operator can see *why*
+        #: (and for which version) durable persistence failed
+        self.last_persist_error: dict[str, Any] | None = None
         #: test / bench hook — artificial build slowdown (seconds)
         self.build_delay_s = 0.0
         self._rebuilding = 0
@@ -290,7 +293,10 @@ class GraphUpdater:
             self.persists += 1
         except Exception as exc:
             self.persist_failures += 1
-            self.last_persist_error = repr(exc)
+            self.last_persist_error = {
+                "version": snapshot.version,
+                "error": repr(exc),
+            }
             with self.tracer.span("persist.failed", error=repr(exc)):
                 logger.exception("durable persist of version %s failed", snapshot.version)
 

@@ -5,17 +5,20 @@ column: version metadata (state machine, lineage, checksum manifest) and
 the full node/edge property model, value-interned so a property value is
 stored once no matter how many rows carry it.
 
-Schema overview (all tables keyed by ``version`` where versioned):
+Schema overview (all tables keyed by ``(tenant, version)`` where
+versioned — format 2 added the tenant dimension so one store root holds
+per-tenant version streams):
 
 ``store_meta``
     key/value pairs for the store itself — format version, creation time.
 ``versions``
-    one row per persisted version.  ``state`` is the publish state
-    machine: rows are born ``staging``, flip to ``published`` in a single
-    ``UPDATE`` (the atomic-publish instant), and can be demoted to
-    ``corrupt`` by the self-heal path when an attach fails verification.
-    ``kind`` distinguishes full service snapshots from bare streamed
-    graphs.
+    one row per persisted version of one tenant.  ``state`` is the
+    publish state machine: rows are born ``staging``, flip to
+    ``published`` in a single ``UPDATE`` (the atomic-publish instant),
+    and can be demoted to ``corrupt`` by the self-heal path when an
+    attach fails verification.  ``kind`` distinguishes full service
+    snapshots from bare streamed graphs.  Version numbers are
+    per-tenant: two tenants may both hold a version 3.
 ``columns``
     the per-version manifest: one row per npy column file with dtype,
     length, byte size, and data CRC-32.  Attach refuses any column whose
@@ -41,8 +44,9 @@ import pickle
 import sqlite3
 from typing import Any, Iterable
 
-#: Bump on incompatible schema changes; open rejects mismatches.
-CATALOG_FORMAT = 1
+#: Bump on incompatible schema changes; open rejects mismatches (after
+#: attempting the supported in-place migrations, currently 1 -> 2).
+CATALOG_FORMAT = 2
 
 SCHEMA = """
 CREATE TABLE IF NOT EXISTS store_meta (
@@ -50,7 +54,8 @@ CREATE TABLE IF NOT EXISTS store_meta (
     value TEXT NOT NULL
 );
 CREATE TABLE IF NOT EXISTS versions (
-    version       INTEGER PRIMARY KEY,
+    tenant        TEXT NOT NULL DEFAULT 'default',
+    version       INTEGER NOT NULL,
     state         TEXT NOT NULL CHECK (state IN ('staging', 'published', 'corrupt')),
     kind          TEXT NOT NULL CHECK (kind IN ('snapshot', 'graph')),
     parent        INTEGER,
@@ -63,16 +68,18 @@ CREATE TABLE IF NOT EXISTS versions (
     graph_class   TEXT,
     next_edge_id  INTEGER,
     aug_next_edge_id INTEGER,
-    meta          BLOB
+    meta          BLOB,
+    PRIMARY KEY (tenant, version)
 );
 CREATE TABLE IF NOT EXISTS columns (
+    tenant  TEXT NOT NULL DEFAULT 'default',
     version INTEGER NOT NULL,
     name    TEXT NOT NULL,
     dtype   TEXT NOT NULL,
     length  INTEGER NOT NULL,
     nbytes  INTEGER NOT NULL,
     crc32   INTEGER NOT NULL,
-    PRIMARY KEY (version, name)
+    PRIMARY KEY (tenant, version, name)
 );
 CREATE TABLE IF NOT EXISTS vals (
     id    INTEGER PRIMARY KEY,
@@ -81,24 +88,27 @@ CREATE TABLE IF NOT EXISTS vals (
     UNIQUE (kind, value)
 );
 CREATE TABLE IF NOT EXISTS nodes (
+    tenant    TEXT NOT NULL DEFAULT 'default',
     version   INTEGER NOT NULL,
     pos       INTEGER NOT NULL,
     id_ref    INTEGER NOT NULL,
     label_ref INTEGER,
     intern    INTEGER,
-    PRIMARY KEY (version, pos)
+    PRIMARY KEY (tenant, version, pos)
 );
-CREATE INDEX IF NOT EXISTS nodes_by_id ON nodes (version, id_ref);
-CREATE INDEX IF NOT EXISTS nodes_by_intern ON nodes (version, intern);
+CREATE INDEX IF NOT EXISTS nodes_by_id ON nodes (tenant, version, id_ref);
+CREATE INDEX IF NOT EXISTS nodes_by_intern ON nodes (tenant, version, intern);
 CREATE TABLE IF NOT EXISTS node_props (
+    tenant    TEXT NOT NULL DEFAULT 'default',
     version   INTEGER NOT NULL,
     pos       INTEGER NOT NULL,
     ordinal   INTEGER NOT NULL,
     name_ref  INTEGER NOT NULL,
     value_ref INTEGER NOT NULL,
-    PRIMARY KEY (version, pos, ordinal)
+    PRIMARY KEY (tenant, version, pos, ordinal)
 );
 CREATE TABLE IF NOT EXISTS edges (
+    tenant      TEXT NOT NULL DEFAULT 'default',
     version     INTEGER NOT NULL,
     layer       INTEGER NOT NULL,
     pos         INTEGER NOT NULL,
@@ -106,18 +116,33 @@ CREATE TABLE IF NOT EXISTS edges (
     src_pos     INTEGER NOT NULL,
     dst_pos     INTEGER NOT NULL,
     label_ref   INTEGER,
-    PRIMARY KEY (version, layer, pos)
+    PRIMARY KEY (tenant, version, layer, pos)
 );
 CREATE TABLE IF NOT EXISTS edge_props (
+    tenant    TEXT NOT NULL DEFAULT 'default',
     version   INTEGER NOT NULL,
     layer     INTEGER NOT NULL,
     pos       INTEGER NOT NULL,
     ordinal   INTEGER NOT NULL,
     name_ref  INTEGER NOT NULL,
     value_ref INTEGER NOT NULL,
-    PRIMARY KEY (version, layer, pos, ordinal)
+    PRIMARY KEY (tenant, version, layer, pos, ordinal)
 );
 """
+
+#: Plain (non-key) columns of each versioned table, used verbatim by the
+#: v1 -> v2 migration's column-list copies.
+_V1_COLUMNS = {
+    "versions": (
+        "version, state, kind, parent, generation, created_at, published_at,"
+        " built_s, nodes, edges, graph_class, next_edge_id, aug_next_edge_id, meta"
+    ),
+    "columns": "version, name, dtype, length, nbytes, crc32",
+    "nodes": "version, pos, id_ref, label_ref, intern",
+    "node_props": "version, pos, ordinal, name_ref, value_ref",
+    "edges": "version, layer, pos, edge_id_ref, src_pos, dst_pos, label_ref",
+    "edge_props": "version, layer, pos, ordinal, name_ref, value_ref",
+}
 
 #: Tables carrying per-version rows, in a purge-safe order.
 VERSIONED_TABLES = (
@@ -151,15 +176,56 @@ def init_schema(conn: sqlite3.Connection) -> None:
 
 
 def check_format(conn: sqlite3.Connection) -> None:
+    if catalog_format(conn) != CATALOG_FORMAT:
+        row = conn.execute(
+            "SELECT value FROM store_meta WHERE key = 'format'"
+        ).fetchone()
+        raise ValueError(
+            f"catalog format {row[0]} unsupported (this build reads {CATALOG_FORMAT})"
+        )
+
+
+def catalog_format(conn: sqlite3.Connection) -> int:
     row = conn.execute(
         "SELECT value FROM store_meta WHERE key = 'format'"
     ).fetchone()
     if row is None:
         raise ValueError("catalog carries no format marker")
-    if int(row[0]) != CATALOG_FORMAT:
-        raise ValueError(
-            f"catalog format {row[0]} unsupported (this build reads {CATALOG_FORMAT})"
-        )
+    return int(row[0])
+
+
+def migrate_v1_to_v2(conn: sqlite3.Connection) -> None:
+    """Rewrite a format-1 catalog in place, adding the tenant dimension.
+
+    Every versioned table is renamed aside, recreated with the
+    tenant-leading primary key, and refilled with ``tenant='default'`` —
+    a v1 store holds exactly one version stream, which becomes the
+    default tenant's.  Runs as one transaction: a crash mid-migration
+    rolls back to an intact v1 catalog.
+    """
+    conn.execute("BEGIN IMMEDIATE")
+    try:
+        # Index names are database-global; drop before recreating.
+        conn.execute("DROP INDEX IF EXISTS nodes_by_id")
+        conn.execute("DROP INDEX IF EXISTS nodes_by_intern")
+        for table in _V1_COLUMNS:
+            conn.execute(f"ALTER TABLE {table} RENAME TO {table}_v1")
+        # executescript would auto-commit; run each statement ourselves.
+        # The schema holds no embedded semicolons, so a plain split works.
+        for statement in SCHEMA.split(";"):
+            if statement.strip():
+                conn.execute(statement)
+        for table, cols in _V1_COLUMNS.items():
+            conn.execute(
+                f"INSERT INTO {table} (tenant, {cols})"
+                f" SELECT 'default', {cols} FROM {table}_v1"
+            )
+            conn.execute(f"DROP TABLE {table}_v1")
+        conn.execute("UPDATE store_meta SET value = '2' WHERE key = 'format'")
+        conn.execute("COMMIT")
+    except BaseException:
+        conn.execute("ROLLBACK")
+        raise
 
 
 # -- value codec ------------------------------------------------------

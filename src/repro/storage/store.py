@@ -5,10 +5,16 @@ A store is one directory::
     store/
       catalog.db            # SQLite catalog (see repro.storage.catalog)
       versions/
-        v00000001/          # one directory per persisted version
-          edge_src.npy      # every GraphFrame buffer (EXPORT_DTYPES)...
-          ...
-          control_x.npy     # ...plus the snapshot row state (ROW_DTYPES)
+        default/            # one directory per tenant...
+          v00000001/        # ...one per persisted version of that tenant
+            edge_src.npy    # every GraphFrame buffer (EXPORT_DTYPES)...
+            ...
+            control_x.npy   # ...plus the snapshot row state (ROW_DTYPES)
+
+Version streams are per tenant: two tenants may both hold a version 3,
+and every catalog row is keyed ``(tenant, version)``.  A format-1 store
+(single stream, ``versions/v*`` at the top level) is migrated in place
+on first open — its stream becomes the ``default`` tenant's.
 
 :meth:`FrameStore.persist` writes a complete snapshot — numeric columns
 as npy files, the graph object model and value-interned properties into
@@ -38,6 +44,11 @@ here decodes exactly like one served from shared memory.
 fails verification (truncated column, checksum mismatch) is demoted to
 ``corrupt`` in the catalog and the next older published version is
 tried, so one bad version never bricks a store.
+
+:meth:`FrameStore.gc` prunes history: old published versions beyond the
+newest ``keep`` per ``(tenant, kind)`` stream are dropped from catalog
+and disk.  The latest published version of every stream and staging
+rows are never pruned.
 """
 
 from __future__ import annotations
@@ -56,7 +67,8 @@ from ..graph.columnar import EXPORT_DTYPES, GraphFrame
 from ..graph.company_graph import CompanyGraph
 from ..graph.property_graph import PropertyGraph
 from ..graph.store import GraphStore
-from ..service.snapshot import Snapshot
+from ..service.registry import validate_tenant
+from ..service.snapshot import DEFAULT_TENANT, Snapshot
 from . import catalog as cat
 from .layout import ROW_DTYPES, decode_rows, encode_rows
 from .npyio import data_crc32, fsync_dir, write_column
@@ -88,6 +100,7 @@ class StoredSnapshot(Snapshot):
 
     store_path: Path
     store_version: int
+    store_tenant: str
 
 
 class FrameStore:
@@ -140,36 +153,63 @@ class FrameStore:
         try:
             conn = cat.connect(str(self.catalog_path))
             if not init:
+                if cat.catalog_format(conn) == 1:
+                    # Migrate in place: move the single v1 stream's
+                    # directories under the default tenant first (the
+                    # move is idempotent, so a crash between the two
+                    # steps re-runs it harmlessly), then rewrite the
+                    # catalog in one transaction.
+                    self._relocate_v1_dirs()
+                    cat.migrate_v1_to_v2(conn)
                 cat.check_format(conn)
             return conn
         except (sqlite3.DatabaseError, ValueError) as exc:
             raise StoreError(f"corrupt store catalog: {exc}") from exc
 
+    def _relocate_v1_dirs(self) -> None:
+        if not self.versions_root.is_dir():
+            return
+        target = self.versions_root / DEFAULT_TENANT
+        moved = False
+        for entry in list(self.versions_root.iterdir()):
+            name = entry.name
+            if entry.is_dir() and name.startswith("v") and name[1:].isdigit():
+                target.mkdir(exist_ok=True)
+                entry.rename(target / name)
+                moved = True
+        if moved:
+            fsync_dir(target)
+            fsync_dir(self.versions_root)
+
     def _recover(self, conn: sqlite3.Connection) -> None:
         """Purge staging carcasses left by a crash mid-persist."""
-        staged = [
-            row[0]
-            for row in conn.execute(
-                "SELECT version FROM versions WHERE state = 'staging'"
-            )
-        ]
-        for version in staged:
+        staged = conn.execute(
+            "SELECT tenant, version FROM versions WHERE state = 'staging'"
+        ).fetchall()
+        for tenant, version in staged:
             for table in cat.VERSIONED_TABLES:
-                conn.execute(f"DELETE FROM {table} WHERE version = ?", (version,))
+                conn.execute(
+                    f"DELETE FROM {table} WHERE tenant = ? AND version = ?",
+                    (tenant, version),
+                )
         conn.commit()
         known = {
-            row[0] for row in conn.execute("SELECT version FROM versions")
+            (tenant, version)
+            for tenant, version in conn.execute("SELECT tenant, version FROM versions")
         }
         if self.versions_root.is_dir():
-            for entry in self.versions_root.iterdir():
-                name = entry.name
-                if not (name.startswith("v") and name[1:].isdigit()):
+            for tenant_dir in self.versions_root.iterdir():
+                if not tenant_dir.is_dir():
                     continue
-                if int(name[1:]) not in known:
-                    shutil.rmtree(entry, ignore_errors=True)
+                for entry in tenant_dir.iterdir():
+                    name = entry.name
+                    if not (name.startswith("v") and name[1:].isdigit()):
+                        continue
+                    if (tenant_dir.name, int(name[1:])) not in known:
+                        shutil.rmtree(entry, ignore_errors=True)
 
-    def version_dir(self, version: int) -> Path:
-        return self.versions_root / f"v{version:08d}"
+    def version_dir(self, version: int, tenant: str = DEFAULT_TENANT) -> Path:
+        return self.versions_root / tenant / f"v{version:08d}"
 
     def _maybe_crash(self, stage: str) -> None:
         if self.crash_point == stage:
@@ -177,48 +217,72 @@ class FrameStore:
 
     # -- introspection --------------------------------------------------
 
-    def versions(self, kind: str | None = None) -> list[dict[str, Any]]:
-        """Catalog rows for every version, oldest first."""
+    def versions(
+        self, kind: str | None = None, tenant: str | None = None
+    ) -> list[dict[str, Any]]:
+        """Catalog rows for every version, oldest first per tenant."""
         query = (
-            "SELECT version, state, kind, parent, generation, created_at,"
+            "SELECT tenant, version, state, kind, parent, generation, created_at,"
             " published_at, built_s, nodes, edges FROM versions"
         )
-        params: tuple = ()
+        clauses = []
+        params: list[Any] = []
         if kind is not None:
-            query += " WHERE kind = ?"
-            params = (kind,)
-        query += " ORDER BY version"
+            clauses.append("kind = ?")
+            params.append(kind)
+        if tenant is not None:
+            clauses.append("tenant = ?")
+            params.append(tenant)
+        if clauses:
+            query += " WHERE " + " AND ".join(clauses)
+        query += " ORDER BY tenant, version"
         with self._connect() as conn:
-            rows = conn.execute(query, params).fetchall()
+            rows = conn.execute(query, tuple(params)).fetchall()
         keys = (
-            "version", "state", "kind", "parent", "generation",
+            "tenant", "version", "state", "kind", "parent", "generation",
             "created_at", "published_at", "built_s", "nodes", "edges",
         )
         return [dict(zip(keys, row)) for row in rows]
 
-    def published_versions(self, kind: str = "snapshot") -> list[int]:
+    def tenants(self) -> list[str]:
+        """Every tenant holding at least one version, sorted."""
+        with self._connect() as conn:
+            return [
+                row[0]
+                for row in conn.execute(
+                    "SELECT DISTINCT tenant FROM versions ORDER BY tenant"
+                )
+            ]
+
+    def published_versions(
+        self, kind: str = "snapshot", tenant: str = DEFAULT_TENANT
+    ) -> list[int]:
         with self._connect() as conn:
             return [
                 row[0]
                 for row in conn.execute(
                     "SELECT version FROM versions"
-                    " WHERE state = 'published' AND kind = ? ORDER BY version",
-                    (kind,),
+                    " WHERE state = 'published' AND kind = ? AND tenant = ?"
+                    " ORDER BY version",
+                    (kind, tenant),
                 )
             ]
 
-    def latest_version(self, kind: str = "snapshot") -> int | None:
-        published = self.published_versions(kind)
+    def latest_version(
+        self, kind: str = "snapshot", tenant: str = DEFAULT_TENANT
+    ) -> int | None:
+        published = self.published_versions(kind, tenant=tenant)
         return published[-1] if published else None
 
     # -- persist --------------------------------------------------------
 
-    def persist(self, snapshot: Snapshot) -> int:
-        """Write ``snapshot`` as a durable version; returns its number."""
+    def persist(self, snapshot: Snapshot, tenant: str = DEFAULT_TENANT) -> int:
+        """Write ``snapshot`` as a durable version of ``tenant``."""
+        validate_tenant(tenant)
         with self._persist_lock:
-            return self._persist(snapshot)
+            return self._persist(snapshot, tenant)
 
-    def _persist(self, snapshot: Snapshot) -> int:
+    def _persist(self, snapshot: Snapshot, tenant: str) -> int:
         frame = snapshot.frame
         if not frame.is_current(snapshot.graph):  # out-of-band mutation: re-pin
             frame = GraphFrame.of(snapshot.graph)
@@ -246,7 +310,8 @@ class FrameStore:
             #    persists of the same version fail before any file I/O.
             conn.execute("BEGIN IMMEDIATE")
             existing = conn.execute(
-                "SELECT state FROM versions WHERE version = ?", (version,)
+                "SELECT state FROM versions WHERE tenant = ? AND version = ?",
+                (tenant, version),
             ).fetchone()
             if existing is not None:
                 conn.rollback()
@@ -255,14 +320,16 @@ class FrameStore:
                 )
             parent = conn.execute(
                 "SELECT MAX(version) FROM versions"
-                " WHERE state = 'published' AND kind = 'snapshot'"
+                " WHERE state = 'published' AND kind = 'snapshot' AND tenant = ?",
+                (tenant,),
             ).fetchone()[0]
             conn.execute(
-                "INSERT INTO versions (version, state, kind, parent, generation,"
-                " created_at, built_s, nodes, edges, graph_class, next_edge_id,"
-                " aug_next_edge_id, meta)"
-                " VALUES (?, 'staging', 'snapshot', ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                "INSERT INTO versions (tenant, version, state, kind, parent,"
+                " generation, created_at, built_s, nodes, edges, graph_class,"
+                " next_edge_id, aug_next_edge_id, meta)"
+                " VALUES (?, ?, 'staging', 'snapshot', ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
                 (
+                    tenant,
                     version,
                     parent,
                     graph.generation,
@@ -279,35 +346,44 @@ class FrameStore:
             conn.commit()
 
             # 2. write: column files into a fresh version directory.
-            vdir = self.version_dir(version)
+            vdir = self.version_dir(version, tenant)
             vdir.mkdir(parents=True, exist_ok=True)
             self._maybe_crash("before_files")
-            manifest: list[tuple[int, str, str, int, int, int]] = []
+            manifest: list[tuple[str, int, str, str, int, int, int]] = []
             for i, name in enumerate(SNAPSHOT_COLUMNS):
                 array = np.ascontiguousarray(buffers[name], dtype=SNAPSHOT_COLUMNS[name])
                 crc = write_column(vdir / f"{name}.npy", array)
                 manifest.append(
-                    (version, name, array.dtype.str, array.shape[0], array.nbytes, crc)
+                    (
+                        tenant,
+                        version,
+                        name,
+                        array.dtype.str,
+                        array.shape[0],
+                        array.nbytes,
+                        crc,
+                    )
                 )
                 if i == 0:
                     self._maybe_crash("mid_files")
             self._maybe_crash("after_files")
             fsync_dir(vdir)
+            fsync_dir(vdir.parent)
             fsync_dir(self.versions_root)
 
             # 3. manifest + graph model + the atomic flip, one transaction.
             conn.execute("BEGIN IMMEDIATE")
             conn.executemany(
-                "INSERT INTO columns (version, name, dtype, length, nbytes, crc32)"
-                " VALUES (?, ?, ?, ?, ?, ?)",
+                "INSERT INTO columns (tenant, version, name, dtype, length, nbytes,"
+                " crc32) VALUES (?, ?, ?, ?, ?, ?, ?)",
                 manifest,
             )
-            self._write_graph_model(conn, version, graph, augmented, frame)
+            self._write_graph_model(conn, tenant, version, graph, augmented, frame)
             self._maybe_crash("before_publish")
             conn.execute(
                 "UPDATE versions SET state = 'published', published_at = ?"
-                " WHERE version = ?",
-                (time.time(), version),
+                " WHERE tenant = ? AND version = ?",
+                (time.time(), tenant, version),
             )
             conn.commit()
         finally:
@@ -317,6 +393,7 @@ class FrameStore:
     def _write_graph_model(
         self,
         conn: sqlite3.Connection,
+        tenant: str,
         version: int,
         graph: PropertyGraph,
         augmented: PropertyGraph,
@@ -331,20 +408,27 @@ class FrameStore:
             node_pos[node.id] = pos
             label_ref = None if node.label is None else interner.ref(node.label)
             node_rows.append(
-                (version, pos, interner.ref(node.id), label_ref, index[node.id])
+                (tenant, version, pos, interner.ref(node.id), label_ref, index[node.id])
             )
             for ordinal, (name, value) in enumerate(node.properties.items()):
                 prop_rows.append(
-                    (version, pos, ordinal, interner.ref(name), interner.ref(value))
+                    (
+                        tenant,
+                        version,
+                        pos,
+                        ordinal,
+                        interner.ref(name),
+                        interner.ref(value),
+                    )
                 )
         conn.executemany(
-            "INSERT INTO nodes (version, pos, id_ref, label_ref, intern)"
-            " VALUES (?, ?, ?, ?, ?)",
+            "INSERT INTO nodes (tenant, version, pos, id_ref, label_ref, intern)"
+            " VALUES (?, ?, ?, ?, ?, ?)",
             node_rows,
         )
         conn.executemany(
-            "INSERT INTO node_props (version, pos, ordinal, name_ref, value_ref)"
-            " VALUES (?, ?, ?, ?, ?)",
+            "INSERT INTO node_props (tenant, version, pos, ordinal, name_ref,"
+            " value_ref) VALUES (?, ?, ?, ?, ?, ?)",
             prop_rows,
         )
 
@@ -360,6 +444,7 @@ class FrameStore:
                 label_ref = None if edge.label is None else interner.ref(edge.label)
                 edge_rows.append(
                     (
+                        tenant,
                         version,
                         layer,
                         pos,
@@ -372,6 +457,7 @@ class FrameStore:
                 for ordinal, (name, value) in enumerate(edge.properties.items()):
                     edge_prop_rows.append(
                         (
+                            tenant,
                             version,
                             layer,
                             pos,
@@ -381,46 +467,55 @@ class FrameStore:
                         )
                     )
         conn.executemany(
-            "INSERT INTO edges (version, layer, pos, edge_id_ref, src_pos, dst_pos,"
-            " label_ref) VALUES (?, ?, ?, ?, ?, ?, ?)",
+            "INSERT INTO edges (tenant, version, layer, pos, edge_id_ref, src_pos,"
+            " dst_pos, label_ref) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
             edge_rows,
         )
         conn.executemany(
-            "INSERT INTO edge_props (version, layer, pos, ordinal, name_ref,"
-            " value_ref) VALUES (?, ?, ?, ?, ?, ?)",
+            "INSERT INTO edge_props (tenant, version, layer, pos, ordinal, name_ref,"
+            " value_ref) VALUES (?, ?, ?, ?, ?, ?, ?)",
             edge_prop_rows,
         )
 
     # -- attach ---------------------------------------------------------
 
-    def attach(self, version: int | None = None, verify: bool = True) -> StoredSnapshot:
+    def attach(
+        self,
+        version: int | None = None,
+        verify: bool = True,
+        tenant: str = DEFAULT_TENANT,
+    ) -> StoredSnapshot:
         """Rehydrate a published snapshot version as a serving snapshot.
 
-        ``version=None`` attaches the newest published version.  With
-        ``verify`` every column file's data CRC-32 is checked against the
-        catalog manifest before it is mapped.
+        ``version=None`` attaches the tenant's newest published version.
+        With ``verify`` every column file's data CRC-32 is checked
+        against the catalog manifest before it is mapped.
         """
         conn = self._connect()
         try:
             if version is None:
                 row = conn.execute(
                     "SELECT MAX(version) FROM versions"
-                    " WHERE state = 'published' AND kind = 'snapshot'"
+                    " WHERE state = 'published' AND kind = 'snapshot' AND tenant = ?",
+                    (tenant,),
                 ).fetchone()
                 if row[0] is None:
-                    raise StoreError("store has no published snapshot versions")
+                    raise StoreError(
+                        f"store has no published snapshot versions for tenant {tenant}"
+                    )
                 version = row[0]
             row = conn.execute(
                 "SELECT state, kind, graph_class, next_edge_id, aug_next_edge_id,"
-                " meta, built_s FROM versions WHERE version = ?",
-                (version,),
+                " meta, built_s FROM versions WHERE tenant = ? AND version = ?",
+                (tenant, version),
             ).fetchone()
             if row is None:
                 published = ", ".join(
                     str(v)
                     for (v,) in conn.execute(
                         "SELECT version FROM versions WHERE state = 'published'"
-                        " AND kind = 'snapshot' ORDER BY version"
+                        " AND kind = 'snapshot' AND tenant = ? ORDER BY version",
+                        (tenant,),
                     )
                 ) or "none"
                 raise StoreError(
@@ -434,9 +529,11 @@ class FrameStore:
                     f"version {version} is a bare graph, not a servable snapshot"
                 )
             meta = pickle.loads(blob)
-            views = self._load_columns(conn, version, SNAPSHOT_COLUMNS, verify=verify)
+            views = self._load_columns(
+                conn, tenant, version, SNAPSHOT_COLUMNS, verify=verify
+            )
             graph, augmented = self._rebuild_graphs(
-                conn, version, graph_class, next_edge_id, aug_next_edge_id
+                conn, tenant, version, graph_class, next_edge_id, aug_next_edge_id
             )
         finally:
             conn.close()
@@ -472,9 +569,12 @@ class FrameStore:
         snapshot.created_at = meta["created_at"]
         snapshot.store_path = self.root
         snapshot.store_version = version
+        snapshot.store_tenant = tenant
         return snapshot
 
-    def attach_latest(self, verify: bool = True) -> StoredSnapshot:
+    def attach_latest(
+        self, verify: bool = True, tenant: str = DEFAULT_TENANT
+    ) -> StoredSnapshot:
         """Attach the newest version that survives verification.
 
         A candidate that fails (truncated file, checksum mismatch, bad
@@ -482,28 +582,32 @@ class FrameStore:
         older published version is tried — the self-heal path after a
         torn write that somehow made it past publish.
         """
-        candidates = self.published_versions("snapshot")
+        candidates = self.published_versions("snapshot", tenant=tenant)
         last_error: StoreError | None = None
         for version in reversed(candidates):
             try:
-                return self.attach(version, verify=verify)
+                return self.attach(version, verify=verify, tenant=tenant)
             except StoreError as exc:
                 last_error = exc
                 with self._connect() as conn:
                     conn.execute(
-                        "UPDATE versions SET state = 'corrupt' WHERE version = ?",
-                        (version,),
+                        "UPDATE versions SET state = 'corrupt'"
+                        " WHERE tenant = ? AND version = ?",
+                        (tenant, version),
                     )
                     conn.commit()
         if last_error is not None:
             raise StoreError(
                 f"no attachable version (all candidates corrupt; last: {last_error})"
             )
-        raise StoreError("store has no published snapshot versions")
+        raise StoreError(
+            f"store has no published snapshot versions for tenant {tenant}"
+        )
 
     def _load_columns(
         self,
         conn: sqlite3.Connection,
+        tenant: str,
         version: int,
         expected: dict[str, np.dtype],
         verify: bool,
@@ -512,8 +616,8 @@ class FrameStore:
             name: (dtype, length, nbytes, crc)
             for name, dtype, length, nbytes, crc in conn.execute(
                 "SELECT name, dtype, length, nbytes, crc32 FROM columns"
-                " WHERE version = ?",
-                (version,),
+                " WHERE tenant = ? AND version = ?",
+                (tenant, version),
             )
         }
         missing = set(expected) - set(manifest)
@@ -521,7 +625,7 @@ class FrameStore:
             raise StoreError(
                 f"version {version} manifest is incomplete (missing {sorted(missing)})"
             )
-        vdir = self.version_dir(version)
+        vdir = self.version_dir(version, tenant)
         views: dict[str, np.ndarray] = {}
         for name, (dtype_str, length, nbytes, crc) in manifest.items():
             path = vdir / f"{name}.npy"
@@ -560,6 +664,7 @@ class FrameStore:
     def _rebuild_graphs(
         self,
         conn: sqlite3.Connection,
+        tenant: str,
         version: int,
         graph_class: str,
         next_edge_id: int,
@@ -571,8 +676,9 @@ class FrameStore:
         loader = cat.ValueLoader(conn)
 
         node_rows = conn.execute(
-            "SELECT pos, id_ref, label_ref FROM nodes WHERE version = ? ORDER BY pos",
-            (version,),
+            "SELECT pos, id_ref, label_ref FROM nodes"
+            " WHERE tenant = ? AND version = ? ORDER BY pos",
+            (tenant, version),
         ).fetchall()
         loader.prefetch(r for row in node_rows for r in row[1:] if r is not None)
         graph = cls()
@@ -581,9 +687,9 @@ class FrameStore:
             node = graph.add_node(loader.get(id_ref), loader.get(label_ref))
             ids_by_pos.append(node.id)
         prop_rows = conn.execute(
-            "SELECT pos, name_ref, value_ref FROM node_props WHERE version = ?"
-            " ORDER BY pos, ordinal",
-            (version,),
+            "SELECT pos, name_ref, value_ref FROM node_props"
+            " WHERE tenant = ? AND version = ? ORDER BY pos, ordinal",
+            (tenant, version),
         ).fetchall()
         loader.prefetch(r for row in prop_rows for r in row[1:])
         for pos, name_ref, value_ref in prop_rows:
@@ -593,8 +699,8 @@ class FrameStore:
 
         edge_rows = conn.execute(
             "SELECT layer, pos, edge_id_ref, src_pos, dst_pos, label_ref FROM edges"
-            " WHERE version = ? ORDER BY layer, pos",
-            (version,),
+            " WHERE tenant = ? AND version = ? ORDER BY layer, pos",
+            (tenant, version),
         ).fetchall()
         loader.prefetch(
             r
@@ -603,9 +709,9 @@ class FrameStore:
             if r is not None
         )
         eprop_rows = conn.execute(
-            "SELECT layer, pos, name_ref, value_ref FROM edge_props WHERE version = ?"
-            " ORDER BY layer, pos, ordinal",
-            (version,),
+            "SELECT layer, pos, name_ref, value_ref FROM edge_props"
+            " WHERE tenant = ? AND version = ? ORDER BY layer, pos, ordinal",
+            (tenant, version),
         ).fetchall()
         loader.prefetch(r for row in eprop_rows for r in row[2:])
         eprops: dict[tuple[int, int], list[tuple[str, Any]]] = {}
@@ -633,3 +739,65 @@ class FrameStore:
         add_layer(augmented, 1)
         augmented._next_edge_id = aug_next_edge_id
         return graph, augmented
+
+    # -- garbage collection ---------------------------------------------
+
+    def gc(
+        self,
+        keep: int,
+        tenant: str | None = None,
+        kind: str | None = None,
+    ) -> list[dict[str, Any]]:
+        """Prune old published versions beyond the newest ``keep``.
+
+        Versions are grouped into ``(tenant, kind)`` streams; within each
+        stream the newest ``keep`` published versions survive and every
+        older published version is deleted from the catalog and disk.
+        Staging rows and the latest published version of a stream are
+        never pruned (``keep`` must be at least 1).  Restrict with
+        ``tenant`` and/or ``kind``; returns one dict per pruned version.
+        """
+        if keep < 1:
+            raise StoreError(
+                "gc keep must be >= 1 (the latest published version always stays)"
+            )
+        query = "SELECT tenant, version, kind FROM versions WHERE state = 'published'"
+        params: list[Any] = []
+        if tenant is not None:
+            query += " AND tenant = ?"
+            params.append(tenant)
+        if kind is not None:
+            query += " AND kind = ?"
+            params.append(kind)
+        query += " ORDER BY tenant, kind, version"
+        doomed: list[tuple[str, int, str]] = []
+        conn = self._connect()
+        try:
+            streams: dict[tuple[str, str], list[int]] = {}
+            for row_tenant, row_version, row_kind in conn.execute(
+                query, tuple(params)
+            ):
+                streams.setdefault((row_tenant, row_kind), []).append(row_version)
+            for (row_tenant, row_kind), stream in streams.items():
+                for row_version in stream[:-keep]:
+                    doomed.append((row_tenant, row_version, row_kind))
+            if doomed:
+                conn.execute("BEGIN IMMEDIATE")
+                for row_tenant, row_version, _row_kind in doomed:
+                    for table in cat.VERSIONED_TABLES:
+                        conn.execute(
+                            f"DELETE FROM {table} WHERE tenant = ? AND version = ?",
+                            (row_tenant, row_version),
+                        )
+                conn.commit()
+        finally:
+            conn.close()
+        # Directory removal happens after the catalog commit: a crash in
+        # between leaves orphan directories, which open() purges.
+        pruned = []
+        for row_tenant, row_version, row_kind in doomed:
+            shutil.rmtree(self.version_dir(row_version, row_tenant), ignore_errors=True)
+            pruned.append(
+                {"tenant": row_tenant, "version": row_version, "kind": row_kind}
+            )
+        return pruned

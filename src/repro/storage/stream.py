@@ -44,6 +44,7 @@ import numpy as np
 from ..graph.company_graph import COMPANY, PERSON, SHAREHOLDING
 from ..graph.property_graph import GraphError
 from . import catalog as cat
+from ..service.snapshot import DEFAULT_TENANT
 from .npyio import NpyColumnWriter, data_crc32, fsync_dir, read_header
 from .store import FrameStore, StoreError
 
@@ -78,8 +79,10 @@ class StreamingGraphWriter:
         version: int | None = None,
         chunk_rows: int = 1 << 16,
         pos_cache_limit: int = 1 << 20,
+        tenant: str = DEFAULT_TENANT,
     ) -> None:
         self.store = store
+        self.tenant = tenant
         self.chunk_rows = chunk_rows
         self.pos_cache_limit = pos_cache_limit
         self._conn = store._connect()
@@ -97,25 +100,28 @@ class StreamingGraphWriter:
 
         self._conn.execute("BEGIN IMMEDIATE")
         if version is None:
-            row = self._conn.execute("SELECT MAX(version) FROM versions").fetchone()
+            row = self._conn.execute(
+                "SELECT MAX(version) FROM versions WHERE tenant = ?", (tenant,)
+            ).fetchone()
             version = (row[0] or 0) + 1
         elif self._conn.execute(
-            "SELECT 1 FROM versions WHERE version = ?", (version,)
+            "SELECT 1 FROM versions WHERE tenant = ? AND version = ?",
+            (tenant, version),
         ).fetchone():
             self._conn.rollback()
             raise StoreError(f"version {version} already persisted")
         self.version = version
         self._conn.execute(
-            "INSERT INTO versions (version, state, kind, created_at, graph_class)"
-            " VALUES (?, 'staging', 'graph', ?, 'CompanyGraph')",
-            (version, time.time()),
+            "INSERT INTO versions (tenant, version, state, kind, created_at,"
+            " graph_class) VALUES (?, ?, 'staging', 'graph', ?, 'CompanyGraph')",
+            (tenant, version, time.time()),
         )
         self._conn.commit()
         # one transaction stays open across the whole add phase: every
         # intern INSERT would otherwise autocommit (and fsync) on its
         # own; chunk flushes commit it and immediately reopen it
         self._conn.execute("BEGIN")
-        self._vdir = store.version_dir(version)
+        self._vdir = store.version_dir(version, tenant)
         self._vdir.mkdir(parents=True, exist_ok=True)
         self._tmp_src = NpyColumnWriter(self._vdir / "_tmp_src_pos.npy", np.int64)
         self._tmp_dst = NpyColumnWriter(self._vdir / "_tmp_dst_pos.npy", np.int64)
@@ -155,11 +161,12 @@ class StreamingGraphWriter:
         self._node_count += 1
         label_ref = None if label is None else self._interner.ref(label)
         self._pending_nodes.append(
-            (self.version, pos, self._interner.ref(node_id), label_ref)
+            (self.tenant, self.version, pos, self._interner.ref(node_id), label_ref)
         )
         for ordinal, (name, value) in enumerate(properties.items()):
             self._pending_node_props.append(
                 (
+                    self.tenant,
                     self.version,
                     pos,
                     ordinal,
@@ -189,6 +196,7 @@ class StreamingGraphWriter:
         label_ref = None if label is None else self._interner.ref(label)
         self._pending_edges.append(
             (
+                self.tenant,
                 self.version,
                 0,
                 pos,
@@ -201,6 +209,7 @@ class StreamingGraphWriter:
         for ordinal, (name, value) in enumerate(properties.items()):
             self._pending_edge_props.append(
                 (
+                    self.tenant,
                     self.version,
                     0,
                     pos,
@@ -235,8 +244,8 @@ class StreamingGraphWriter:
             return pos
         row = self._conn.execute(
             "SELECT n.pos FROM nodes n JOIN vals v ON v.id = n.id_ref"
-            " WHERE n.version = ? AND v.kind = 's' AND v.value = ?",
-            (self.version, node_id.encode("utf-8")),
+            " WHERE n.tenant = ? AND n.version = ? AND v.kind = 's' AND v.value = ?",
+            (self.tenant, self.version, node_id.encode("utf-8")),
         ).fetchone()
         if row is None:
             if missing_ok:
@@ -249,12 +258,13 @@ class StreamingGraphWriter:
         if not self._pending_nodes and not self._pending_node_props:
             return
         self._conn.executemany(
-            "INSERT INTO nodes (version, pos, id_ref, label_ref) VALUES (?, ?, ?, ?)",
+            "INSERT INTO nodes (tenant, version, pos, id_ref, label_ref)"
+            " VALUES (?, ?, ?, ?, ?)",
             self._pending_nodes,
         )
         self._conn.executemany(
-            "INSERT INTO node_props (version, pos, ordinal, name_ref, value_ref)"
-            " VALUES (?, ?, ?, ?, ?)",
+            "INSERT INTO node_props (tenant, version, pos, ordinal, name_ref,"
+            " value_ref) VALUES (?, ?, ?, ?, ?, ?)",
             self._pending_node_props,
         )
         self._conn.commit()
@@ -265,13 +275,13 @@ class StreamingGraphWriter:
     def _flush_edges(self) -> None:
         if self._pending_edges:
             self._conn.executemany(
-                "INSERT INTO edges (version, layer, pos, edge_id_ref, src_pos,"
-                " dst_pos, label_ref) VALUES (?, ?, ?, ?, ?, ?, ?)",
+                "INSERT INTO edges (tenant, version, layer, pos, edge_id_ref,"
+                " src_pos, dst_pos, label_ref) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
                 self._pending_edges,
             )
             self._conn.executemany(
-                "INSERT INTO edge_props (version, layer, pos, ordinal, name_ref,"
-                " value_ref) VALUES (?, ?, ?, ?, ?, ?)",
+                "INSERT INTO edge_props (tenant, version, layer, pos, ordinal,"
+                " name_ref, value_ref) VALUES (?, ?, ?, ?, ?, ?, ?)",
                 self._pending_edge_props,
             )
             self._conn.commit()
@@ -312,8 +322,8 @@ class StreamingGraphWriter:
         )
         cursor = conn.execute(
             "SELECT n.pos FROM nodes n JOIN vals v ON v.id = n.id_ref"
-            " WHERE n.version = ? ORDER BY v.value",
-            (version,),
+            " WHERE n.tenant = ? AND n.version = ? ORDER BY v.value",
+            (self.tenant, version),
         )
         code = 0
         while True:
@@ -328,8 +338,9 @@ class StreamingGraphWriter:
             block = np.asarray(code_of_pos[start : start + chunk]).tolist()
             conn.execute("BEGIN")
             conn.executemany(
-                "UPDATE nodes SET intern = ? WHERE version = ? AND pos = ?",
-                ((c, version, start + i) for i, c in enumerate(block)),
+                "UPDATE nodes SET intern = ?"
+                " WHERE tenant = ? AND version = ? AND pos = ?",
+                ((c, self.tenant, version, start + i) for i, c in enumerate(block)),
             )
             conn.commit()
 
@@ -355,6 +366,7 @@ class StreamingGraphWriter:
         for tmp in vdir.glob("_tmp_*.npy"):
             tmp.unlink()
         fsync_dir(vdir)
+        fsync_dir(vdir.parent)
         fsync_dir(self.store.versions_root)
 
         # 4. manifest + publish flip.
@@ -366,6 +378,7 @@ class StreamingGraphWriter:
                 raise StoreError(f"column {name} built with dtype {file_dtype}")
             manifest.append(
                 (
+                    self.tenant,
                     version,
                     name,
                     file_dtype.str,
@@ -376,14 +389,14 @@ class StreamingGraphWriter:
             )
         conn.execute("BEGIN IMMEDIATE")
         conn.executemany(
-            "INSERT INTO columns (version, name, dtype, length, nbytes, crc32)"
-            " VALUES (?, ?, ?, ?, ?, ?)",
+            "INSERT INTO columns (tenant, version, name, dtype, length, nbytes,"
+            " crc32) VALUES (?, ?, ?, ?, ?, ?, ?)",
             manifest,
         )
         conn.execute(
             "UPDATE versions SET state = 'published', published_at = ?, nodes = ?,"
-            " edges = ?, next_edge_id = ? WHERE version = ?",
-            (time.time(), n, m, self._next_edge_id, version),
+            " edges = ?, next_edge_id = ? WHERE tenant = ? AND version = ?",
+            (time.time(), n, m, self._next_edge_id, self.tenant, version),
         )
         conn.commit()
         conn.close()
@@ -458,7 +471,8 @@ class StreamingGraphWriter:
             writer.abort()
         for table in cat.VERSIONED_TABLES:
             self._conn.execute(
-                f"DELETE FROM {table} WHERE version = ?", (self.version,)
+                f"DELETE FROM {table} WHERE tenant = ? AND version = ?",
+                (self.tenant, self.version),
             )
         self._conn.commit()
         self._conn.close()
@@ -473,17 +487,24 @@ class OutOfCoreGraph:
     kernel page cache.
     """
 
-    def __init__(self, store: FrameStore, version: int | None = None) -> None:
+    def __init__(
+        self,
+        store: FrameStore,
+        version: int | None = None,
+        tenant: str = DEFAULT_TENANT,
+    ) -> None:
         self.store = store
+        self.tenant = tenant
         if version is None:
-            version = store.latest_version("graph")
+            version = store.latest_version("graph", tenant=tenant)
             if version is None:
                 raise StoreError("store has no published graph versions")
         self.version = version
         self._conn = store._connect()
         row = self._conn.execute(
-            "SELECT state, kind, nodes, edges FROM versions WHERE version = ?",
-            (version,),
+            "SELECT state, kind, nodes, edges FROM versions"
+            " WHERE tenant = ? AND version = ?",
+            (tenant, version),
         ).fetchone()
         if row is None:
             raise StoreError(f"version {version} not found in store")
@@ -493,7 +514,7 @@ class OutOfCoreGraph:
                 f"version {version} is not a published graph (state={state}, kind={kind})"
             )
         self._loader = cat.ValueLoader(self._conn)
-        vdir = store.version_dir(version)
+        vdir = store.version_dir(version, tenant)
         self._cols: dict[str, np.ndarray] = {}
         for name in GRAPH_COLUMNS:
             path = vdir / f"{name}.npy"
@@ -512,8 +533,8 @@ class OutOfCoreGraph:
     def code_of(self, node_id: str) -> int:
         row = self._conn.execute(
             "SELECT n.intern FROM nodes n JOIN vals v ON v.id = n.id_ref"
-            " WHERE n.version = ? AND v.kind = 's' AND v.value = ?",
-            (self.version, node_id.encode("utf-8")),
+            " WHERE n.tenant = ? AND n.version = ? AND v.kind = 's' AND v.value = ?",
+            (self.tenant, self.version, node_id.encode("utf-8")),
         ).fetchone()
         if row is None:
             raise GraphError(f"node {node_id!r} does not exist")
@@ -522,8 +543,8 @@ class OutOfCoreGraph:
     def id_of(self, code: int) -> str:
         row = self._conn.execute(
             "SELECT v.value FROM nodes n JOIN vals v ON v.id = n.id_ref"
-            " WHERE n.version = ? AND n.intern = ?",
-            (self.version, code),
+            " WHERE n.tenant = ? AND n.version = ? AND n.intern = ?",
+            (self.tenant, self.version, code),
         ).fetchone()
         if row is None:
             raise GraphError(f"no node with intern code {code}")
@@ -533,8 +554,8 @@ class OutOfCoreGraph:
         """Label and properties of one node."""
         row = self._conn.execute(
             "SELECT n.pos, n.label_ref FROM nodes n JOIN vals v ON v.id = n.id_ref"
-            " WHERE n.version = ? AND v.kind = 's' AND v.value = ?",
-            (self.version, node_id.encode("utf-8")),
+            " WHERE n.tenant = ? AND n.version = ? AND v.kind = 's' AND v.value = ?",
+            (self.tenant, self.version, node_id.encode("utf-8")),
         ).fetchone()
         if row is None:
             raise GraphError(f"node {node_id!r} does not exist")
@@ -542,8 +563,8 @@ class OutOfCoreGraph:
         props = {}
         for name_ref, value_ref in self._conn.execute(
             "SELECT name_ref, value_ref FROM node_props"
-            " WHERE version = ? AND pos = ? ORDER BY ordinal",
-            (self.version, pos),
+            " WHERE tenant = ? AND version = ? AND pos = ? ORDER BY ordinal",
+            (self.tenant, self.version, pos),
         ):
             props[self._loader.get(name_ref)] = self._loader.get(value_ref)
         return {"id": node_id, "label": self._loader.get(label_ref), "properties": props}

@@ -289,3 +289,85 @@ class TestSupervision:
         for name in names:
             assert not os.path.exists(f"/dev/shm/{name}")
         assert pool.live_workers() == []
+
+
+class TestMultiTenantPool:
+    """One SO_REUSEPORT fleet, many tenants, per-tenant atomic swaps."""
+
+    @pytest.fixture()
+    def mt_pool(self, graph):
+        pool = ServicePool(
+            graph,
+            workers=2,
+            config=ServiceConfig(port=0),
+            pool_config=PoolConfig(sweep_interval_s=0.05),
+        )
+        pool.start()
+        yield pool
+        pool.stop(drain=False)
+
+    def test_tenant_lifecycle_across_the_fleet(self, mt_pool):
+        pool = mt_pool
+        base_version = pool.version
+
+        status, payload = request(pool.port, "PUT", "/t/acme")
+        assert status == 201
+        assert payload["status"] == "created"
+        assert payload["version"] == 1
+        assert "acme" in pool.tenants()
+        # segment names carry the tenant
+        assert any("acme" in name for name in pool.segment_names())
+
+        # both workers serve the new tenant
+        seen = set()
+        for _ in range(40):
+            st, stats = request(pool.port, "GET", "/t/acme/stats")
+            assert st == 200
+            assert stats["tenant"] == "acme"
+            assert stats["snapshot_version"] == 1
+            seen.add(stats["worker_id"])
+            if len(seen) >= 2:
+                break
+        assert len(seen) == 2
+
+        # idempotent create
+        status, payload = request(pool.port, "PUT", "/t/acme")
+        assert status == 200
+        assert payload["status"] == "exists"
+
+        # mutating acme publishes acme v2 and leaves the primary alone
+        status, payload = request(
+            pool.port,
+            "POST",
+            "/t/acme/mutations?wait=1",
+            body={"deltas": [{"op": "add_company", "id": "MCO"}]},
+        )
+        assert status == 200, payload
+        assert payload["tenant"] == "acme"
+        assert payload["version"] == 2
+        assert pool.version_for("acme") == 2
+        assert pool.version == base_version
+        st, stats = request(pool.port, "GET", "/stats")
+        assert stats["snapshot_version"] == base_version
+
+        # delete propagates: 404s fleet-wide, segments unlinked
+        status, payload = request(pool.port, "DELETE", "/t/acme")
+        assert status == 200
+        assert payload == {"status": "deleted", "tenant": "acme", "version": 2}
+        assert wait_until(
+            lambda: request(pool.port, "GET", "/t/acme/stats")[0] == 404
+        )
+        assert wait_until(
+            lambda: not any("acme" in n for n in os.listdir("/dev/shm"))
+        ), [n for n in os.listdir("/dev/shm") if "acme" in n]
+        assert not any("acme" in n for n in pool.segment_names())
+
+    def test_primary_tenant_is_protected_and_unknown_404s(self, mt_pool):
+        pool = mt_pool
+        status, payload = request(pool.port, "DELETE", f"/t/{pool.primary}")
+        assert status == 400
+        assert "alias" in payload["error"]
+        for path in ("/t/ghost/control", "/t/ghost/stats", "/t/ghost/family"):
+            status, payload = request(pool.port, "GET", path)
+            assert status == 404
+            assert payload == {"error": "unknown tenant: ghost"}

@@ -246,5 +246,6 @@ class TestUpdaterPersistHook:
         reply = asyncio.run(mutate())
         assert reply["status"] == "published"  # serving survived the disk
         assert updater.persist_failures == 1
-        assert "disk on fire" in updater.last_persist_error
+        assert "disk on fire" in updater.last_persist_error["error"]
+        assert updater.last_persist_error["version"] == 2
         assert manager.current.graph.has_node("C_X")

@@ -1,0 +1,216 @@
+"""Tenant dimension of the durable frame store.
+
+Per-tenant version streams (two tenants both holding a version 1 without
+colliding in the catalog or on disk), tenant-scoped attach, the v1 -> v2
+in-place catalog migration, and ``gc`` history pruning that never
+touches staging rows or a stream's latest published version.
+"""
+
+import sqlite3
+
+import pytest
+
+from repro.datagen.company_generator import CompanySpec, generate_company_graph
+from repro.service import SnapshotBuilder, SnapshotConfig, TenantError
+from repro.storage import FrameStore, StoreError
+from repro.storage import catalog as cat
+from repro.storage.stream import OutOfCoreGraph, StreamingGraphWriter
+
+
+def graph_model(graph):
+    return (
+        [(n.id, n.label, dict(n.properties)) for n in graph.nodes()],
+        [(e.id, e.source, e.target, e.label, dict(e.properties))
+         for e in graph.edges()],
+    )
+
+
+def build_snapshots(seed, versions=1):
+    """``versions`` consecutive snapshots over an evolving graph."""
+    graph, _ = generate_company_graph(
+        CompanySpec(persons=30, companies=24, seed=seed)
+    )
+    config = SnapshotConfig(augment=True, first_level_clusters=1,
+                            use_embeddings=False)
+    builder = SnapshotBuilder(config)
+    out = [builder.build(graph)]
+    for i in range(versions - 1):
+        graph = graph.copy()
+        graph.add_company(f"C_EXTRA{i}")
+        out.append(builder.build(graph))
+    return out
+
+
+class TestTenantStreams:
+    def test_two_tenants_share_version_numbers_without_colliding(self, tmp_path):
+        store = FrameStore.create(tmp_path / "store")
+        (snap_a,) = build_snapshots(seed=3)
+        (snap_b,) = build_snapshots(seed=7)
+        assert store.persist(snap_a, tenant="alpha") == 1
+        assert store.persist(snap_b, tenant="beta") == 1  # same number, own stream
+
+        assert store.tenants() == ["alpha", "beta"]
+        assert store.published_versions(tenant="alpha") == [1]
+        assert store.published_versions(tenant="beta") == [1]
+        assert store.version_dir(1, "alpha") != store.version_dir(1, "beta")
+        assert store.version_dir(1, "alpha").is_dir()
+        assert store.version_dir(1, "beta").is_dir()
+
+        att_a = store.attach_latest(tenant="alpha")
+        att_b = store.attach_latest(tenant="beta")
+        assert att_a.store_tenant == "alpha"
+        assert att_b.store_tenant == "beta"
+        assert graph_model(att_a.graph) == graph_model(snap_a.graph)
+        assert graph_model(att_b.graph) == graph_model(snap_b.graph)
+        assert graph_model(att_a.graph) != graph_model(att_b.graph)
+
+    def test_duplicate_version_within_a_tenant_still_fails(self, tmp_path):
+        store = FrameStore.create(tmp_path / "store")
+        (snap,) = build_snapshots(seed=1)
+        store.persist(snap, tenant="alpha")
+        with pytest.raises(StoreError, match="already persisted"):
+            store.persist(snap, tenant="alpha")
+
+    def test_bad_tenant_name_rejected_before_any_io(self, tmp_path):
+        store = FrameStore.create(tmp_path / "store")
+        (snap,) = build_snapshots(seed=1)
+        with pytest.raises(TenantError):
+            store.persist(snap, tenant="../escape")
+        assert store.tenants() == []
+
+    def test_reopen_recovers_per_tenant(self, tmp_path):
+        store = FrameStore.create(tmp_path / "store")
+        (snap_a,) = build_snapshots(seed=3)
+        (snap_b,) = build_snapshots(seed=7)
+        store.persist(snap_a, tenant="alpha")
+        store.persist(snap_b, tenant="beta")
+        # fake a crash mid-persist of beta's v2: staging row + orphan dir
+        with store._connect() as conn:
+            conn.execute(
+                "INSERT INTO versions (tenant, version, state, kind,"
+                " created_at) VALUES ('beta', 2, 'staging', 'snapshot', 0)"
+            )
+            conn.commit()
+        store.version_dir(2, "beta").mkdir(parents=True)
+        reopened = FrameStore.open(tmp_path / "store")
+        assert not reopened.version_dir(2, "beta").exists()
+        assert reopened.versions(tenant="beta")[0]["state"] == "published"
+        # alpha is untouched by beta's recovery
+        assert reopened.attach_latest(tenant="alpha").version == snap_a.version
+
+    def test_streaming_writer_per_tenant(self, tmp_path):
+        store = FrameStore.create(tmp_path / "store")
+        for tenant, share in (("alpha", 0.5), ("beta", 0.9)):
+            writer = StreamingGraphWriter(store, tenant=tenant)
+            writer.add_person("P1")
+            writer.add_company("C1")
+            writer.add_shareholding("P1", "C1", share)
+            assert writer.finalize() == 1
+        ooc_a = OutOfCoreGraph(store, tenant="alpha")
+        ooc_b = OutOfCoreGraph(store, tenant="beta")
+        try:
+            assert ooc_a.share("P1", "C1") == 0.5
+            assert ooc_b.share("P1", "C1") == 0.9
+        finally:
+            ooc_a.close()
+            ooc_b.close()
+
+
+class TestMigration:
+    def _downgrade_to_v1(self, root):
+        """Rewrite a fresh v2 store as the exact v1 layout: tenantless
+        tables, top-level ``versions/v*`` directories, format marker 1."""
+        store = FrameStore(root)
+        conn = sqlite3.connect(str(store.catalog_path))
+        conn.execute("PRAGMA foreign_keys=OFF")
+        for table in cat.VERSIONED_TABLES:
+            cols = cat._V1_COLUMNS[table]
+            conn.execute(f"ALTER TABLE {table} RENAME TO {table}_new")
+            conn.execute(
+                f"CREATE TABLE {table} AS SELECT {cols} FROM {table}_new"
+            )
+            conn.execute(f"DROP TABLE {table}_new")
+        conn.execute("DROP INDEX IF EXISTS nodes_by_id")
+        conn.execute("DROP INDEX IF EXISTS nodes_by_intern")
+        conn.execute("UPDATE store_meta SET value = '1' WHERE key = 'format'")
+        conn.commit()
+        conn.close()
+        default_dir = store.versions_root / "default"
+        if default_dir.is_dir():
+            for entry in list(default_dir.iterdir()):
+                entry.rename(store.versions_root / entry.name)
+            default_dir.rmdir()
+
+    def test_v1_store_migrates_in_place_and_serves(self, tmp_path):
+        root = tmp_path / "store"
+        store = FrameStore.create(root)
+        snap1, snap2 = build_snapshots(seed=5, versions=2)
+        store.persist(snap1)
+        store.persist(snap2)
+        before = graph_model(store.attach(2).graph)
+        self._downgrade_to_v1(root)
+        assert (root / "versions" / "v00000001").is_dir()
+
+        migrated = FrameStore.open(root)  # migration runs inside open
+        with migrated._connect() as conn:
+            assert cat.catalog_format(conn) == cat.CATALOG_FORMAT
+        assert migrated.tenants() == ["default"]
+        assert migrated.published_versions() == [1, 2]
+        assert not (root / "versions" / "v00000001").exists()
+        assert migrated.version_dir(1).is_dir()
+        att = migrated.attach(2)
+        assert graph_model(att.graph) == before
+        assert att.store_tenant == "default"
+        # the migrated stream keeps growing
+        snap3 = build_snapshots(seed=5, versions=3)[2]
+        assert migrated.persist(snap3) == 3
+
+
+class TestGc:
+    def test_gc_keeps_newest_per_stream_and_refuses_keep_zero(self, tmp_path):
+        store = FrameStore.create(tmp_path / "store")
+        for snap in build_snapshots(seed=3, versions=3):
+            store.persist(snap, tenant="alpha")
+        for snap in build_snapshots(seed=7, versions=2):
+            store.persist(snap, tenant="beta")
+
+        with pytest.raises(StoreError, match="keep"):
+            store.gc(0)
+
+        pruned = store.gc(keep=2)
+        assert [(p["tenant"], p["version"]) for p in pruned] == [("alpha", 1)]
+        assert store.published_versions(tenant="alpha") == [2, 3]
+        assert store.published_versions(tenant="beta") == [1, 2]
+        assert not store.version_dir(1, "alpha").exists()
+        # catalog rows are gone too, not just the files
+        assert store.versions(tenant="alpha")[0]["version"] == 2
+
+        # keep=1 leaves exactly the latest of every stream
+        store.gc(keep=1)
+        assert store.published_versions(tenant="alpha") == [3]
+        assert store.published_versions(tenant="beta") == [2]
+        store.gc(keep=1)  # idempotent: nothing below the floor
+        assert store.attach_latest(tenant="alpha").version == 3
+        assert store.attach_latest(tenant="beta").version == 2
+
+    def test_gc_never_touches_staging_and_scopes_by_tenant(self, tmp_path):
+        store = FrameStore.create(tmp_path / "store")
+        for snap in build_snapshots(seed=3, versions=2):
+            store.persist(snap, tenant="alpha")
+        for snap in build_snapshots(seed=7, versions=2):
+            store.persist(snap, tenant="beta")
+        with store._connect() as conn:
+            conn.execute(
+                "INSERT INTO versions (tenant, version, state, kind,"
+                " created_at) VALUES ('alpha', 9, 'staging', 'snapshot', 0)"
+            )
+            conn.commit()
+
+        pruned = store.gc(keep=1, tenant="alpha")
+        assert [(p["tenant"], p["version"]) for p in pruned] == [("alpha", 1)]
+        # beta untouched (tenant scope), staging row untouched (state)
+        assert store.published_versions(tenant="beta") == [1, 2]
+        rows = {
+            (r["version"], r["state"]) for r in store.versions(tenant="alpha")
+        }
+        assert rows == {(2, "published"), (9, "staging")}
